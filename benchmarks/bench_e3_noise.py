@@ -1,0 +1,30 @@
+"""E3 — answer noise (reconstructed robustness figure).
+
+Crowd answers are imprecise: perception noise plus the coarse
+five-point frequency vocabulary. The claim is graceful degradation —
+noise costs questions, it does not break the miner.
+"""
+
+from repro.eval import e3_noise, format_experiment, run_variants
+
+from conftest import run_once
+
+
+def test_e3_noise(benchmark, scale):
+    base, variants = e3_noise(scale)
+
+    def run():
+        return run_variants(base, variants)
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_experiment(f"E3: answer noise ({scale})", results))
+
+    final = {label: r.curve.final() for label, r in results.items()}
+    # Exact answers are the ceiling (small slack for seed luck).
+    noisiest = final["sigma_0.20"].f1
+    assert final["exact"].f1 >= noisiest - 0.05
+    # Even the noisiest crowd produces a usable result at full scale —
+    # degradation, not collapse.
+    if scale == "full":
+        assert noisiest > 0.2

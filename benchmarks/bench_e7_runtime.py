@@ -1,0 +1,76 @@
+"""E7 — system runtime (table).
+
+The paper's system-side measurement: what does question selection cost
+as the knowledge base grows? Selection is the per-question inner loop
+(rank every unresolved rule), so its latency must stay in the
+low-millisecond range even with thousands of known rules — crowd
+latency, not CPU, must dominate a session.
+"""
+
+import time
+
+from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.estimation import Thresholds
+from repro.eval import format_rows
+from repro.eval.runner import ExperimentConfig, build_world
+from repro.miner import CrowdMiner, CrowdMinerConfig
+
+from conftest import run_once
+
+SETTINGS = {
+    "full": dict(n_items=300, n_patterns=30, n_members=60, budget=3_000),
+    "smoke": dict(n_items=80, n_patterns=10, n_members=15, budget=400),
+}
+
+
+def test_e7_selection_latency(benchmark, scale):
+    cfg = SETTINGS[scale]
+    config = ExperimentConfig(
+        name="e7",
+        n_items=cfg["n_items"],
+        n_patterns=cfg["n_patterns"],
+        n_members=cfg["n_members"],
+        budget=cfg["budget"],
+        checkpoints=(cfg["budget"],),
+        repetitions=1,
+        seed=77,
+    )
+    _, population, _ = build_world(config, seed=77)
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=78
+    )
+    miner = CrowdMiner(
+        crowd,
+        CrowdMinerConfig(thresholds=Thresholds(0.10, 0.5), budget=cfg["budget"], seed=79),
+    )
+
+    buckets: dict[int, list[float]] = {}
+
+    def run():
+        bucket_width = 250
+        while not miner.is_done:
+            kb_size = len(miner.state)
+            started = time.perf_counter()
+            if miner.step() is None:
+                break
+            elapsed = time.perf_counter() - started
+            buckets.setdefault(kb_size // bucket_width * bucket_width, []).append(elapsed)
+        return buckets
+
+    run_once(benchmark, run)
+
+    rows = []
+    for bucket in sorted(buckets):
+        samples = buckets[bucket]
+        mean_ms = 1_000 * sum(samples) / len(samples)
+        worst_ms = 1_000 * max(samples)
+        rows.append((f"{bucket}–{bucket + 249}", len(samples), f"{mean_ms:.2f}", f"{worst_ms:.2f}"))
+    print()
+    print(f"=== E7: per-question latency vs knowledge-base size ({scale}) ===")
+    print(format_rows(("KB size (rules)", "questions", "mean ms/q", "max ms/q"), rows))
+
+    # The claim: selection stays interactive (well under the seconds a
+    # human needs to answer) even at the largest knowledge-base size.
+    largest = max(buckets)
+    mean_ms = 1_000 * sum(buckets[largest]) / len(buckets[largest])
+    assert mean_ms < 200.0

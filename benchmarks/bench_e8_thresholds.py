@@ -1,0 +1,34 @@
+"""E8 — threshold sensitivity (reconstructed figure).
+
+Raising (θ_s, θ_c) shrinks the true significant set and prunes the
+search earlier, so the question cost of covering the truth falls; the
+miner must remain accurate across the sweep.
+"""
+
+from repro.eval import e8_thresholds, format_experiment, run_variants
+
+from conftest import run_once
+
+
+def test_e8_threshold_sensitivity(benchmark, scale):
+    base, variants = e8_thresholds(scale)
+
+    def run():
+        return run_variants(base, variants)
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_experiment(f"E8: threshold sensitivity ({scale})", results))
+
+    # Truth size must shrink monotonically along the sweep grid.
+    sizes = [
+        results[label].mean_truth_size
+        for label in sorted(results)  # labels sort by threshold
+    ]
+    assert sizes == sorted(sizes, reverse=True)
+
+    # Quality should be decent at the strictest setting (fewer, clearer
+    # rules are easier to settle).
+    strictest = sorted(results)[-1]
+    if scale == "full":
+        assert results[strictest].curve.final().f1 >= 0.4

@@ -1,0 +1,32 @@
+"""E9 — ablation of the miner's design choices (table).
+
+Each variant removes one component called out in DESIGN.md §5:
+covariance-aware significance, lattice pruning, confirmation-triggered
+expansion, and eager open discovery (the closed-only-lazy variant only
+opens when idle). The full configuration should not be dominated by
+any ablation.
+"""
+
+from repro.eval import e9_ablation, format_experiment, run_variants
+
+from conftest import run_once
+
+
+def test_e9_ablation(benchmark, scale):
+    base, variants = e9_ablation(scale)
+
+    def run():
+        return run_variants(base, variants)
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_experiment(f"E9: ablation ({scale})", results))
+
+    final = {label: r.curve.final() for label, r in results.items()}
+    # The full system must be competitive with the best variant. (At
+    # smoke scale the tiny budget amplifies variant noise — notably the
+    # closed-only-lazy policy, which spends nothing on eager discovery
+    # and therefore shines when budgets are far below convergence.)
+    best = max(p.f1 for p in final.values())
+    slack = 0.15 if scale == "full" else 0.3
+    assert final["full"].f1 >= best - slack

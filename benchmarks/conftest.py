@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Benchmarks run the canonical experiments (DESIGN.md §4) at the scale
+given by the ``REPRO_BENCH_SCALE`` environment variable: ``full`` (the
+default — headline curves, minutes of wall clock) or ``smoke``
+(seconds, for CI sanity). Each benchmark prints the figure/table it
+reproduces; pytest-benchmark records the wall time of one full run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "full")
+    if value not in ("full", "smoke"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'full' or 'smoke', got {value!r}")
+    return value
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and expensive; statistical
+    repetition lives *inside* them (seeded repetitions), so one timed
+    round is the right benchmark shape.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,63 @@
+"""Quickstart: mine folk-remedy habits from a simulated crowd.
+
+Builds the folk-medicine population (the paper's motivating domain),
+wraps it as an answerable crowd, runs the CrowdMiner with a modest
+question budget, and prints the discovered significant rules next to
+the exact ground truth so you can see what the miner got right.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimulatedCrowd,
+    Thresholds,
+    build_population,
+    compute_ground_truth,
+    folk_remedies_model,
+    mine_crowd,
+    standard_answer_model,
+)
+
+
+def main() -> None:
+    # 1. The world: a latent habit model and a sampled population.
+    #    (In the real system this is the actual crowd; here we simulate
+    #    it so we can score the result exactly.)
+    model = folk_remedies_model(seed=1)
+    population = build_population(
+        model, n_members=40, transactions_per_member=200, seed=2
+    )
+
+    # 2. The crowd interface: members answer through a human-like
+    #    pipeline (perception noise, then a five-point frequency scale).
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=3
+    )
+
+    # 3. Mine: "find habits the average person has at least 10% of the
+    #    time, with at least 50% reliability".
+    thresholds = Thresholds(support=0.10, confidence=0.50)
+    result = mine_crowd(crowd, thresholds, budget=1_500, seed=4)
+
+    print("=== mining session ===")
+    print(result.summary())
+
+    # 4. Score against the exact oracle (simulation-only luxury).
+    truth = compute_ground_truth(population, thresholds)
+    mined = set(result.significant)
+    true_positives = mined & truth.significant
+    precision = len(true_positives) / len(mined) if mined else 1.0
+    recall = len(true_positives) / len(truth.significant)
+    print("\n=== against ground truth ===")
+    print(f"true significant rules: {len(truth.significant)}")
+    print(f"precision: {precision:.2f}   recall: {recall:.2f}")
+
+    missed = truth.significant - mined
+    if missed:
+        print(f"missed ({len(missed)}):")
+        for rule in sorted(missed, key=lambda r: r.sort_key())[:5]:
+            print(f"  {rule}  true={truth.stats[rule]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Strategy comparison on one shared world (a mini experiment E1).
+
+Runs the adaptive CrowdMiner strategy against the random and
+round-robin baselines on the *same* population with the same budget,
+and prints quality-vs-questions curves. A condensed, single-world
+version of the full E1 benchmark (``benchmarks/bench_e1_strategies.py``).
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro import SimulatedCrowd, Thresholds, build_population, standard_answer_model
+from repro.eval import format_rows, score_report
+from repro.miner import CrowdMiner, CrowdMinerConfig, compute_ground_truth, make_strategy
+from repro.synth import random_domain, random_habit_model
+
+CHECKPOINTS = (100, 250, 500, 750, 1_000)
+
+
+def run_one(strategy_name, population, truth, thresholds):
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=33
+    )
+    miner = CrowdMiner(
+        crowd,
+        CrowdMinerConfig(
+            thresholds=thresholds,
+            budget=max(CHECKPOINTS),
+            strategy=make_strategy(strategy_name),
+            seed=34,
+        ),
+    )
+    points = []
+    for checkpoint in CHECKPOINTS:
+        while miner.questions_asked < checkpoint and not miner.is_done:
+            if miner.step() is None:
+                break
+        reported = miner.state.significant_rules(mode="point")
+        points.append(score_report(reported, truth, checkpoint))
+    return points
+
+
+def main() -> None:
+    domain = random_domain(100, seed=31)
+    model = random_habit_model(domain, n_patterns=15, seed=31)
+    population = build_population(
+        model, n_members=40, transactions_per_member=200, seed=32
+    )
+    thresholds = Thresholds(0.10, 0.5)
+    truth = compute_ground_truth(population, thresholds)
+    print(f"world: {len(domain)} items, {len(truth.significant)} truly significant rules\n")
+
+    rows = []
+    for name in ("crowdminer", "roundrobin", "random"):
+        points = run_one(name, population, truth, thresholds)
+        for point in points:
+            rows.append(
+                (name, point.questions, f"{point.precision:.3f}",
+                 f"{point.recall:.3f}", f"{point.f1:.3f}")
+            )
+    print(format_rows(("strategy", "questions", "precision", "recall", "F1"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Answer caching: pay for questions once, re-mine for free.
+
+Crowd answers are threshold-independent facts, so the paper caches them
+and re-evaluates queries at new thresholds without going back to the
+crowd. This example:
+
+1. mines the folk-remedies crowd once at permissive thresholds,
+   recording every answer in an :class:`repro.miner.AnswerCache`;
+2. re-evaluates the query at three stricter threshold settings purely
+   from the cache — zero additional questions;
+3. starts a *second* mining session against the same crowd with the
+   warm cache and shows how many questions the cache absorbs;
+4. prints the budget forecast and a "why?" explanation for one rule —
+   the operator-facing tooling around the same machinery.
+
+Run:  python examples/threshold_replay.py
+"""
+
+from repro import Thresholds, build_population, folk_remedies_model, standard_answer_model
+from repro.crowd import SimulatedCrowd
+from repro.miner import (
+    AnswerCache,
+    CachingCrowd,
+    CrowdMiner,
+    CrowdMinerConfig,
+    explain_rule,
+    forecast_budget,
+    reevaluate,
+)
+
+
+def main() -> None:
+    model = folk_remedies_model(seed=1)
+    population = build_population(model, n_members=30, transactions_per_member=150, seed=2)
+    cache = AnswerCache()
+
+    # --- 1. the paid-for session -------------------------------------------
+    inner = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=3
+    )
+    crowd = CachingCrowd(inner, cache)
+    base_thresholds = Thresholds(0.08, 0.40)
+    miner = CrowdMiner(
+        crowd, CrowdMinerConfig(thresholds=base_thresholds, budget=1_200, seed=4)
+    )
+    result = miner.run()
+    print(
+        f"session 1 @ (0.08, 0.40): {result.questions_asked} questions, "
+        f"{len(result.significant)} significant rules, cache now holds "
+        f"{len(cache)} answers"
+    )
+
+    # --- 2. re-thresholding is free ------------------------------------------
+    print("\nre-evaluating from cache (0 questions):")
+    for support, confidence in ((0.10, 0.50), (0.15, 0.60), (0.20, 0.70)):
+        significant = reevaluate(cache, Thresholds(support, confidence))
+        print(f"  thresholds ({support:.2f}, {confidence:.2f}): "
+              f"{len(significant)} significant rules")
+
+    # --- 3. a second session rides the cache ----------------------------------
+    inner2 = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=5
+    )
+    crowd2 = CachingCrowd(inner2, cache)
+    miner2 = CrowdMiner(
+        crowd2,
+        CrowdMinerConfig(
+            thresholds=Thresholds(0.10, 0.50),
+            budget=1_200,
+            seed=6,
+            seed_rules=tuple(cache.known_rules()),
+        ),
+    )
+    miner2.run()
+    print(
+        f"\nsession 2 @ (0.10, 0.50): cache hit rate "
+        f"{crowd2.cache_stats.hit_rate:.0%} — only "
+        f"{inner2.stats.total_questions} questions reached the crowd"
+    )
+
+    # --- 4. operator tooling ------------------------------------------------------
+    print("\nbudget forecast for what session 2 left unresolved:")
+    print(" ", forecast_budget(miner2.state, crowd_size=len(population)).summary())
+
+    reported = sorted(miner2.state.significant_rules(), key=lambda r: r.sort_key())
+    if reported:
+        print("\nwhy is the first reported rule in the answer?")
+        for line in explain_rule(miner2.state, reported[0]).splitlines():
+            print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

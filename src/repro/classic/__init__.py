@@ -1,0 +1,38 @@
+"""Classic (database-resident) mining substrate.
+
+These algorithms operate on *materialized* transaction databases. The
+crowd-mining core never scans a database — personal databases are
+virtual — but needs this substrate for ground truth, baselines and
+synthetic-population construction.
+"""
+
+from repro.classic.apriori import frequent_itemsets as apriori_frequent_itemsets
+from repro.classic.eclat import frequent_itemsets as eclat_frequent_itemsets
+from repro.classic.fpgrowth import frequent_itemsets as fpgrowth_frequent_itemsets
+from repro.classic.fptree import FPNode, FPTree
+from repro.classic.interestingness import (
+    MissingSupportError,
+    ScoredRule,
+    filter_redundant,
+    rank_rules,
+    score_rules,
+)
+from repro.classic.maximal import closed_itemsets, maximal_itemsets
+from repro.classic.rulegen import mine_rules, rules_from_itemsets
+
+__all__ = [
+    "FPNode",
+    "MissingSupportError",
+    "ScoredRule",
+    "FPTree",
+    "apriori_frequent_itemsets",
+    "eclat_frequent_itemsets",
+    "closed_itemsets",
+    "fpgrowth_frequent_itemsets",
+    "filter_redundant",
+    "maximal_itemsets",
+    "rank_rules",
+    "score_rules",
+    "mine_rules",
+    "rules_from_itemsets",
+]

@@ -1,0 +1,117 @@
+"""Apriori frequent-itemset mining.
+
+The classic levelwise algorithm of Agrawal & Srikant (VLDB 1994). In
+this library it serves three roles:
+
+- computing **ground truth** over materialized personal databases so
+  crowd-mining quality (precision/recall of reported rules) can be
+  measured against an exact answer;
+- the **horizontal baseline** the paper's adaptive miner is compared
+  against conceptually (levelwise, frequency-ordered exploration);
+- a general-purpose miner exposed through the public API.
+
+The implementation is the textbook one — candidate generation by
+joining (k−1)-prefix-sharing frequent sets, pruning candidates with an
+infrequent subset, then a counting pass — kept deliberately close to
+the literature so it can act as an executable specification for the
+property tests (Apriori ≡ FP-Growth on every input).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from itertools import combinations
+
+from repro._util import check_fraction
+from repro.core.itemset import Itemset
+from repro.core.transactions import TransactionDB
+from repro.errors import EmptyDatabaseError
+
+
+def _frequent_singletons(db: TransactionDB, min_count: int) -> dict[Itemset, int]:
+    counts: dict[str, int] = {}
+    for row in db:
+        for item in row:
+            counts[item] = counts.get(item, 0) + 1
+    return {
+        Itemset.of(item): count for item, count in counts.items() if count >= min_count
+    }
+
+
+def _join_step(frequent: list[tuple[str, ...]]) -> Iterator[tuple[str, ...]]:
+    """Join k-sets sharing a (k−1)-prefix into (k+1)-candidates.
+
+    ``frequent`` must hold sorted item tuples, themselves sorted; the
+    classic lexicographic join then enumerates every candidate exactly
+    once.
+    """
+    for i, left in enumerate(frequent):
+        for right in frequent[i + 1 :]:
+            if left[:-1] != right[:-1]:
+                # Sorted order ⇒ no later tuple can share the prefix either.
+                break
+            yield left + (right[-1],)
+
+
+def _prune_step(
+    candidates: Iterator[tuple[str, ...]], frequent_prev: set[tuple[str, ...]]
+) -> Iterator[tuple[str, ...]]:
+    """Drop candidates having an infrequent (k−1)-subset."""
+    for candidate in candidates:
+        if all(sub in frequent_prev for sub in combinations(candidate, len(candidate) - 1)):
+            yield candidate
+
+
+def frequent_itemsets(
+    db: TransactionDB,
+    min_support: float,
+    max_size: int | None = None,
+) -> dict[Itemset, float]:
+    """All itemsets with support ≥ ``min_support`` (and their supports).
+
+    Parameters
+    ----------
+    db:
+        The transaction database to mine.
+    min_support:
+        Relative support threshold in ``(0, 1]``. A threshold of 0 is
+        rejected — it would enumerate the full powerset of every
+        transaction.
+    max_size:
+        Optional cap on itemset cardinality, useful when only rules up
+        to a certain length are of interest.
+
+    Returns
+    -------
+    dict
+        Mapping from each frequent :class:`Itemset` (singletons and up;
+        the empty itemset is excluded) to its relative support.
+    """
+    check_fraction(min_support, "min_support")
+    if min_support <= 0.0:
+        raise ValueError("min_support must be strictly positive for Apriori")
+    if len(db) == 0:
+        raise EmptyDatabaseError("cannot mine an empty database")
+    n = len(db)
+    min_count = max(1, math.ceil(min_support * n - 1e-9))
+
+    result: dict[Itemset, float] = {}
+    level = _frequent_singletons(db, min_count)
+    size = 1
+    while level:
+        for itemset, count in level.items():
+            result[itemset] = count / n
+        if max_size is not None and size >= max_size:
+            break
+        frequent_tuples = sorted(itemset.items for itemset in level)
+        frequent_set = set(frequent_tuples)
+        candidates = list(_prune_step(_join_step(frequent_tuples), frequent_set))
+        next_level: dict[Itemset, int] = {}
+        for candidate in candidates:
+            count = db.count(candidate)
+            if count >= min_count:
+                next_level[Itemset(candidate)] = count
+        level = next_level
+        size += 1
+    return result

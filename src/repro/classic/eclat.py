@@ -1,0 +1,74 @@
+"""Eclat frequent-itemset mining (vertical tid-list intersection).
+
+Zaki's Eclat (IEEE TKDE 2000): represent each item as the set of
+transaction ids containing it and grow itemsets depth-first, computing
+each extension's support by intersecting tid-lists. A third
+independently-derived implementation of the same specification as
+Apriori and FP-Growth, which the property tests exploit (three
+algorithms, one answer), and the fastest of the three on the dense
+synthetic baskets the benchmark harness produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import check_fraction
+from repro.core.itemset import Itemset
+from repro.core.transactions import TransactionDB
+from repro.errors import EmptyDatabaseError
+
+
+def _grow(
+    prefix: tuple[str, ...],
+    items: list[tuple[str, frozenset[int]]],
+    min_count: int,
+    max_size: int | None,
+    out: dict[Itemset, int],
+) -> None:
+    """Depth-first extension of ``prefix`` with each candidate item.
+
+    ``items`` holds (item, tidlist) pairs, each already frequent in the
+    prefix's conditional view and lexicographically after the prefix's
+    last item (the standard Eclat ordering that enumerates every
+    itemset exactly once).
+    """
+    for index, (item, tids) in enumerate(items):
+        itemset = prefix + (item,)
+        out[Itemset(itemset)] = len(tids)
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        extensions = []
+        for other, other_tids in items[index + 1 :]:
+            joint = tids & other_tids
+            if len(joint) >= min_count:
+                extensions.append((other, joint))
+        if extensions:
+            _grow(itemset, extensions, min_count, max_size, out)
+
+
+def frequent_itemsets(
+    db: TransactionDB,
+    min_support: float,
+    max_size: int | None = None,
+) -> dict[Itemset, float]:
+    """All itemsets with support ≥ ``min_support``, via Eclat.
+
+    Same contract as the Apriori and FP-Growth miners; see
+    :func:`repro.classic.apriori.frequent_itemsets`.
+    """
+    check_fraction(min_support, "min_support")
+    if min_support <= 0.0:
+        raise ValueError("min_support must be strictly positive for Eclat")
+    if len(db) == 0:
+        raise EmptyDatabaseError("cannot mine an empty database")
+    n = len(db)
+    min_count = max(1, math.ceil(min_support * n - 1e-9))
+    items = [
+        (item, db.matching_ids(Itemset([item])))
+        for item in db.items  # already sorted, giving a stable order
+    ]
+    items = [(item, tids) for item, tids in items if len(tids) >= min_count]
+    counts: dict[Itemset, int] = {}
+    _grow((), items, min_count, max_size, counts)
+    return {itemset: count / n for itemset, count in counts.items()}

@@ -1,0 +1,139 @@
+"""FP-tree: the prefix-tree structure behind FP-Growth.
+
+An FP-tree compresses a transaction database by storing transactions as
+paths of a prefix tree ordered by descending item frequency, with a
+header table linking all nodes of each item. Han, Pei & Yin (SIGMOD
+2000). The tree supports the two operations FP-Growth needs:
+
+- conditional pattern bases (the prefix paths ending at an item), and
+- detection of single-path trees (whose patterns can be enumerated
+  combinatorially without recursion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class FPNode:
+    """A node of an FP-tree: one item with a count and child links."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_same_item")
+
+    def __init__(self, item: str | None, parent: "FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[str, FPNode] = {}
+        #: Intrusive linked list threading all nodes that carry the same item.
+        self.next_same_item: FPNode | None = None
+
+    def __repr__(self) -> str:
+        return f"FPNode({self.item!r}, count={self.count})"
+
+    def prefix_path(self) -> list[str]:
+        """Items on the path from this node's parent up to the root."""
+        path: list[str] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        path.reverse()
+        return path
+
+
+class FPTree:
+    """An FP-tree over weighted transactions.
+
+    Parameters
+    ----------
+    transactions:
+        ``(items, weight)`` pairs. Weights are how conditional pattern
+        bases re-enter tree construction; plain databases use weight 1.
+    min_count:
+        Items whose total weighted count falls below this are dropped
+        before insertion (they cannot take part in frequent patterns).
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[tuple[Iterable[str], int]],
+        min_count: int,
+    ) -> None:
+        transactions = [(tuple(items), int(weight)) for items, weight in transactions]
+        counts: dict[str, int] = {}
+        for items, weight in transactions:
+            for item in set(items):
+                counts[item] = counts.get(item, 0) + weight
+        self.item_counts: dict[str, int] = {
+            item: count for item, count in counts.items() if count >= min_count
+        }
+        # Descending frequency, ties broken lexicographically for determinism.
+        self._order: dict[str, tuple[int, str]] = {
+            item: (-count, item) for item, count in self.item_counts.items()
+        }
+        self.root = FPNode(None, None)
+        self.header: dict[str, FPNode] = {}
+        self._header_tail: dict[str, FPNode] = {}
+        for items, weight in transactions:
+            filtered = sorted(
+                {i for i in items if i in self.item_counts},
+                key=self._order.__getitem__,
+            )
+            if filtered:
+                self._insert(filtered, weight)
+
+    def _insert(self, items: list[str], weight: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                tail = self._header_tail.get(item)
+                if tail is None:
+                    self.header[item] = child
+                else:
+                    tail.next_same_item = child
+                self._header_tail[item] = child
+            child.count += weight
+            node = child
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no transaction survived the frequency filter."""
+        return not self.root.children
+
+    def nodes_of(self, item: str) -> Iterator[FPNode]:
+        """All nodes carrying ``item``, via the header-table links."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.next_same_item
+
+    def conditional_pattern_base(self, item: str) -> list[tuple[list[str], int]]:
+        """Prefix paths of ``item`` with the item-node counts as weights."""
+        base: list[tuple[list[str], int]] = []
+        for node in self.nodes_of(item):
+            path = node.prefix_path()
+            if path:
+                base.append((path, node.count))
+        return base
+
+    def single_path(self) -> list[tuple[str, int]] | None:
+        """The unique root-to-leaf path if the tree is one path, else ``None``."""
+        path: list[tuple[str, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (child,) = node.children.values()
+            path.append((child.item, child.count))  # type: ignore[arg-type]
+            node = child
+        return path
+
+    def items_ascending(self) -> list[str]:
+        """Items ordered by ascending frequency (FP-Growth's suffix order)."""
+        return sorted(self.item_counts, key=self._order.__getitem__, reverse=True)

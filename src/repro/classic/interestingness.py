@@ -1,0 +1,138 @@
+"""Interestingness ranking and redundancy filtering for mined rules.
+
+Threshold mining returns every rule above (θ_s, θ_c); real users read
+a ranked shortlist. This module provides the standard post-processing
+over a mined ``{rule: stats}`` table plus its frequent-itemset
+supports:
+
+- **objective measures** beyond support/confidence: lift, leverage,
+  conviction (computed from the itemset support table);
+- **ranking** by any measure;
+- **redundancy filtering**: drop rules implied by an equally-good
+  simpler rule (a rule is redundant when some generalization with the
+  same consequent has at least its confidence — the classic
+  "productive rules" filter).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats, conviction, leverage, lift
+from repro.core.rule import Rule
+from repro.errors import ReproError
+
+
+class MissingSupportError(ReproError):
+    """The support table lacks an itemset a measure needs."""
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredRule:
+    """A rule with its full measure vector."""
+
+    rule: Rule
+    stats: RuleStats
+    lift: float
+    leverage: float
+    conviction: float
+
+    def measure(self, name: str) -> float:
+        """Look up a measure by name (for generic ranking)."""
+        if name == "support":
+            return self.stats.support
+        if name == "confidence":
+            return self.stats.confidence
+        if name in ("lift", "leverage", "conviction"):
+            return getattr(self, name)
+        raise ValueError(f"unknown measure: {name!r}")
+
+
+def _support_of(supports: Mapping[Itemset, float], itemset: Itemset) -> float:
+    if not itemset:
+        return 1.0
+    value = supports.get(itemset)
+    if value is None:
+        raise MissingSupportError(
+            f"support table lacks {itemset}; mine with a downward-closed "
+            f"algorithm and matching thresholds"
+        )
+    return value
+
+
+def score_rules(
+    rules: Mapping[Rule, RuleStats],
+    supports: Mapping[Itemset, float],
+) -> list[ScoredRule]:
+    """Compute the full measure vector for every rule.
+
+    ``supports`` must contain every rule's antecedent and consequent
+    itemsets (the miners' downward-closed output does).
+    """
+    scored = []
+    for rule, stats in rules.items():
+        a_support = _support_of(supports, rule.antecedent)
+        c_support = _support_of(supports, rule.consequent)
+        scored.append(
+            ScoredRule(
+                rule=rule,
+                stats=stats,
+                lift=lift(stats.support, a_support, c_support),
+                leverage=leverage(stats.support, a_support, c_support),
+                conviction=conviction(stats.confidence, c_support),
+            )
+        )
+    return scored
+
+
+def rank_rules(
+    rules: Mapping[Rule, RuleStats],
+    supports: Mapping[Itemset, float],
+    by: str = "lift",
+    top: int | None = None,
+) -> list[ScoredRule]:
+    """Rules ranked by a measure, best first (ties: shorter rule first).
+
+    Infinite measure values (conviction of an exact rule, lift over a
+    zero-support marginal) sort above every finite value.
+    """
+    scored = score_rules(rules, supports)
+
+    def key(item: ScoredRule):
+        value = item.measure(by)
+        finite = 0 if math.isinf(value) else 1
+        return (finite, -value if not math.isinf(value) else 0, len(item.rule.body), item.rule.sort_key())
+
+    scored.sort(key=key)
+    return scored[:top] if top is not None else scored
+
+
+def filter_redundant(
+    rules: Mapping[Rule, RuleStats],
+    min_improvement: float = 0.0,
+) -> dict[Rule, RuleStats]:
+    """Keep only rules that *improve* on their simpler generalizations.
+
+    A rule ``A → B`` is redundant when some rule ``A' → B`` with
+    ``A' ⊂ A`` exists in the collection whose confidence is within
+    ``min_improvement`` of it — the longer antecedent buys nothing.
+    The classic "minimum improvement" filter of Bayardo et al.
+    """
+    if min_improvement < 0:
+        raise ValueError("min_improvement must be non-negative")
+    kept: dict[Rule, RuleStats] = {}
+    for rule, stats in rules.items():
+        redundant = False
+        for other, other_stats in rules.items():
+            if other == rule or other.consequent != rule.consequent:
+                continue
+            if other.antecedent < rule.antecedent:
+                if stats.confidence - other_stats.confidence <= min_improvement:
+                    redundant = True
+                    break
+        if not redundant:
+            kept[rule] = stats
+    return kept

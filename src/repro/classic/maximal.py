@@ -1,0 +1,61 @@
+"""Maximal and closed frequent itemsets.
+
+Condensed representations of the frequent-itemset collection:
+
+- a frequent itemset is **maximal** when none of its supersets is
+  frequent — maximal sets plus downward closure reconstruct frequency
+  (but not supports);
+- a frequent itemset is **closed** when none of its supersets has the
+  same support — closed sets reconstruct supports exactly.
+
+The crowd-miner's reported output (most-specific significant rules) is
+the rule-lattice analogue of maximal itemsets, so these functions both
+complete the classic substrate and provide small, well-understood
+fixtures for the lattice property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.itemset import Itemset
+
+
+def maximal_itemsets(supports: Mapping[Itemset, float]) -> dict[Itemset, float]:
+    """The maximal itemsets of a frequent-itemset table.
+
+    ``supports`` must be the (downward-closed) output of a frequent
+    itemset miner; an itemset is kept iff no strict superset appears.
+    """
+    by_size: dict[int, list[Itemset]] = {}
+    for itemset in supports:
+        by_size.setdefault(len(itemset), []).append(itemset)
+    sizes = sorted(by_size, reverse=True)
+    result: dict[Itemset, float] = {}
+    for idx, size in enumerate(sizes):
+        larger = [s for s2 in sizes[:idx] for s in by_size[s2]]
+        for itemset in by_size[size]:
+            if not any(itemset < big for big in larger):
+                result[itemset] = supports[itemset]
+    return result
+
+
+def closed_itemsets(supports: Mapping[Itemset, float]) -> dict[Itemset, float]:
+    """The closed itemsets of a frequent-itemset table.
+
+    An itemset is closed iff it has no superset with equal support.
+    Supports are compared with a small tolerance since they are floats
+    derived from integer counts over the same denominator.
+    """
+    items = list(supports)
+    result: dict[Itemset, float] = {}
+    for itemset in items:
+        support = supports[itemset]
+        is_closed = True
+        for other in items:
+            if itemset < other and abs(supports[other] - support) < 1e-12:
+                is_closed = False
+                break
+        if is_closed:
+            result[itemset] = support
+    return result

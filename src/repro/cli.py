@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands covering the library's three hats:
+
+- ``mine`` — run a crowd-mining session on one of the named example
+  domains (folk_remedies / travel / culinary) against a simulated
+  crowd, printing the mined rules and ground-truth score; with
+  ``--save-cache`` the collected answers persist to JSON;
+- ``replay`` — re-evaluate a saved answer cache at new thresholds
+  without asking a single question;
+- ``experiment`` — run one of the canonical experiments (e1, e2, e3,
+  e4, e5, e8, e9) at smoke or full scale and print its figure;
+- ``classic`` — classic association-rule mining over a Quest-generated
+  database (the library as a plain itemset miner).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.estimation import Thresholds
+from repro.eval import EXPERIMENTS, ascii_chart, format_experiment, run_variants
+from repro.miner import compute_ground_truth, mine_crowd
+from repro.synth import NAMED_MODELS, QuestConfig, QuestGenerator, build_population
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    model = NAMED_MODELS[args.domain](seed=args.seed)
+    population = build_population(
+        model, n_members=args.members, transactions_per_member=200, seed=args.seed + 1
+    )
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=args.seed + 2
+    )
+    cache = None
+    if args.save_cache:
+        from repro.miner import AnswerCache, CachingCrowd
+
+        cache = AnswerCache()
+        crowd = CachingCrowd(crowd, cache)
+    thresholds = Thresholds(args.support, args.confidence)
+    result = mine_crowd(
+        crowd, thresholds, budget=args.budget, seed=args.seed + 3
+    )
+    print(result.summary())
+    if cache is not None:
+        from repro.io import cache_to_json, save_json
+
+        save_json(cache_to_json(cache), args.save_cache)
+        print(f"\nsaved {len(cache)} answers to {args.save_cache}")
+    truth = compute_ground_truth(population, thresholds)
+    mined = set(result.significant)
+    tp = len(mined & truth.significant)
+    precision = tp / len(mined) if mined else 1.0
+    recall = tp / len(truth.significant) if truth.significant else 1.0
+    print(
+        f"\nground truth: {len(truth.significant)} rules | "
+        f"precision {precision:.2f}, recall {recall:.2f}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.io import cache_from_json, load_json
+    from repro.miner import reevaluate
+
+    cache = cache_from_json(load_json(args.cache))
+    thresholds = Thresholds(args.support, args.confidence)
+    significant = reevaluate(cache, thresholds)
+    print(
+        f"{len(cache)} cached answers; at thresholds "
+        f"({args.support}, {args.confidence}): {len(significant)} significant rules"
+    )
+    for rule, stats in sorted(significant.items(), key=lambda kv: -kv[1].support):
+        print(f"  {rule}  {stats}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    base, variants = EXPERIMENTS[args.name](args.scale)
+    results = run_variants(base, variants)
+    print(format_experiment(f"{args.name} ({args.scale})", results))
+    print()
+    print(ascii_chart({label: r.curve for label, r in results.items()}))
+    if args.export:
+        from repro.eval import save_results
+
+        csv_path, json_path = save_results(
+            results, args.export, f"{args.name}_{args.scale}"
+        )
+        print(f"\nexported {csv_path} and {json_path}")
+    return 0
+
+
+def _cmd_classic(args: argparse.Namespace) -> int:
+    from repro.classic import fpgrowth_frequent_itemsets, rules_from_itemsets
+
+    generator = QuestGenerator(
+        QuestConfig(n_items=args.items, n_transactions=args.transactions),
+        seed=args.seed,
+    )
+    db = generator.generate()
+    supports = fpgrowth_frequent_itemsets(db, args.support, max_size=4)
+    rules = rules_from_itemsets(supports, args.confidence)
+    print(
+        f"{len(db)} transactions, {len(supports)} frequent itemsets, "
+        f"{len(rules)} rules"
+    )
+    for rule, stats in sorted(rules.items(), key=lambda kv: -kv[1].support)[:args.top]:
+        print(f"  {rule}  {stats}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crowd mining (SIGMOD 2013 reproduction) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine a simulated crowd on a named domain")
+    mine.add_argument("--domain", choices=sorted(NAMED_MODELS), default="folk_remedies")
+    mine.add_argument("--members", type=int, default=40)
+    mine.add_argument("--budget", type=int, default=1_000)
+    mine.add_argument("--support", type=float, default=0.10)
+    mine.add_argument("--confidence", type=float, default=0.50)
+    mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument(
+        "--save-cache", metavar="PATH", default=None,
+        help="persist collected answers to a JSON cache file",
+    )
+    mine.set_defaults(func=_cmd_mine)
+
+    replay = sub.add_parser(
+        "replay", help="re-evaluate a saved answer cache at new thresholds"
+    )
+    replay.add_argument("cache", help="path to a JSON answer cache")
+    replay.add_argument("--support", type=float, default=0.10)
+    replay.add_argument("--confidence", type=float, default=0.50)
+    replay.set_defaults(func=_cmd_replay)
+
+    experiment = sub.add_parser("experiment", help="run a canonical experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", choices=("smoke", "full"), default="smoke")
+    experiment.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="also write CSV/JSON result files into DIR",
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    classic = sub.add_parser("classic", help="classic mining on Quest data")
+    classic.add_argument("--items", type=int, default=100)
+    classic.add_argument("--transactions", type=int, default=4_000)
+    classic.add_argument("--support", type=float, default=0.05)
+    classic.add_argument("--confidence", type=float, default=0.6)
+    classic.add_argument("--top", type=int, default=10)
+    classic.add_argument("--seed", type=int, default=0)
+    classic.set_defaults(func=_cmd_classic)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

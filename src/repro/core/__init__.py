@@ -1,0 +1,40 @@
+"""Core data model: items, itemsets, rules, measures, transaction DBs.
+
+This package is dependency-free (within the library) and everything
+above it — classic miners, crowd simulation, estimation, the
+crowd-miner itself — is written against these types.
+"""
+
+from repro.core.items import DEFAULT_CATEGORY, ItemDomain
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats, conviction, leverage, lift
+from repro.core.order import (
+    comparable,
+    generalizations,
+    is_generalization_chain,
+    maximal_rules,
+    minimal_rules,
+    specializations,
+    upward_closure,
+)
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+
+__all__ = [
+    "DEFAULT_CATEGORY",
+    "ItemDomain",
+    "Itemset",
+    "Rule",
+    "RuleStats",
+    "TransactionDB",
+    "comparable",
+    "conviction",
+    "generalizations",
+    "is_generalization_chain",
+    "leverage",
+    "lift",
+    "maximal_rules",
+    "minimal_rules",
+    "specializations",
+    "upward_closure",
+]

@@ -1,0 +1,164 @@
+"""Item domains: the universe of items rules are built from.
+
+In the crowd-mining model of Amsterdamer et al. (SIGMOD 2013) the item
+domain is the vocabulary of things crowd members can report doing,
+having, or experiencing — symptoms and remedies in the folk-medicine
+domain, activities and venues in the travel domain. The domain is the
+one piece of *global* knowledge the system holds; everything about
+frequencies lives only in the (virtual) personal databases.
+
+An :class:`ItemDomain` is an immutable, ordered collection of string
+item names with optional per-item categories. Categories matter for two
+reasons: synthetic generators draw antecedents and consequents from
+different categories (e.g. symptom → remedy), and natural-language
+question rendering uses them to pick templates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import InvalidItemError
+from repro._util import stable_unique
+
+#: Category assigned to items when the caller does not provide one.
+DEFAULT_CATEGORY = "item"
+
+
+class ItemDomain:
+    """An immutable universe of items, each with a category label.
+
+    Parameters
+    ----------
+    items:
+        Item names. Duplicates are rejected; order is preserved and
+        used as the canonical item order throughout the library.
+    categories:
+        Optional mapping from item name to category label. Items not in
+        the mapping get :data:`DEFAULT_CATEGORY`.
+
+    Examples
+    --------
+    >>> domain = ItemDomain(
+    ...     ["headache", "coffee"],
+    ...     categories={"headache": "symptom", "coffee": "remedy"},
+    ... )
+    >>> domain.category_of("coffee")
+    'remedy'
+    >>> sorted(domain.items_in_category("symptom"))
+    ['headache']
+    """
+
+    __slots__ = ("_items", "_index", "_categories", "_by_category")
+
+    def __init__(
+        self,
+        items: Iterable[str],
+        categories: Mapping[str, str] | None = None,
+    ) -> None:
+        items = list(items)
+        for item in items:
+            if not isinstance(item, str) or not item:
+                raise InvalidItemError(f"items must be non-empty strings, got {item!r}")
+        if len(set(items)) != len(items):
+            dupes = sorted({i for i in items if items.count(i) > 1})
+            raise InvalidItemError(f"duplicate items in domain: {dupes}")
+        categories = dict(categories or {})
+        unknown = set(categories) - set(items)
+        if unknown:
+            raise InvalidItemError(
+                f"categories refer to items outside the domain: {sorted(unknown)}"
+            )
+        self._items: tuple[str, ...] = tuple(items)
+        self._index: dict[str, int] = {item: i for i, item in enumerate(items)}
+        self._categories: dict[str, str] = {
+            item: categories.get(item, DEFAULT_CATEGORY) for item in items
+        }
+        self._by_category: dict[str, tuple[str, ...]] = {}
+        for category in stable_unique(self._categories.values()):
+            self._by_category[category] = tuple(
+                item for item in items if self._categories[item] == category
+            )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._index
+
+    def __repr__(self) -> str:
+        return f"ItemDomain({len(self._items)} items, {len(self._by_category)} categories)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemDomain):
+            return NotImplemented
+        return self._items == other._items and self._categories == other._categories
+
+    def __hash__(self) -> int:
+        return hash((self._items, tuple(sorted(self._categories.items()))))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        """All item names, in canonical (insertion) order."""
+        return self._items
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """Category labels, in first-seen order."""
+        return tuple(self._by_category)
+
+    def index_of(self, item: str) -> int:
+        """Canonical position of ``item``; raises :class:`InvalidItemError`."""
+        try:
+            return self._index[item]
+        except KeyError:
+            raise InvalidItemError(f"unknown item: {item!r}") from None
+
+    def category_of(self, item: str) -> str:
+        """Category label of ``item``; raises :class:`InvalidItemError`."""
+        try:
+            return self._categories[item]
+        except KeyError:
+            raise InvalidItemError(f"unknown item: {item!r}") from None
+
+    def items_in_category(self, category: str) -> tuple[str, ...]:
+        """All items carrying ``category`` (empty tuple if none)."""
+        return self._by_category.get(category, ())
+
+    def validate_items(self, items: Iterable[str]) -> None:
+        """Raise :class:`InvalidItemError` if any of ``items`` is unknown."""
+        unknown = [item for item in items if item not in self._index]
+        if unknown:
+            raise InvalidItemError(f"items not in domain: {sorted(set(unknown))}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_categories(cls, groups: Mapping[str, Sequence[str]]) -> "ItemDomain":
+        """Build a domain from a ``{category: [items...]}`` mapping.
+
+        >>> d = ItemDomain.from_categories({"symptom": ["cough"], "remedy": ["tea"]})
+        >>> d.category_of("tea")
+        'remedy'
+        """
+        items: list[str] = []
+        categories: dict[str, str] = {}
+        for category, members in groups.items():
+            for item in members:
+                items.append(item)
+                categories[item] = category
+        return cls(items, categories=categories)
+
+    def restrict(self, items: Iterable[str]) -> "ItemDomain":
+        """A sub-domain containing only ``items`` (categories preserved)."""
+        keep = set(items)
+        self.validate_items(keep)
+        kept = [item for item in self._items if item in keep]
+        return ItemDomain(kept, categories={i: self._categories[i] for i in kept})

@@ -1,0 +1,73 @@
+"""Crowd simulation substrate.
+
+The answering side of crowd mining: question/answer value objects,
+human answer models, member behaviour, and the
+:class:`~repro.crowd.crowd.SimulatedCrowd` facade that is the *only*
+interface the mining algorithm may talk to.
+"""
+
+from repro.crowd.answer_models import (
+    LIKERT5,
+    AnswerModel,
+    ComposedAnswerModel,
+    ExactAnswerModel,
+    ForgetfulAnswerModel,
+    LikertAnswerModel,
+    NoisyAnswerModel,
+    SpammerAnswerModel,
+    standard_answer_model,
+)
+from repro.crowd.crowd import CrowdStats, SimulatedCrowd
+from repro.crowd.member import SimulatedMember
+from repro.crowd.nl import (
+    LIKERT_LABELS,
+    QuestionRenderer,
+    culinary_renderer,
+    folk_remedies_renderer,
+    travel_renderer,
+)
+from repro.crowd.open_behavior import OpenAnswerPolicy, PersonalRuleCache
+from repro.crowd.stream import (
+    WORD_TO_VALUE,
+    StreamMember,
+    parse_open_answer,
+    parse_stats,
+)
+from repro.crowd.questions import (
+    Answer,
+    ClosedAnswer,
+    ClosedQuestion,
+    OpenAnswer,
+    OpenQuestion,
+)
+
+__all__ = [
+    "Answer",
+    "AnswerModel",
+    "ClosedAnswer",
+    "ClosedQuestion",
+    "ComposedAnswerModel",
+    "CrowdStats",
+    "ExactAnswerModel",
+    "ForgetfulAnswerModel",
+    "LIKERT5",
+    "LIKERT_LABELS",
+    "LikertAnswerModel",
+    "NoisyAnswerModel",
+    "OpenAnswer",
+    "OpenAnswerPolicy",
+    "OpenQuestion",
+    "PersonalRuleCache",
+    "QuestionRenderer",
+    "SimulatedCrowd",
+    "SimulatedMember",
+    "StreamMember",
+    "WORD_TO_VALUE",
+    "parse_open_answer",
+    "parse_stats",
+    "SpammerAnswerModel",
+    "culinary_renderer",
+    "folk_remedies_renderer",
+    "standard_answer_model",
+    "travel_renderer",
+]

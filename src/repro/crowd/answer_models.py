@@ -1,0 +1,168 @@
+"""Answer models: how a member's true stats become a reported answer.
+
+People do not read numbers out of their heads. Following the paper's
+discussion (and its citation of Bradburn et al.'s survey-methodology
+work on autobiographical memory), a member's report of "how often" is
+an imprecise function of the truth. An :class:`AnswerModel` is that
+function: it maps the exact :class:`~repro.core.measures.RuleStats`
+computed from the member's materialized personal database to the stats
+the member actually reports.
+
+Models compose (noise, then coarsening, is the realistic pipeline) and
+every model preserves the structural invariant ``support ≤ confidence``
+so that downstream estimators never see an impossible answer — crowd
+members may be vague, but they are not incoherent about conditionals.
+The deliberately incoherent :class:`SpammerAnswerModel` exists to test
+aggregation robustness, and does *not* preserve anything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_nonnegative, clamp01
+from repro.core.measures import RuleStats
+
+#: The five-point frequency vocabulary of the papers' crowd UI
+#: ("never", "rarely", "sometimes", "often", "very often").
+LIKERT5 = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _coherent(support: float, confidence: float) -> RuleStats:
+    """Clamp to [0,1] and restore ``support ≤ confidence``."""
+    support = clamp01(support)
+    confidence = clamp01(confidence)
+    if support > confidence:
+        confidence = support
+    return RuleStats(support, confidence)
+
+
+class AnswerModel:
+    """Base class: the identity (perfectly accurate) answerer."""
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        """Turn true ``stats`` into reported stats. Base class: identity."""
+        return stats
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ExactAnswerModel(AnswerModel):
+    """Perfect recall: reports the exact truth. Alias of the base class."""
+
+
+class NoisyAnswerModel(AnswerModel):
+    """Additive Gaussian perception noise on both components.
+
+    ``sigma`` is the standard deviation of the noise added
+    independently to support and confidence before re-coherence. This
+    is the σ swept by experiment E3.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        self.sigma = check_nonnegative(sigma, "sigma")
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        if self.sigma == 0.0:
+            return stats
+        support = stats.support + rng.normal(0.0, self.sigma)
+        confidence = stats.confidence + rng.normal(0.0, self.sigma)
+        return _coherent(support, confidence)
+
+    def __repr__(self) -> str:
+        return f"NoisyAnswerModel(sigma={self.sigma})"
+
+
+class LikertAnswerModel(AnswerModel):
+    """Coarsening to a fixed frequency vocabulary.
+
+    Members answer by picking the closest of a few labelled
+    frequencies ("never" … "very often"), as in the papers' UI; the
+    grid defaults to :data:`LIKERT5`.
+    """
+
+    def __init__(self, grid: Sequence[float] = LIKERT5) -> None:
+        if len(grid) < 2:
+            raise ValueError("a Likert grid needs at least two levels")
+        self.grid = np.array(sorted(clamp01(g) for g in grid))
+
+    def _snap(self, value: float) -> float:
+        return float(self.grid[np.argmin(np.abs(self.grid - value))])
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        return _coherent(self._snap(stats.support), self._snap(stats.confidence))
+
+    def __repr__(self) -> str:
+        return f"LikertAnswerModel(grid={self.grid.tolist()})"
+
+
+class ForgetfulAnswerModel(AnswerModel):
+    """Systematic under-reporting of frequency (imperfect recall).
+
+    Support is multiplied by a Beta-distributed recall factor with mean
+    ``recall``; confidence is left alone (people remember *what* they
+    do given the situation better than *how often* the situation
+    arose). ``concentration`` controls the spread of the recall factor.
+    """
+
+    def __init__(self, recall: float = 0.9, concentration: float = 20.0) -> None:
+        if not 0.0 < recall <= 1.0:
+            raise ValueError(f"recall must be in (0, 1], got {recall}")
+        self.recall = float(recall)
+        self.concentration = check_nonnegative(concentration, "concentration")
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        if self.recall == 1.0:
+            return stats
+        alpha = self.recall * self.concentration
+        beta = (1.0 - self.recall) * self.concentration
+        factor = float(rng.beta(max(alpha, 1e-9), max(beta, 1e-9)))
+        return _coherent(stats.support * factor, stats.confidence)
+
+    def __repr__(self) -> str:
+        return f"ForgetfulAnswerModel(recall={self.recall})"
+
+
+class SpammerAnswerModel(AnswerModel):
+    """A worker who answers uniformly at random, ignoring the truth.
+
+    Used for aggregation-robustness tests (trimmed means, consistency
+    filtering). Intentionally does not enforce coherence beyond the
+    representational requirement.
+    """
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        a, b = sorted(rng.random(2))
+        return RuleStats(float(a), float(b))
+
+
+class ComposedAnswerModel(AnswerModel):
+    """Apply several models in sequence (e.g. forget → noise → Likert)."""
+
+    def __init__(self, stages: Sequence[AnswerModel]) -> None:
+        if not stages:
+            raise ValueError("composition needs at least one stage")
+        self.stages = tuple(stages)
+
+    def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
+        for stage in self.stages:
+            stats = stage.report(stats, rng)
+        return stats
+
+    def __repr__(self) -> str:
+        return f"ComposedAnswerModel({list(self.stages)!r})"
+
+
+def standard_answer_model(sigma: float = 0.05, likert: bool = True) -> AnswerModel:
+    """The default humanlike pipeline: noise, then Likert coarsening.
+
+    Matches the experiments' default member: imprecise perception
+    (``sigma``) reported through the five-point vocabulary.
+    """
+    stages: list[AnswerModel] = [NoisyAnswerModel(sigma)]
+    if likert:
+        stages.append(LikertAnswerModel())
+    return ComposedAnswerModel(stages) if len(stages) > 1 else stages[0]

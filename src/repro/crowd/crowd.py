@@ -1,0 +1,182 @@
+"""The crowd interface: the only door between miner and members.
+
+:class:`SimulatedCrowd` enforces the paper's central abstraction —
+personal databases are *virtual*. The mining algorithm holds a
+``SimulatedCrowd`` and may only:
+
+- ask who is currently available,
+- pose a closed or open question to a member,
+- observe the answers.
+
+Everything else (databases, latent profiles) is deliberately
+unreachable from here. The crowd also keeps the session's interaction
+statistics — total questions, per-member counts, unique rules asked —
+which are exactly the cost measures the paper's evaluation reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.core.itemset import Itemset
+from repro.core.rule import Rule
+from repro.crowd.answer_models import AnswerModel, ExactAnswerModel
+from repro.crowd.member import SimulatedMember
+from repro.crowd.open_behavior import OpenAnswerPolicy
+from repro.crowd.questions import ClosedAnswer, ClosedQuestion, OpenAnswer, OpenQuestion
+from repro.errors import CrowdExhaustedError
+from repro.synth.population import Population
+
+
+@dataclass(slots=True)
+class CrowdStats:
+    """Interaction counters for one mining session."""
+
+    closed_questions: int = 0
+    open_questions: int = 0
+    empty_open_answers: int = 0
+    per_member: Counter = field(default_factory=Counter)
+    unique_rules_asked: set[Rule] = field(default_factory=set)
+
+    @property
+    def total_questions(self) -> int:
+        """All questions posed, of both types."""
+        return self.closed_questions + self.open_questions
+
+
+class SimulatedCrowd:
+    """A pool of simulated members behind the question protocol.
+
+    Parameters
+    ----------
+    members:
+        The simulated members.
+    seed:
+        Randomness for member scheduling.
+
+    Use :meth:`from_population` to assemble a crowd from a synthetic
+    :class:`~repro.synth.population.Population` with uniform member
+    behaviour (the standard experimental setup).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[SimulatedMember],
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not members:
+            raise CrowdExhaustedError("a crowd needs at least one member")
+        ids = [m.member_id for m in members]
+        if len(set(ids)) != len(ids):
+            raise ValueError("member ids must be unique")
+        self._members: dict[str, SimulatedMember] = {m.member_id: m for m in members}
+        self._order: list[str] = list(ids)
+        self._rr_cursor = 0
+        self._rng = as_rng(seed)
+        self.stats = CrowdStats()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_population(
+        cls,
+        population: Population,
+        answer_model: AnswerModel | None = None,
+        answer_model_factory: Callable[[int], AnswerModel] | None = None,
+        open_policy: OpenAnswerPolicy | None = None,
+        patience: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "SimulatedCrowd":
+        """Wrap a synthetic population as an answerable crowd.
+
+        ``answer_model`` applies one shared model to everyone;
+        ``answer_model_factory`` (index → model) supports heterogeneous
+        crowds, e.g. injecting spammers. Exactly one may be given.
+        """
+        if answer_model is not None and answer_model_factory is not None:
+            raise ValueError("pass answer_model or answer_model_factory, not both")
+        rng = as_rng(seed)
+        open_policy = open_policy or OpenAnswerPolicy()
+        members = []
+        for k, pop_member in enumerate(population):
+            if answer_model_factory is not None:
+                model = answer_model_factory(k)
+            else:
+                model = answer_model or ExactAnswerModel()
+            members.append(
+                SimulatedMember(
+                    member_id=pop_member.member_id,
+                    db=pop_member.db,
+                    answer_model=model,
+                    open_policy=open_policy,
+                    patience=patience,
+                    seed=rng.integers(2**63),
+                )
+            )
+        return cls(members, seed=rng)
+
+    # -- membership ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def member_ids(self) -> list[str]:
+        """All member ids, in arrival order."""
+        return list(self._order)
+
+    def available_members(self) -> list[str]:
+        """Ids of members still willing to answer."""
+        return [mid for mid in self._order if self._members[mid].is_available]
+
+    def next_member(self) -> str:
+        """Round-robin scheduling over available members.
+
+        Mirrors the multi-user setting: members take turns being
+        "active in the system" and the miner serves whoever is next.
+        Raises :class:`~repro.errors.CrowdExhaustedError` when everyone
+        has left.
+        """
+        available = self.available_members()
+        if not available:
+            raise CrowdExhaustedError("every crowd member has left the session")
+        member_id = available[self._rr_cursor % len(available)]
+        self._rr_cursor += 1
+        return member_id
+
+    # -- the question protocol ----------------------------------------------------
+
+    def ask_closed(self, member_id: str, rule: Rule) -> ClosedAnswer:
+        """Pose a closed question about ``rule`` to ``member_id``."""
+        member = self._members[member_id]
+        answer = member.answer_closed(ClosedQuestion(rule))
+        self.stats.closed_questions += 1
+        self.stats.per_member[member_id] += 1
+        self.stats.unique_rules_asked.add(rule)
+        return answer
+
+    def ask_open(
+        self,
+        member_id: str,
+        exclude: set[Rule] | None = None,
+        context: Itemset | None = None,
+    ) -> OpenAnswer:
+        """Pose an open question to ``member_id``.
+
+        ``exclude`` tells the member which rules the system already
+        knows (so their answer adds information); ``context`` narrows
+        the request to habits in a given situation.
+        """
+        member = self._members[member_id]
+        question = OpenQuestion(context or Itemset.empty())
+        answer = member.answer_open(question, exclude=exclude)
+        self.stats.open_questions += 1
+        self.stats.per_member[member_id] += 1
+        if answer.is_empty:
+            self.stats.empty_open_answers += 1
+        return answer

@@ -1,0 +1,119 @@
+"""Simulated crowd members.
+
+A :class:`SimulatedMember` is the answering side of the protocol: it
+owns (a handle to) one materialized personal database, an answer model
+(how perception distorts the truth), an open-answer policy (what it
+volunteers), and a patience budget (how many questions it will answer
+before dropping out — the paper's multi-user algorithm explicitly
+tolerates members leaving at any point).
+
+The member computes *true* stats from its database, then filters them
+through the answer model. This keeps all distortion in one composable
+place and guarantees that two members with identical databases and
+models are statistically interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+from repro.crowd.answer_models import AnswerModel, ExactAnswerModel
+from repro.crowd.open_behavior import OpenAnswerPolicy, PersonalRuleCache
+from repro.crowd.questions import ClosedAnswer, ClosedQuestion, OpenAnswer, OpenQuestion
+from repro.errors import CrowdExhaustedError
+
+
+@dataclass(slots=True)
+class SimulatedMember:
+    """One simulated crowd member.
+
+    Parameters
+    ----------
+    member_id:
+        Stable identifier (matches the population's member id).
+    db:
+        The member's materialized personal database — the simulation's
+        stand-in for their memory. The member only ever *reads* it.
+    answer_model:
+        Perception/reporting distortion applied to every answer.
+    open_policy:
+        How the member picks rules for open questions.
+    patience:
+        Maximum number of questions the member answers before dropping
+        out (``None`` = unbounded). Asking past patience raises
+        :class:`~repro.errors.CrowdExhaustedError`.
+    seed:
+        Member-local randomness (noise draws, open-answer sampling).
+    """
+
+    member_id: str
+    db: TransactionDB
+    answer_model: AnswerModel = field(default_factory=ExactAnswerModel)
+    open_policy: OpenAnswerPolicy = field(default_factory=OpenAnswerPolicy)
+    patience: int | None = None
+    seed: int | np.random.Generator | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _cache: PersonalRuleCache = field(init=False, repr=False)
+    _questions_answered: int = field(init=False, default=0)
+    _volunteered: set[Rule] = field(init=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._rng = as_rng(self.seed)
+        self._cache = PersonalRuleCache(self.open_policy)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def questions_answered(self) -> int:
+        """How many questions this member has answered so far."""
+        return self._questions_answered
+
+    @property
+    def is_available(self) -> bool:
+        """False once the member's patience is spent."""
+        return self.patience is None or self._questions_answered < self.patience
+
+    def _consume_patience(self) -> None:
+        if not self.is_available:
+            raise CrowdExhaustedError(
+                f"member {self.member_id} has left after "
+                f"{self._questions_answered} questions"
+            )
+        self._questions_answered += 1
+
+    # -- answering ---------------------------------------------------------------
+
+    def answer_closed(self, question: ClosedQuestion) -> ClosedAnswer:
+        """Answer "how often do you ...?" about one rule."""
+        self._consume_patience()
+        true_stats = self.db.rule_stats(question.rule)
+        reported = self.answer_model.report(true_stats, self._rng)
+        return ClosedAnswer(self.member_id, question, reported)
+
+    def answer_open(
+        self, question: OpenQuestion, exclude: set[Rule] | None = None
+    ) -> OpenAnswer:
+        """Answer "tell us a habit", avoiding rules in ``exclude``.
+
+        The member also avoids repeating rules it already volunteered
+        itself (people do not tell the same anecdote twice in a
+        session). The numeric part of the answer goes through the same
+        answer model as closed questions.
+        """
+        self._consume_patience()
+        avoid = set(self._volunteered)
+        if exclude:
+            avoid |= exclude
+        pool = self._cache.pool_for(self.db)
+        choice = self.open_policy.choose(pool, question.context, avoid, self._rng)
+        if choice is None:
+            return OpenAnswer(self.member_id, question, None, None)
+        rule, true_stats = choice
+        self._volunteered.add(rule)
+        reported = self.answer_model.report(true_stats, self._rng)
+        return OpenAnswer(self.member_id, question, rule, reported)

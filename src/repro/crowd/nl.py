@@ -1,0 +1,131 @@
+"""Natural-language rendering of crowd questions.
+
+The papers' crowdsourcing UI turns each internal question into an
+English sentence via domain-specific templates ("How often do you
+engage in **ball games** in **Central Park**?"), with a generic
+fallback. This module reproduces that template layer: it is what a
+front-end would show, and the examples use it to make transcripts
+readable. No parsing happens here — answers come back structured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.items import ItemDomain
+from repro.core.itemset import Itemset
+from repro.crowd.questions import ClosedQuestion, OpenQuestion
+from repro.crowd.answer_models import LIKERT5
+
+#: Human labels for the five-point frequency vocabulary.
+LIKERT_LABELS = {
+    0.0: "never",
+    0.25: "rarely",
+    0.5: "sometimes",
+    0.75: "often",
+    1.0: "very often",
+}
+
+
+def _join(items: Itemset) -> str:
+    names = list(items)
+    if not names:
+        return "anything"
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+@dataclass(slots=True)
+class QuestionRenderer:
+    """Template-based English rendering for one item domain.
+
+    ``category_templates`` maps a (antecedent-category, consequent-
+    category) pair to a template with ``{a}`` and ``{c}`` slots. When
+    no template matches (mixed categories, unknown domain), the generic
+    co-occurrence phrasing is used — the same degradation path the
+    papers describe for hand-written template sets.
+    """
+
+    domain: ItemDomain
+    category_templates: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def _uniform_category(self, items: Itemset) -> str | None:
+        cats = {self.domain.category_of(i) for i in items if i in self.domain}
+        if len(cats) == 1:
+            return next(iter(cats))
+        return None
+
+    def render_closed(self, question: ClosedQuestion) -> str:
+        """One English sentence asking for the rule's frequency."""
+        rule = question.rule
+        if rule.is_itemset_rule:
+            return f"How often does your day include {_join(rule.consequent)}?"
+        a_cat = self._uniform_category(rule.antecedent)
+        c_cat = self._uniform_category(rule.consequent)
+        if a_cat is not None and c_cat is not None:
+            template = self.category_templates.get((a_cat, c_cat))
+            if template is not None:
+                return template.format(
+                    a=_join(rule.antecedent), c=_join(rule.consequent)
+                )
+        return (
+            f"When your day includes {_join(rule.antecedent)}, "
+            f"how often does it also include {_join(rule.consequent)}?"
+        )
+
+    def render_open(self, question: OpenQuestion) -> str:
+        """One English sentence soliciting a volunteered habit."""
+        if question.context:
+            return (
+                f"Think of occasions involving {_join(question.context)}: "
+                f"what else do you typically do then, and how often?"
+            )
+        return "Tell us about something you typically do, and how often you do it."
+
+    def render_likert_scale(self) -> str:
+        """The answer options line shown beneath every question."""
+        labels = [LIKERT_LABELS[v] for v in LIKERT5]
+        return " / ".join(labels)
+
+
+def folk_remedies_renderer(domain: ItemDomain) -> QuestionRenderer:
+    """Templates for the folk-medicine domain."""
+    return QuestionRenderer(
+        domain,
+        category_templates={
+            ("symptom", "remedy"): (
+                "When you have a {a}, how often do you use {c}?"
+            ),
+        },
+    )
+
+
+def travel_renderer(domain: ItemDomain) -> QuestionRenderer:
+    """Templates for the travel domain."""
+    return QuestionRenderer(
+        domain,
+        category_templates={
+            ("place", "activity"): (
+                "When you visit {a}, how often do you go for {c}?"
+            ),
+            ("place", "restaurant"): (
+                "When you visit {a}, how often do you eat at {c}?"
+            ),
+        },
+    )
+
+
+def culinary_renderer(domain: ItemDomain) -> QuestionRenderer:
+    """Templates for the culinary domain."""
+    return QuestionRenderer(
+        domain,
+        category_templates={
+            ("dish", "drink"): (
+                "When you eat {a}, how often do you drink {c}?"
+            ),
+            ("dish", "dish"): (
+                "When you eat {a}, how often do you also have {c}?"
+            ),
+        },
+    )

@@ -1,0 +1,127 @@
+"""Open-question behaviour: which habit does a member volunteer?
+
+When asked an open question, a person reports something *prominent* in
+their own life — not a uniform sample of their personal database. The
+paper models exactly this: open answers surface significant patterns
+quickly because people spontaneously recall their frequent habits.
+
+:class:`OpenAnswerPolicy` implements that behaviour against a
+materialized personal database: mine the member's own rules once
+(classic FP-Growth at *personal* thresholds, cached), score each rule
+by prominence (support × confidence, optionally sharpened), and sample
+proportionally — excluding rules the asker says it already knows, so
+repeated open questions to the same member keep yielding new
+information until the member's memory is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import check_fraction, check_nonnegative, weighted_choice
+from repro.classic.rulegen import mine_rules
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+
+
+@dataclass(slots=True)
+class OpenAnswerPolicy:
+    """Prominence-weighted sampling of a member's own rules.
+
+    Parameters
+    ----------
+    personal_min_support / personal_min_confidence:
+        Thresholds defining what counts as "a habit of mine" worth
+        mentioning. These are *personal* significance levels — they are
+        deliberately lower than typical query thresholds, since a
+        member may mention habits the crowd overall does not share.
+    max_body_size:
+        People volunteer short patterns; cap the rule body size.
+    sharpness:
+        Exponent applied to prominence scores before sampling. 0 makes
+        the member pick uniformly among their habits; large values make
+        them always report their single most prominent habit.
+    """
+
+    personal_min_support: float = 0.05
+    personal_min_confidence: float = 0.3
+    max_body_size: int = 4
+    sharpness: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.personal_min_support, "personal_min_support")
+        check_fraction(self.personal_min_confidence, "personal_min_confidence")
+        check_nonnegative(self.sharpness, "sharpness")
+        if self.max_body_size < 1:
+            raise ValueError("max_body_size must be at least 1")
+
+    def personal_rules(self, db: TransactionDB) -> dict[Rule, RuleStats]:
+        """All rules the member could ever volunteer (their habit pool)."""
+        if len(db) == 0:
+            return {}
+        return mine_rules(
+            db,
+            min_support=self.personal_min_support,
+            min_confidence=self.personal_min_confidence,
+            max_size=self.max_body_size,
+        )
+
+    def _prominence(self, stats: RuleStats) -> float:
+        return (stats.support * stats.confidence) ** self.sharpness if self.sharpness else 1.0
+
+    def choose(
+        self,
+        pool: dict[Rule, RuleStats],
+        context: Itemset,
+        exclude: set[Rule],
+        rng: np.random.Generator,
+    ) -> tuple[Rule, RuleStats] | None:
+        """Pick a rule to volunteer, or ``None`` when memory is exhausted.
+
+        ``context`` (possibly empty) must be contained in the
+        antecedent of the volunteered rule; ``exclude`` removes rules
+        the asker already knows about.
+        """
+        candidates = [
+            (rule, stats)
+            for rule, stats in pool.items()
+            if rule not in exclude and context.issubset(rule.antecedent)
+        ]
+        if context:
+            # For contextual questions we additionally require the rule
+            # to say something beyond the context itself.
+            candidates = [
+                (rule, stats)
+                for rule, stats in candidates
+                if not rule.consequent.issubset(context)
+            ]
+        if not candidates:
+            return None
+        weights = [self._prominence(stats) for _, stats in candidates]
+        return weighted_choice(rng, candidates, weights)
+
+
+@dataclass(slots=True)
+class PersonalRuleCache:
+    """Per-member memoization of the open-answer rule pool.
+
+    Mining a member's personal rules is the expensive part of open
+    answers; it depends only on the database and the policy, so it is
+    computed once per member and reused across every open question.
+    """
+
+    policy: OpenAnswerPolicy
+    _pools: dict[int, dict[Rule, RuleStats]] = field(default_factory=dict)
+
+    def pool_for(self, db: TransactionDB) -> dict[Rule, RuleStats]:
+        """The (cached) volunteerable-rule pool for ``db``."""
+        key = id(db)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = self.policy.personal_rules(db)
+            self._pools[key] = pool
+        return pool

@@ -1,0 +1,99 @@
+"""Question and answer types exchanged with the crowd.
+
+The mining algorithm communicates with crowd members exclusively
+through these value objects — it never sees a personal database. Two
+question types, following the paper:
+
+- :class:`ClosedQuestion` — "how often ...?" about one specified rule;
+  the answer reports that rule's (perceived) support and confidence.
+- :class:`OpenQuestion` — "tell us something you do", optionally in a
+  context ("... when you have a headache"); the answer volunteers a
+  rule prominent in the member's own history, with its stats.
+
+Answers carry the answering member's id so multi-user aggregation can
+group samples per member, and so per-member consistency checks
+(spammer filtering) have something to key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+
+
+@dataclass(frozen=True, slots=True)
+class ClosedQuestion:
+    """Ask a member for the support/confidence of a specific rule."""
+
+    rule: Rule
+
+    def __str__(self) -> str:
+        return f"ClosedQuestion({self.rule})"
+
+
+@dataclass(frozen=True, slots=True)
+class OpenQuestion:
+    """Ask a member to volunteer a habit of their own.
+
+    ``context`` restricts the request: a non-empty context asks for a
+    habit whose antecedent contains those items ("when you have a
+    headache, what do you do?"). The empty context is the fully open
+    "tell us about a habit".
+    """
+
+    context: Itemset = Itemset.empty()
+
+    def __str__(self) -> str:
+        if self.context:
+            return f"OpenQuestion(context={self.context})"
+        return "OpenQuestion()"
+
+
+@dataclass(frozen=True, slots=True)
+class ClosedAnswer:
+    """A member's reply to a closed question.
+
+    ``stats`` is the member's (noisy, coarsened) perception of the
+    rule's support/confidence in their own life.
+    """
+
+    member_id: str
+    question: ClosedQuestion
+    stats: RuleStats
+
+    @property
+    def rule(self) -> Rule:
+        """The rule the answer is about."""
+        return self.question.rule
+
+
+@dataclass(frozen=True, slots=True)
+class OpenAnswer:
+    """A member's reply to an open question.
+
+    ``rule``/``stats`` are ``None`` when the member has nothing (new)
+    to report for the requested context — the paper's "none of these" /
+    exhausted-memory outcome, which is itself informative: it tells the
+    miner this member's discovery well is dry.
+    """
+
+    member_id: str
+    question: OpenQuestion
+    rule: Rule | None
+    stats: RuleStats | None
+
+    def __post_init__(self) -> None:
+        if (self.rule is None) != (self.stats is None):
+            raise ValueError("open answer must carry both rule and stats, or neither")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the member volunteered nothing."""
+        return self.rule is None
+
+
+#: Union type for anything a member can hand back.
+Answer = ClosedAnswer | OpenAnswer

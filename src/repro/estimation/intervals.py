@@ -1,0 +1,155 @@
+"""Confidence intervals for rule estimates.
+
+The significance test answers "is this rule above the thresholds?";
+users of mined results also want *how sure, and in what range* — error
+bars on the reported support/confidence. This module provides the
+standard constructions:
+
+- Wald (normal-approximation) intervals from the sample mean and
+  covariance — matches the test's own approximation, cheap, and fine
+  for the moderate sample sizes the miner collects;
+- Wilson score intervals for a single member's support answer when it
+  can be traced back to a count over a known number of occasions —
+  better behaved near 0 and 1;
+- a joint confidence *ellipse* summary (axis-aligned bounding box of
+  the Mahalanobis ellipse) for the 2-D (support, confidence) mean.
+
+All intervals are clipped into ``[0, 1]`` since the quantities are
+frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import chi2, norm
+
+from repro._util import check_fraction, check_positive, clamp01
+from repro.errors import EstimationError
+from repro.estimation.samples import EstimateSummary
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval within ``[0, 1]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high <= 1.0:
+            raise ValueError(f"invalid interval [{self.low}, {self.high}]")
+
+    @property
+    def width(self) -> float:
+        """``high − low``."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """True when ``low ≤ value ≤ high``."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"[{self.low:.3f}, {self.high:.3f}]"
+
+
+def wald_interval(mean: float, variance: float, level: float = 0.95) -> Interval:
+    """Normal-approximation interval ``mean ± z·σ``, clipped to [0, 1].
+
+    ``variance`` is the variance *of the mean estimate* (i.e. already
+    divided by the sample count).
+    """
+    check_fraction(level, "level")
+    if variance < 0:
+        raise EstimationError("variance must be non-negative")
+    z = float(norm.ppf(0.5 + level / 2.0))
+    half = z * math.sqrt(variance)
+    return Interval(clamp01(mean - half), clamp01(mean + half))
+
+
+def wilson_interval(successes: int, trials: int, level: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    Appropriate for a support estimate backed by an explicit count
+    (``successes`` occasions out of ``trials``), e.g. when a member
+    reports "about 12 times out of the last year's 365 days".
+    """
+    check_positive(trials, "trials")
+    if not 0 <= successes <= trials:
+        raise EstimationError(
+            f"successes ({successes}) must lie in [0, trials={trials}]"
+        )
+    check_fraction(level, "level")
+    z = float(norm.ppf(0.5 + level / 2.0))
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return Interval(clamp01(centre - half), clamp01(centre + half))
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateIntervals:
+    """Error bars on a rule's aggregated (support, confidence) estimate."""
+
+    support: Interval
+    confidence: Interval
+    level: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"support {self.support}, confidence {self.confidence} "
+            f"({self.level:.0%}, n={self.n})"
+        )
+
+
+def summary_intervals(
+    summary: EstimateSummary,
+    level: float = 0.95,
+    joint: bool = False,
+) -> EstimateIntervals:
+    """Error bars for an :class:`~repro.estimation.samples.EstimateSummary`.
+
+    Parameters
+    ----------
+    summary:
+        The aggregated evidence snapshot.
+    level:
+        Coverage level of each interval.
+    joint:
+        When true, the two intervals are the axis-aligned bounding box
+        of the joint ``level`` Mahalanobis ellipse (simultaneous
+        coverage); when false (default), each is a marginal interval.
+
+    Raises
+    ------
+    EstimationError
+        When the summary holds no evidence at all.
+    """
+    if summary.n == 0:
+        raise EstimationError("cannot build intervals from zero samples")
+    cov = np.asarray(summary.mean_cov, dtype=float)
+    if joint:
+        # Bounding box of the χ²(2) ellipse: half-widths √(c·Σᵢᵢ).
+        c = float(chi2.ppf(level, df=2))
+        half_s = math.sqrt(max(0.0, c * cov[0, 0]))
+        half_c = math.sqrt(max(0.0, c * cov[1, 1]))
+        support = Interval(
+            clamp01(summary.mean[0] - half_s), clamp01(summary.mean[0] + half_s)
+        )
+        confidence = Interval(
+            clamp01(summary.mean[1] - half_c), clamp01(summary.mean[1] + half_c)
+        )
+    else:
+        support = wald_interval(float(summary.mean[0]), float(cov[0, 0]), level)
+        confidence = wald_interval(float(summary.mean[1]), float(cov[1, 1]), level)
+    return EstimateIntervals(
+        support=support, confidence=confidence, level=level, n=summary.n
+    )

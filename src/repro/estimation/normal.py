@@ -1,0 +1,104 @@
+"""Bivariate-normal probability helpers.
+
+The significance test needs one primitive: given the (approximately
+normal) sampling distribution of a rule's mean ``(support, confidence)``
+vector, what probability mass lies in the *significant quadrant*
+``[θ_s, ∞) × [θ_c, ∞)``?
+
+For a proper bivariate normal this is computed from the joint CDF by
+inclusion–exclusion; degenerate cases (zero variance in one or both
+components — common early in a session, or under Likert coarsening
+where all answers coincide) collapse to univariate or deterministic
+evaluations rather than feeding a singular covariance to scipy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import multivariate_normal, norm
+
+#: Variances below this are treated as exactly zero (deterministic).
+DEGENERATE_VARIANCE = 1e-18
+
+
+def _survival_1d(mean: float, var: float, threshold: float) -> float:
+    """``P(X ≥ threshold)`` for ``X ~ N(mean, var)`` (var may be 0)."""
+    if var <= DEGENERATE_VARIANCE:
+        return 1.0 if mean >= threshold else 0.0
+    return float(norm.sf(threshold, loc=mean, scale=math.sqrt(var)))
+
+
+def quadrant_probability(
+    mean: np.ndarray,
+    cov: np.ndarray,
+    thresholds: tuple[float, float],
+) -> float:
+    """``P(X ≥ θ_1 and Y ≥ θ_2)`` for ``(X, Y) ~ N(mean, cov)``.
+
+    Parameters
+    ----------
+    mean:
+        2-vector of means.
+    cov:
+        2×2 covariance matrix; may be singular or all-zero.
+    thresholds:
+        The quadrant corner ``(θ_1, θ_2)``.
+
+    Returns
+    -------
+    float
+        The upper-quadrant probability, in ``[0, 1]``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    cov = np.asarray(cov, dtype=float)
+    t1, t2 = float(thresholds[0]), float(thresholds[1])
+    v1, v2 = float(cov[0, 0]), float(cov[1, 1])
+
+    deg1 = v1 <= DEGENERATE_VARIANCE
+    deg2 = v2 <= DEGENERATE_VARIANCE
+    if deg1 and deg2:
+        return 1.0 if (mean[0] >= t1 and mean[1] >= t2) else 0.0
+    if deg1:
+        if mean[0] < t1:
+            return 0.0
+        return _survival_1d(mean[1], v2, t2)
+    if deg2:
+        if mean[1] < t2:
+            return 0.0
+        return _survival_1d(mean[0], v1, t1)
+
+    # Guard against numerically singular correlation (|ρ| → 1): shrink
+    # the off-diagonal slightly so the CDF is well defined.
+    rho = cov[0, 1] / math.sqrt(v1 * v2)
+    rho = max(-0.999, min(0.999, rho))
+    safe_cov = np.array(
+        [[v1, rho * math.sqrt(v1 * v2)], [rho * math.sqrt(v1 * v2), v2]]
+    )
+    dist = multivariate_normal(mean=mean, cov=safe_cov, allow_singular=True)
+    # Inclusion–exclusion: P(X≥a, Y≥b) = 1 − F_X(a) − F_Y(b) + F(a, b).
+    f_joint = float(dist.cdf(np.array([t1, t2])))
+    f_x = float(norm.cdf(t1, loc=mean[0], scale=math.sqrt(v1)))
+    f_y = float(norm.cdf(t2, loc=mean[1], scale=math.sqrt(v2)))
+    p = 1.0 - f_x - f_y + f_joint
+    return float(min(1.0, max(0.0, p)))
+
+
+def quadrant_probability_independent(
+    mean: np.ndarray,
+    cov: np.ndarray,
+    thresholds: tuple[float, float],
+) -> float:
+    """Quadrant probability ignoring the support/confidence correlation.
+
+    The product of the two marginal survival probabilities. This is
+    the E9 ablation's "no covariance" variant — cheaper, but it
+    misjudges rules whose support and confidence estimates co-vary
+    (which they do: both derive from the same personal frequencies).
+    """
+    mean = np.asarray(mean, dtype=float)
+    cov = np.asarray(cov, dtype=float)
+    p1 = _survival_1d(float(mean[0]), float(cov[0, 0]), float(thresholds[0]))
+    p2 = _survival_1d(float(mean[1]), float(cov[1, 1]), float(thresholds[1]))
+    return p1 * p2

@@ -1,0 +1,107 @@
+"""Streaming mean/covariance estimation (2-D Welford).
+
+The miner updates per-rule estimates after every single answer, and the
+question-selection step reads every rule's estimate; both need to be
+cheap. Welford's online algorithm maintains the sample mean and the
+sample covariance of the 2-vector ``(support, confidence)`` in O(1) per
+update, with the usual numerical-stability advantages over naive
+sum-of-squares accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StreamingMeanCov:
+    """Online sample mean and covariance of 2-D observations.
+
+    Implements the Welford/Chan update: after ``add((s, c))`` calls,
+    :attr:`mean` is the sample mean and :attr:`cov` the *unbiased*
+    (ddof = 1) sample covariance. With fewer than two observations the
+    covariance is reported as the zero matrix (callers apply their own
+    priors/floors; see :mod:`repro.estimation.significance`).
+
+    >>> est = StreamingMeanCov()
+    >>> for x in [(0.2, 0.5), (0.4, 0.7)]:
+    ...     est.add(x)
+    >>> est.n
+    2
+    >>> bool(abs(est.mean[0] - 0.3) < 1e-12)
+    True
+    """
+
+    __slots__ = ("_n", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = np.zeros(2)
+        self._m2 = np.zeros((2, 2))
+
+    def add(self, observation: tuple[float, float] | np.ndarray) -> None:
+        """Incorporate one ``(support, confidence)`` observation."""
+        x = np.asarray(observation, dtype=float)
+        if x.shape != (2,):
+            raise ValueError(f"observation must be a 2-vector, got shape {x.shape}")
+        self._n += 1
+        delta = x - self._mean
+        self._mean = self._mean + delta / self._n
+        delta2 = x - self._mean
+        self._m2 = self._m2 + np.outer(delta, delta2)
+
+    def remove(self, observation: tuple[float, float] | np.ndarray) -> None:
+        """Remove a previously-added observation (reverse Welford).
+
+        Supports the replace-a-member's-answer flow: when a member
+        revises an answer, the old sample is removed and the new one
+        added, keeping estimates exact without replaying history.
+        """
+        x = np.asarray(observation, dtype=float)
+        if self._n == 0:
+            raise ValueError("cannot remove from an empty estimator")
+        if self._n == 1:
+            self.__init__()  # back to the empty state
+            return
+        mean_prev = (self._n * self._mean - x) / (self._n - 1)
+        delta = x - mean_prev
+        delta2 = x - self._mean
+        self._m2 = self._m2 - np.outer(delta, delta2)
+        self._mean = mean_prev
+        self._n -= 1
+        # Guard against tiny negative diagonals from cancellation.
+        np.fill_diagonal(self._m2, np.maximum(np.diag(self._m2), 0.0))
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Sample mean (2-vector). Zeros when empty."""
+        return self._mean.copy()
+
+    @property
+    def cov(self) -> np.ndarray:
+        """Unbiased sample covariance (2×2). Zeros when ``n < 2``."""
+        if self._n < 2:
+            return np.zeros((2, 2))
+        return self._m2 / (self._n - 1)
+
+    @property
+    def sem_cov(self) -> np.ndarray:
+        """Covariance of the *sample mean*: ``cov / n`` (zeros when n<2)."""
+        if self._n < 2:
+            return np.zeros((2, 2))
+        return self.cov / self._n
+
+    def copy(self) -> "StreamingMeanCov":
+        """An independent copy of the estimator state."""
+        clone = StreamingMeanCov()
+        clone._n = self._n
+        clone._mean = self._mean.copy()
+        clone._m2 = self._m2.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return f"StreamingMeanCov(n={self._n}, mean={self._mean.round(4).tolist()})"

@@ -1,0 +1,67 @@
+"""Evaluation harness: metrics, experiment runner, canonical configs."""
+
+from repro.eval.configs import (
+    EXPERIMENTS,
+    e1_strategies,
+    e2_open_ratio,
+    e3_noise,
+    e4_crowd_size,
+    e5_scale,
+    e8_thresholds,
+    e9_ablation,
+)
+from repro.eval.export import results_to_csv, results_to_json, save_results
+from repro.eval.metrics import (
+    PRPoint,
+    QualityCurve,
+    average_curves,
+    precision_recall,
+    score_report,
+)
+from repro.eval.report import (
+    ascii_chart,
+    format_curve,
+    format_experiment,
+    format_rows,
+    format_summary_table,
+)
+from repro.eval.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    RepetitionOutcome,
+    build_world,
+    run_experiment,
+    run_session,
+    run_variants,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PRPoint",
+    "QualityCurve",
+    "RepetitionOutcome",
+    "ascii_chart",
+    "average_curves",
+    "build_world",
+    "e1_strategies",
+    "e2_open_ratio",
+    "e3_noise",
+    "e4_crowd_size",
+    "e5_scale",
+    "e8_thresholds",
+    "e9_ablation",
+    "format_curve",
+    "format_experiment",
+    "format_rows",
+    "format_summary_table",
+    "precision_recall",
+    "results_to_csv",
+    "results_to_json",
+    "run_experiment",
+    "run_session",
+    "run_variants",
+    "save_results",
+    "score_report",
+]

@@ -1,0 +1,89 @@
+"""Exporting experiment results for archival and external plotting.
+
+The text reports in :mod:`repro.eval.report` are for humans; these
+exporters are for downstream tools — CSV for spreadsheets/plotting and
+a JSON document for programmatic reuse. Both carry the full checkpoint
+grid per variant, so a figure can be regenerated without re-running the
+experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.eval.runner import ExperimentResult
+
+CSV_COLUMNS = ("variant", "questions", "precision", "recall", "f1")
+
+
+def results_to_csv(results: Mapping[str, ExperimentResult]) -> str:
+    """All variants' curves as one CSV string (one row per checkpoint)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for label, result in results.items():
+        for point in result.curve.points:
+            writer.writerow(
+                [
+                    label,
+                    point.questions,
+                    f"{point.precision:.6f}",
+                    f"{point.recall:.6f}",
+                    f"{point.f1:.6f}",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def results_to_json(results: Mapping[str, ExperimentResult]) -> dict:
+    """All variants' curves and metadata as a JSON-ready document."""
+    return {
+        "format": "experiment-results",
+        "version": 1,
+        "variants": {
+            label: {
+                "config": {
+                    "n_items": result.config.n_items,
+                    "n_patterns": result.config.n_patterns,
+                    "n_members": result.config.n_members,
+                    "budget": result.config.budget,
+                    "strategy": result.config.strategy,
+                    "open_policy": str(result.config.open_policy),
+                    "support_threshold": result.config.support_threshold,
+                    "confidence_threshold": result.config.confidence_threshold,
+                    "repetitions": result.config.repetitions,
+                    "seed": result.config.seed,
+                },
+                "mean_truth_size": result.mean_truth_size,
+                "curve": [
+                    {
+                        "questions": point.questions,
+                        "precision": point.precision,
+                        "recall": point.recall,
+                        "f1": point.f1,
+                    }
+                    for point in result.curve.points
+                ],
+            }
+            for label, result in results.items()
+        },
+    }
+
+
+def save_results(
+    results: Mapping[str, ExperimentResult],
+    directory: str | Path,
+    name: str,
+) -> tuple[Path, Path]:
+    """Write both exports; returns the (csv_path, json_path) pair."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{name}.csv"
+    json_path = directory / f"{name}.json"
+    csv_path.write_text(results_to_csv(results))
+    json_path.write_text(json.dumps(results_to_json(results), indent=2))
+    return csv_path, json_path

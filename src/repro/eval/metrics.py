@@ -1,0 +1,111 @@
+"""Quality metrics: scoring mined rules against ground truth.
+
+The paper's evaluation reports the quality of the reported
+significant-rule set as a function of the number of questions asked.
+The primitives here are set-retrieval metrics (precision, recall, F1)
+against the exact oracle, plus curve containers that hold those metrics
+at a series of question-count checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rule import Rule
+from repro.miner.oracle import GroundTruth
+
+
+@dataclass(frozen=True, slots=True)
+class PRPoint:
+    """Quality at one checkpoint of a session."""
+
+    questions: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall(
+    reported: Iterable[Rule], truth: GroundTruth
+) -> tuple[float, float]:
+    """Precision and recall of ``reported`` against the oracle.
+
+    Conventions for the degenerate cases: precision of an empty report
+    is 1.0 (nothing claimed, nothing wrong) and recall against an empty
+    truth is 1.0 (nothing to find).
+    """
+    reported = set(reported)
+    true_set = truth.significant
+    tp = len(reported & true_set)
+    precision = tp / len(reported) if reported else 1.0
+    recall = tp / len(true_set) if true_set else 1.0
+    return precision, recall
+
+
+def score_report(
+    reported: Iterable[Rule], truth: GroundTruth, questions: int
+) -> PRPoint:
+    """One :class:`PRPoint` for a report produced after ``questions``."""
+    precision, recall = precision_recall(reported, truth)
+    return PRPoint(questions=questions, precision=precision, recall=recall)
+
+
+@dataclass(frozen=True, slots=True)
+class QualityCurve:
+    """Quality checkpoints of one (or one averaged) session."""
+
+    label: str
+    points: tuple[PRPoint, ...]
+
+    def __post_init__(self) -> None:
+        qs = [p.questions for p in self.points]
+        if qs != sorted(qs):
+            raise ValueError("curve points must be ordered by question count")
+
+    def final(self) -> PRPoint:
+        """The last checkpoint (end-of-budget quality)."""
+        if not self.points:
+            raise ValueError("empty curve")
+        return self.points[-1]
+
+    def questions_to_recall(self, target: float) -> int | None:
+        """First checkpoint reaching ``recall ≥ target`` (None if never)."""
+        for point in self.points:
+            if point.recall >= target:
+                return point.questions
+        return None
+
+    def questions_to_f1(self, target: float) -> int | None:
+        """First checkpoint reaching ``F1 ≥ target`` (None if never)."""
+        for point in self.points:
+            if point.f1 >= target:
+                return point.questions
+        return None
+
+
+def average_curves(label: str, curves: Sequence[QualityCurve]) -> QualityCurve:
+    """Average several repetitions' curves checkpoint-by-checkpoint.
+
+    All curves must share the same checkpoint grid (the runner
+    guarantees this).
+    """
+    if not curves:
+        raise ValueError("need at least one curve to average")
+    grids = {tuple(p.questions for p in c.points) for c in curves}
+    if len(grids) != 1:
+        raise ValueError("curves have mismatched checkpoint grids")
+    points = []
+    for idx, questions in enumerate(next(iter(grids))):
+        precision = float(np.mean([c.points[idx].precision for c in curves]))
+        recall = float(np.mean([c.points[idx].recall for c in curves]))
+        points.append(PRPoint(questions=questions, precision=precision, recall=recall))
+    return QualityCurve(label=label, points=tuple(points))

@@ -1,0 +1,119 @@
+"""Plain-text reporting of experiment outcomes.
+
+The benchmark harness prints each figure's series the way the paper's
+plots would read — one row per checkpoint, one block per variant — plus
+compact summary tables. Everything is fixed-width text so results can
+be diffed and archived in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.eval.metrics import QualityCurve
+from repro.eval.runner import ExperimentResult
+
+
+def format_curve(curve: QualityCurve) -> str:
+    """One variant's quality-vs-questions series as a small table."""
+    lines = [f"[{curve.label}]"]
+    lines.append("  questions  precision  recall     F1")
+    for point in curve.points:
+        lines.append(
+            f"  {point.questions:9d}  {point.precision:9.3f}  {point.recall:6.3f}  {point.f1:6.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_experiment(
+    title: str, results: Mapping[str, ExperimentResult]
+) -> str:
+    """The full printable report of a multi-variant experiment."""
+    blocks = [f"=== {title} ==="]
+    for label, result in results.items():
+        blocks.append(format_curve(result.curve))
+        blocks.append(
+            f"  (truth size ≈ {result.mean_truth_size:.1f}, "
+            f"{result.mean_wall_seconds:.2f}s/rep)"
+        )
+    blocks.append(format_summary_table(results))
+    return "\n".join(blocks)
+
+
+def format_summary_table(results: Mapping[str, ExperimentResult]) -> str:
+    """One-line-per-variant summary: final quality and cost-to-quality."""
+    width = max((len(label) for label in results), default=7)
+    width = max(width, len("variant"))
+    header = (
+        f"{'variant':<{width}}  final_P  final_R  final_F1  "
+        f"q_to_F1>=0.5  q_to_F1>=0.8"
+    )
+    lines = [header, "-" * len(header)]
+    for label, result in results.items():
+        final = result.curve.final()
+        q50 = result.curve.questions_to_f1(0.5)
+        q80 = result.curve.questions_to_f1(0.8)
+        lines.append(
+            f"{label:<{width}}  {final.precision:7.3f}  {final.recall:7.3f}  "
+            f"{final.f1:8.3f}  {q50 if q50 is not None else '—':>12}  "
+            f"{q80 if q80 is not None else '—':>12}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    curves: Mapping[str, QualityCurve],
+    metric: str = "f1",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """A terminal plot of quality-vs-questions curves.
+
+    Each variant gets a letter marker; the y-axis is the chosen metric
+    in [0, 1], the x-axis is the (shared) question grid. Coarse on
+    purpose — the numeric tables carry the precision; this carries the
+    shape.
+    """
+    getters = {
+        "precision": lambda p: p.precision,
+        "recall": lambda p: p.recall,
+        "f1": lambda p: p.f1,
+    }
+    if metric not in getters:
+        raise ValueError(f"unknown metric {metric!r}; choose from {sorted(getters)}")
+    if not curves:
+        return "(no curves)"
+    get = getters[metric]
+    max_q = max(p.questions for c in curves.values() for p in c.points)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for marker, (label, curve) in zip(markers, curves.items()):
+        legend.append(f"{marker}={label}")
+        for point in curve.points:
+            x = min(width - 1, int(point.questions / max_q * (width - 1)))
+            y = min(height - 1, int(get(point) * (height - 1)))
+            row = height - 1 - y
+            grid[row][x] = marker
+    lines = [f"{metric} (1.0 top) vs questions (0..{max_q})"]
+    for i, row in enumerate(grid):
+        y_label = "1.0" if i == 0 else ("0.0" if i == height - 1 else "   ")
+        lines.append(f"{y_label} |{''.join(row)}")
+    lines.append("    +" + "-" * width)
+    lines.append("    " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def format_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Generic fixed-width table used by the bespoke harnesses (E6/E7)."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    out = [render([str(h) for h in headers])]
+    out.append("-" * len(out[0]))
+    for row in rows:
+        out.append(render([str(cell) for cell in row]))
+    return "\n".join(out)

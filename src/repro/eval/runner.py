@@ -1,0 +1,257 @@
+"""The experiment runner: configured, repeated, checkpointed sessions.
+
+One :class:`ExperimentConfig` describes a complete synthetic
+experiment: the population (latent model parameters), the crowd's
+answer behaviour, the query, and the miner configuration — plus the
+checkpoint grid and repetition count. :func:`run_experiment` executes
+it and returns averaged quality curves; :func:`run_variants` sweeps a
+set of config overrides (the typical shape of every figure in the
+evaluation: one curve per strategy / ratio / noise level / crowd size).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+from repro.crowd.answer_models import (
+    AnswerModel,
+    ComposedAnswerModel,
+    ExactAnswerModel,
+    LikertAnswerModel,
+    NoisyAnswerModel,
+)
+from repro.crowd.crowd import SimulatedCrowd
+from repro.crowd.open_behavior import OpenAnswerPolicy
+from repro.errors import ConfigurationError
+from repro.estimation.significance import Thresholds
+from repro.eval.metrics import QualityCurve, average_curves, score_report
+from repro.miner.crowdminer import CrowdMiner, CrowdMinerConfig
+from repro.miner.open_policy import make_open_policy
+from repro.miner.oracle import GroundTruth, compute_ground_truth
+from repro.miner.strategy import make_strategy
+from repro.synth.factories import random_domain, random_habit_model
+from repro.synth.latent import LatentHabitModel
+from repro.synth.population import Population, build_population
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Everything one synthetic experiment needs.
+
+    Population and crowd knobs map one-to-one onto the axes the
+    evaluation sweeps (see ``DESIGN.md`` §4).
+    """
+
+    name: str = "experiment"
+    # population
+    n_items: int = 120
+    n_patterns: int = 20
+    n_members: int = 40
+    transactions_per_member: int = 200
+    background_rate: float = 0.01
+    # crowd behaviour
+    answer_sigma: float = 0.05
+    likert: bool = True
+    patience: int | None = None
+    # query
+    support_threshold: float = 0.10
+    confidence_threshold: float = 0.50
+    # miner
+    budget: int = 1_000
+    strategy: str = "crowdminer"
+    open_policy: str | float = "adaptive"
+    min_samples: int = 5
+    decision_confidence: float = 0.9
+    use_covariance: bool = True
+    lattice_pruning: bool = True
+    expand_generalizations: bool = True
+    expand_splits: bool = True
+    # harness
+    checkpoints: tuple[int, ...] = (100, 200, 400, 600, 800, 1_000)
+    repetitions: int = 3
+    seed: int = 0
+    max_body_size: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive(self.budget, "budget")
+        check_positive(self.repetitions, "repetitions")
+        if not self.checkpoints:
+            raise ConfigurationError("at least one checkpoint is required")
+        if any(c <= 0 for c in self.checkpoints):
+            raise ConfigurationError("checkpoints must be positive")
+        if list(self.checkpoints) != sorted(self.checkpoints):
+            raise ConfigurationError("checkpoints must be ascending")
+        if max(self.checkpoints) > self.budget:
+            raise ConfigurationError("checkpoints cannot exceed the budget")
+
+    def thresholds(self) -> Thresholds:
+        """The query thresholds as a value object."""
+        return Thresholds(self.support_threshold, self.confidence_threshold)
+
+    def answer_model(self) -> AnswerModel:
+        """The member answer model implied by the noise knobs."""
+        stages: list[AnswerModel] = []
+        if self.answer_sigma > 0:
+            stages.append(NoisyAnswerModel(self.answer_sigma))
+        if self.likert:
+            stages.append(LikertAnswerModel())
+        if not stages:
+            return ExactAnswerModel()
+        if len(stages) == 1:
+            return stages[0]
+        return ComposedAnswerModel(stages)
+
+
+@dataclass(frozen=True, slots=True)
+class RepetitionOutcome:
+    """Everything measured in a single repetition."""
+
+    curve: QualityCurve
+    truth_size: int
+    rules_discovered: int
+    inferred_classifications: int
+    open_questions: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """Averaged outcome of one experiment."""
+
+    config: ExperimentConfig
+    curve: QualityCurve
+    repetitions: tuple[RepetitionOutcome, ...]
+
+    @property
+    def mean_truth_size(self) -> float:
+        """Average ground-truth size across repetitions."""
+        return float(np.mean([r.truth_size for r in self.repetitions]))
+
+    @property
+    def mean_wall_seconds(self) -> float:
+        """Average wall-clock time per repetition."""
+        return float(np.mean([r.wall_seconds for r in self.repetitions]))
+
+
+def build_world(
+    config: ExperimentConfig, seed: int
+) -> tuple[LatentHabitModel, Population, GroundTruth]:
+    """Build one repetition's model, population and oracle."""
+    rng = as_rng(seed)
+    domain = random_domain(config.n_items, seed=rng)
+    model = random_habit_model(
+        domain,
+        config.n_patterns,
+        seed=rng,
+        background_rate=config.background_rate,
+    )
+    population = build_population(
+        model,
+        config.n_members,
+        config.transactions_per_member,
+        seed=rng,
+    )
+    truth = compute_ground_truth(
+        population, config.thresholds(), max_body_size=config.max_body_size
+    )
+    return model, population, truth
+
+
+def run_session(
+    config: ExperimentConfig,
+    population: Population,
+    truth: GroundTruth,
+    seed: int,
+) -> RepetitionOutcome:
+    """Run one mining session and measure it at every checkpoint."""
+    rng = as_rng(seed)
+    crowd = SimulatedCrowd.from_population(
+        population,
+        answer_model=config.answer_model(),
+        open_policy=OpenAnswerPolicy(max_body_size=config.max_body_size),
+        patience=config.patience,
+        seed=rng,
+    )
+    miner_config = CrowdMinerConfig(
+        thresholds=config.thresholds(),
+        budget=config.budget,
+        strategy=make_strategy(config.strategy),
+        open_policy=make_open_policy(config.open_policy),
+        min_samples=config.min_samples,
+        decision_confidence=config.decision_confidence,
+        use_covariance=config.use_covariance,
+        lattice_pruning=config.lattice_pruning,
+        expand_generalizations=config.expand_generalizations,
+        expand_splits=config.expand_splits,
+        seed=rng,
+    )
+    miner = CrowdMiner(crowd, miner_config)
+
+    points = []
+    started = time.perf_counter()
+    for checkpoint in config.checkpoints:
+        while miner.questions_asked < checkpoint and not miner.is_done:
+            if miner.step() is None:
+                break
+        reported = miner.state.significant_rules(mode="point")
+        points.append(score_report(reported, truth, miner.questions_asked))
+    elapsed = time.perf_counter() - started
+
+    # Normalize the checkpoint grid (sessions that ended early repeat
+    # their final quality at the remaining checkpoints).
+    normalized = [
+        type(points[0])(
+            questions=checkpoint, precision=point.precision, recall=point.recall
+        )
+        for checkpoint, point in zip(config.checkpoints, points)
+    ]
+    result = miner.result()
+    return RepetitionOutcome(
+        curve=QualityCurve(label=config.name, points=tuple(normalized)),
+        truth_size=len(truth),
+        rules_discovered=result.rules_discovered,
+        inferred_classifications=result.inferred_classifications,
+        open_questions=result.open_questions,
+        wall_seconds=elapsed,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run all repetitions of one experiment and average the curves.
+
+    Each repetition re-draws the world (model, population, crowd) from
+    a distinct sub-seed, so the averaged curve reflects the configured
+    *distribution* of worlds rather than one lucky draw.
+    """
+    outcomes = []
+    for rep in range(config.repetitions):
+        # Deterministic sub-seeds (Python's hash() is salted per process
+        # and would make experiments unreproducible).
+        world_seed = zlib.crc32(f"{config.seed}:{rep}:world".encode())
+        session_seed = zlib.crc32(f"{config.seed}:{rep}:session".encode())
+        _, population, truth = build_world(config, world_seed)
+        outcomes.append(run_session(config, population, truth, session_seed))
+    curve = average_curves(config.name, [o.curve for o in outcomes])
+    return ExperimentResult(
+        config=config, curve=curve, repetitions=tuple(outcomes)
+    )
+
+
+def run_variants(
+    base: ExperimentConfig, variants: dict[str, dict]
+) -> dict[str, ExperimentResult]:
+    """Run ``base`` once per variant with the given field overrides.
+
+    >>> base = ExperimentConfig(budget=100, checkpoints=(100,), repetitions=1)
+    >>> out = run_variants(base, {"a": {"strategy": "random"}})  # doctest: +SKIP
+    """
+    results: dict[str, ExperimentResult] = {}
+    for label, overrides in variants.items():
+        config = replace(base, name=label, **overrides)
+        results[label] = run_experiment(config)
+    return results

@@ -1,0 +1,196 @@
+"""JSON persistence for crowd-mining artifacts.
+
+The prototype system kept its CrowdCache (collected answers) in a
+database so sessions could stop, resume and share evidence. This module
+is that layer for the library: stable, human-readable JSON round-trips
+for the value objects a deployment needs to persist — rules, stats,
+answer caches, mining results and transaction databases.
+
+Format notes: every document carries a ``"format"`` tag and version so
+future revisions can migrate; rules serialize as their two item lists
+(not the display string) so item names may contain arbitrary
+punctuation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+from repro.errors import ReproError
+from repro.miner.result import MiningResult
+from repro.miner.session import AnswerCache
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """A document could not be read: wrong tag, version or structure."""
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+def rule_to_json(rule: Rule) -> dict[str, Any]:
+    """``Rule`` → plain dict."""
+    return {
+        "antecedent": list(rule.antecedent),
+        "consequent": list(rule.consequent),
+    }
+
+
+def rule_from_json(doc: dict[str, Any]) -> Rule:
+    """Plain dict → ``Rule`` (raises :class:`PersistenceError`)."""
+    try:
+        return Rule(doc["antecedent"], doc["consequent"])
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed rule document: {doc!r}") from exc
+
+
+def stats_to_json(stats: RuleStats) -> dict[str, float]:
+    """``RuleStats`` → plain dict."""
+    return {"support": stats.support, "confidence": stats.confidence}
+
+
+def stats_from_json(doc: dict[str, Any]) -> RuleStats:
+    """Plain dict → ``RuleStats``."""
+    try:
+        return RuleStats(float(doc["support"]), float(doc["confidence"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed stats document: {doc!r}") from exc
+
+
+def _envelope(kind: str, body: dict[str, Any]) -> dict[str, Any]:
+    return {"format": kind, "version": FORMAT_VERSION, **body}
+
+
+def _check_envelope(doc: dict[str, Any], kind: str) -> None:
+    if not isinstance(doc, dict) or doc.get("format") != kind:
+        raise PersistenceError(f"not a {kind} document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported {kind} version: {doc.get('version')!r}"
+        )
+
+
+# -- answer cache -------------------------------------------------------------------
+
+
+def cache_to_json(cache: AnswerCache) -> dict[str, Any]:
+    """Serialize an :class:`~repro.miner.session.AnswerCache`."""
+    return _envelope(
+        "answer-cache",
+        {
+            "closed": [
+                {
+                    "member": member_id,
+                    "rule": rule_to_json(rule),
+                    "stats": stats_to_json(stats),
+                }
+                for (member_id, rule), stats in cache.closed.items()
+            ],
+            "volunteered": [
+                {"member": member_id, "rules": [rule_to_json(r) for r in rules]}
+                for member_id, rules in cache.volunteered.items()
+            ],
+        },
+    )
+
+
+def cache_from_json(doc: dict[str, Any]) -> AnswerCache:
+    """Deserialize an answer cache."""
+    _check_envelope(doc, "answer-cache")
+    cache = AnswerCache()
+    for entry in doc.get("closed", []):
+        cache.record_closed(
+            entry["member"],
+            rule_from_json(entry["rule"]),
+            stats_from_json(entry["stats"]),
+        )
+    for entry in doc.get("volunteered", []):
+        for rule_doc in entry["rules"]:
+            cache.volunteered.setdefault(entry["member"], set()).add(
+                rule_from_json(rule_doc)
+            )
+    return cache
+
+
+# -- mining results ---------------------------------------------------------------------
+
+
+def result_to_json(result: MiningResult) -> dict[str, Any]:
+    """Serialize a mining result (the log is summarized, not replayed)."""
+    return _envelope(
+        "mining-result",
+        {
+            "significant": [
+                {"rule": rule_to_json(rule), "stats": stats_to_json(stats)}
+                for rule, stats in result.significant.items()
+            ],
+            "questions_asked": result.questions_asked,
+            "closed_questions": result.closed_questions,
+            "open_questions": result.open_questions,
+            "rules_discovered": result.rules_discovered,
+            "inferred_classifications": result.inferred_classifications,
+        },
+    )
+
+
+def result_from_json(doc: dict[str, Any]) -> MiningResult:
+    """Deserialize a mining result (without the per-question log)."""
+    _check_envelope(doc, "mining-result")
+    try:
+        significant = {
+            rule_from_json(entry["rule"]): stats_from_json(entry["stats"])
+            for entry in doc["significant"]
+        }
+        return MiningResult(
+            significant=significant,
+            questions_asked=int(doc["questions_asked"]),
+            closed_questions=int(doc["closed_questions"]),
+            open_questions=int(doc["open_questions"]),
+            rules_discovered=int(doc["rules_discovered"]),
+            inferred_classifications=int(doc["inferred_classifications"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError("malformed mining-result document") from exc
+
+
+# -- transaction databases -----------------------------------------------------------------
+
+
+def db_to_json(db: TransactionDB) -> dict[str, Any]:
+    """Serialize a transaction database (transactions as sorted lists)."""
+    return _envelope(
+        "transaction-db",
+        {"transactions": [sorted(row) for row in db]},
+    )
+
+
+def db_from_json(doc: dict[str, Any]) -> TransactionDB:
+    """Deserialize a transaction database."""
+    _check_envelope(doc, "transaction-db")
+    try:
+        return TransactionDB(doc["transactions"])
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError("malformed transaction-db document") from exc
+
+
+# -- file helpers -----------------------------------------------------------------------------
+
+
+def save_json(doc: dict[str, Any], path: str | Path) -> None:
+    """Write a document to ``path`` (pretty-printed, stable key order)."""
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a JSON document from ``path``."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON in {path}") from exc

@@ -1,0 +1,148 @@
+"""Post-hoc analysis of mining sessions.
+
+The paper evaluates algorithms along cost dimensions beyond raw
+question counts: *crowd complexity* (distinct questions posed — the
+measure its theory bounds), per-member effort and its fairness, the
+open/closed breakdown, and how quickly discovery dries up. This module
+computes all of them from a session's event log, so any run — live or
+replayed — can be audited without instrumenting the miner.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rule import Rule
+from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
+
+
+@dataclass(frozen=True, slots=True)
+class MemberLoad:
+    """Per-member effort statistics."""
+
+    questions_per_member: dict[str, int]
+
+    @property
+    def mean(self) -> float:
+        """Average questions answered per participating member."""
+        if not self.questions_per_member:
+            return 0.0
+        return float(np.mean(list(self.questions_per_member.values())))
+
+    @property
+    def max(self) -> int:
+        """Heaviest single member's load."""
+        if not self.questions_per_member:
+            return 0
+        return max(self.questions_per_member.values())
+
+    @property
+    def gini(self) -> float:
+        """Gini coefficient of the load distribution (0 = perfectly fair).
+
+        The multi-user algorithm serves members round-robin, so a high
+        Gini flags a scheduling or patience problem.
+        """
+        values = np.sort(np.array(list(self.questions_per_member.values()), dtype=float))
+        n = len(values)
+        if n == 0:
+            return 0.0
+        total = values.sum()
+        if total == 0:
+            return 0.0
+        ranks = np.arange(1, n + 1)
+        # Standard discrete Gini: 2·Σ(i·xᵢ)/(n·Σx) − (n+1)/n.
+        return float(2.0 * (ranks * values).sum() / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True, slots=True)
+class SessionAnalysis:
+    """Everything measured about one session's log."""
+
+    total_questions: int
+    crowd_complexity: int  # distinct questions (unique rules + 1 open kind)
+    unique_rules_asked: int
+    closed_questions: int
+    open_questions: int
+    empty_open_answers: int
+    discovery_curve: tuple[int, ...]  # cumulative distinct rules per question
+    member_load: MemberLoad
+
+    @property
+    def open_fraction(self) -> float:
+        """Share of questions that were open."""
+        if self.total_questions == 0:
+            return 0.0
+        return self.open_questions / self.total_questions
+
+    @property
+    def empty_open_rate(self) -> float:
+        """Share of open questions that came back empty."""
+        if self.open_questions == 0:
+            return 0.0
+        return self.empty_open_answers / self.open_questions
+
+    @property
+    def questions_per_unique_rule(self) -> float:
+        """Redundancy factor: total questions over distinct rules asked."""
+        if self.unique_rules_asked == 0:
+            return 0.0
+        return self.total_questions / self.unique_rules_asked
+
+    def summary(self) -> str:
+        """A compact printable report."""
+        lines = [
+            f"questions          : {self.total_questions} "
+            f"({self.closed_questions} closed, {self.open_questions} open)",
+            f"crowd complexity   : {self.crowd_complexity} distinct questions",
+            f"unique rules asked : {self.unique_rules_asked} "
+            f"({self.questions_per_unique_rule:.1f} questions each)",
+            f"empty open rate    : {self.empty_open_rate:.0%}",
+            f"member load        : mean {self.member_load.mean:.1f}, "
+            f"max {self.member_load.max}, gini {self.member_load.gini:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_log(log: Sequence[QuestionEvent]) -> SessionAnalysis:
+    """Compute a :class:`SessionAnalysis` from an event log."""
+    closed = 0
+    open_count = 0
+    empty_open = 0
+    rules_asked: set[Rule] = set()
+    seen_rules: set[Rule] = set()
+    discovery: list[int] = []
+    load: Counter = Counter()
+    for event in log:
+        load[event.member_id] += 1
+        if event.kind is QuestionKind.CLOSED:
+            closed += 1
+            assert event.rule is not None
+            rules_asked.add(event.rule)
+            seen_rules.add(event.rule)
+        else:
+            open_count += 1
+            if event.rule is None:
+                empty_open += 1
+            else:
+                seen_rules.add(event.rule)
+        discovery.append(len(seen_rules))
+    return SessionAnalysis(
+        total_questions=len(log),
+        crowd_complexity=len(rules_asked) + (1 if open_count else 0),
+        unique_rules_asked=len(rules_asked),
+        closed_questions=closed,
+        open_questions=open_count,
+        empty_open_answers=empty_open,
+        discovery_curve=tuple(discovery),
+        member_load=MemberLoad(dict(load)),
+    )
+
+
+def analyze_result(result: MiningResult) -> SessionAnalysis:
+    """Convenience: analyze a result's embedded log."""
+    return analyze_log(result.log)

@@ -1,0 +1,157 @@
+"""Question-budget planning.
+
+Operators of a crowd-mining deployment need to answer two questions
+before (and during) a session: *how many questions will this take*, and
+*is it still worth continuing*? Both reduce to sample-size arithmetic
+over the significance test's normal approximation:
+
+- a rule whose mean estimate sits at distance ``d`` from the nearer
+  threshold, with per-observation standard deviation ``σ``, needs about
+  ``(z·σ / d)²`` member answers before the test can settle it at
+  one-sided confidence ``z``;
+- summing that over the unresolved rules (less the answers already
+  collected) gives the remaining budget estimate;
+- rules whose required sample size exceeds the crowd's capacity are
+  *practically undecidable* — flagging them is the honest alternative
+  to spending a full crowd pass learning nothing.
+
+Estimates are exactly that — the true answer distribution is unknown —
+but they are the same arithmetic the test itself will apply, so they
+are self-consistent: a plan of 0 means the next re-assessment settles
+the rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.stats import norm
+
+from repro.core.rule import Rule
+from repro.errors import EstimationError
+from repro.miner.state import MiningState
+
+
+@dataclass(frozen=True, slots=True)
+class RulePlan:
+    """Budget forecast for one unresolved rule."""
+
+    rule: Rule
+    collected: int
+    required: int  # total samples the test is expected to need
+    practically_undecidable: bool
+
+    @property
+    def remaining(self) -> int:
+        """Further answers needed (0 when already sufficient)."""
+        return max(0, self.required - self.collected)
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetForecast:
+    """Aggregate forecast over all unresolved rules."""
+
+    plans: tuple[RulePlan, ...]
+    crowd_size: int
+
+    @property
+    def remaining_questions(self) -> int:
+        """Estimated questions to settle every *decidable* rule."""
+        return sum(p.remaining for p in self.plans if not p.practically_undecidable)
+
+    @property
+    def undecidable_rules(self) -> tuple[Rule, ...]:
+        """Rules the current crowd cannot settle at this confidence."""
+        return tuple(p.rule for p in self.plans if p.practically_undecidable)
+
+    def summary(self) -> str:
+        """A compact printable forecast."""
+        return (
+            f"{len(self.plans)} unresolved rules; "
+            f"≈{self.remaining_questions} more questions to settle the "
+            f"decidable ones; {len(self.undecidable_rules)} practically "
+            f"undecidable with {self.crowd_size} members"
+        )
+
+
+def required_samples(
+    distance: float,
+    per_observation_std: float,
+    decision_confidence: float,
+) -> int:
+    """Samples needed to settle a mean at ``distance`` from a threshold.
+
+    Classic one-sided sample-size formula ``n ≥ (z·σ/d)²``. A zero
+    distance is never settleable; the caller decides what "too many"
+    means.
+    """
+    if distance < 0 or per_observation_std < 0:
+        raise EstimationError("distance and std must be non-negative")
+    if not 0.5 < decision_confidence < 1.0:
+        raise EstimationError("decision_confidence must be in (0.5, 1)")
+    if distance == 0.0:
+        return int(1e9)  # effectively infinite
+    if per_observation_std == 0.0:
+        return 1
+    z = float(norm.ppf(decision_confidence))
+    return max(1, math.ceil((z * per_observation_std / distance) ** 2))
+
+
+def plan_rule(state: MiningState, rule: Rule, crowd_size: int) -> RulePlan:
+    """Forecast the budget for one rule from its current evidence.
+
+    Uses the rule's current mean estimate and per-observation spread
+    (sample std floored by the test's variance floor; the prior std
+    before any evidence). The binding distance is the smaller of the
+    support and confidence margins when the point estimate is above
+    both thresholds (both must stay above), and the larger-margin
+    failing component when it is below (either suffices to condemn).
+    """
+    knowledge = state.knowledge(rule)
+    summary = state.summary_for(knowledge)
+    test = state.test
+    n = summary.n
+    if n == 0:
+        # No evidence yet: assume the eventual margin is about one
+        # prior standard deviation — the plan then floors at
+        # ``min_samples``, which is the honest prior guess.
+        sigma = test.prior_std
+        distance = test.prior_std
+    else:
+        per_obs_var = max(
+            test.variance_floor,
+            float(summary.mean_cov[0, 0]) * max(n, 1),
+            float(summary.mean_cov[1, 1]) * max(n, 1),
+        )
+        sigma = math.sqrt(per_obs_var)
+        support_margin = float(summary.mean[0]) - test.thresholds.support
+        confidence_margin = float(summary.mean[1]) - test.thresholds.confidence
+        if support_margin >= 0 and confidence_margin >= 0:
+            distance = min(support_margin, confidence_margin)
+        else:
+            distance = max(
+                -support_margin if support_margin < 0 else 0.0,
+                -confidence_margin if confidence_margin < 0 else 0.0,
+            )
+    required = max(
+        required_samples(distance, sigma, test.decision_confidence),
+        test.min_samples,
+    )
+    return RulePlan(
+        rule=rule,
+        collected=n,
+        required=required,
+        practically_undecidable=required > crowd_size,
+    )
+
+
+def forecast_budget(state: MiningState, crowd_size: int) -> BudgetForecast:
+    """Forecast the remaining budget for every unresolved rule."""
+    if crowd_size <= 0:
+        raise EstimationError("crowd_size must be positive")
+    plans = tuple(
+        plan_rule(state, knowledge.rule, crowd_size)
+        for knowledge in state.unresolved()
+    )
+    return BudgetForecast(plans=plans, crowd_size=crowd_size)

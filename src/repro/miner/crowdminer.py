@@ -1,0 +1,462 @@
+"""The CrowdMiner main loop — the paper's primary contribution.
+
+One session mines the significant rules of a crowd while spending as
+few questions as possible. Each step:
+
+1. the crowd's scheduler hands the miner the next available member;
+2. the open/closed **mix policy** decides the question type;
+3. for closed questions, the **selection strategy** picks the rule
+   whose classification currently carries the highest error risk; for
+   open questions, the member is asked to volunteer a habit the system
+   does not already know;
+4. the answer updates the **knowledge base**: per-rule evidence, the
+   significance re-assessment, and (when a rule's support is
+   confidently dead) lattice propagation condemning its known
+   specializations for free;
+5. rules that get **confirmed significant** are expanded with their
+   immediate generalizations and the alternative splits of their body,
+   seeding the candidate pool around proven structure (expansion on
+   confirmation, not on discovery, keeps junk from multiplying).
+
+The loop ends when the question budget is exhausted, when every member
+has left, or when nothing useful remains to ask (all known rules
+settled and every member's open-answer memory dry).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng, check_fraction, check_positive
+from repro.core.order import generalizations
+from repro.core.rule import Rule
+from repro.crowd.crowd import SimulatedCrowd
+from repro.errors import BudgetExhaustedError, ConfigurationError, CrowdExhaustedError
+from repro.estimation.aggregate import Aggregator, DynamicTrustAggregator
+from repro.estimation.consistency import ConsistencyChecker
+from repro.estimation.samples import EstimateSummary
+from repro.estimation.significance import Decision, SignificanceTest, Thresholds
+from repro.miner.open_policy import AdaptiveOpenPolicy, OpenClosedPolicy
+from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
+from repro.miner.state import MiningState, RuleOrigin
+from repro.miner.strategy import MaxUncertaintyStrategy, QuestionStrategy
+
+
+@dataclass(slots=True)
+class CrowdMinerConfig:
+    """Configuration of a mining session.
+
+    Attributes
+    ----------
+    thresholds:
+        The query's significance thresholds ``(θ_s, θ_c)``.
+    budget:
+        Maximum number of questions for the whole session.
+    strategy:
+        Closed-question selection strategy.
+    open_policy:
+        Open/closed mix policy.
+    aggregator:
+        Cross-member aggregation black box (``None`` → plain mean).
+    decision_confidence / min_samples / variance_floor / use_covariance:
+        Forwarded to :class:`~repro.estimation.significance.SignificanceTest`.
+    lattice_pruning:
+        Enable support-based downward propagation of insignificance.
+    expand_generalizations:
+        When a rule is *decided significant*, also register its
+        immediate generalizations as candidates. (Expansion happens on
+        confirmation, not on discovery: expanding every volunteered
+        rule would multiply the junk candidates tenfold and starve the
+        true borderline rules of verification budget.)
+    expand_splits:
+        On the same trigger, register every alternative antecedent/
+        consequent split of the confirmed rule's body. All splits share
+        the body's support, and which split carries the confidence is
+        exactly what the crowd must be asked — volunteering members
+        report only *their* favourite phrasing.
+    count_open_evidence:
+        Whether the numeric part of an open answer enters the rule's
+        evidence. Default off: the volunteering member is, by
+        construction, someone who *has* the habit, so their answer is
+        an upward-biased sample of the crowd mean. Discovery and
+        estimation are then cleanly separated — open answers only seed
+        candidates, and all counted evidence comes from members the
+        scheduler picked independently of the rule.
+    contextual_open_fraction:
+        Fraction of open questions asked *in context*: "think of
+        occasions involving X — what else do you do then?", where X is
+        the body of a confirmed-significant rule. These are the papers'
+        *specialization questions*: they dig for refinements and
+        co-occurring extras around proven structure instead of fishing
+        blind. Applied only once at least one rule is confirmed.
+        Default 0 (off): contextual probing pays off in domains whose
+        habits actually have refinements (a tip attached to an
+        activity, an extra ingredient); in worlds of disjoint habits
+        the probes surface junk supersets and waste verification
+        budget — enable it deliberately for refinement-rich domains.
+    screen_spammers:
+        Enable consistency-based trust screening: every answer is
+        checked against the member's previous answers for support-
+        monotonicity violations, and all estimates become trust-weighted
+        (:class:`~repro.estimation.aggregate.DynamicTrustAggregator`).
+        Mutually exclusive with a custom ``aggregator``.
+    seed_rules:
+        Rules known before any question is asked (a query's candidate
+        patterns); they enter the knowledge base with SEED origin.
+    seed:
+        Randomness for type coin-flips and strategy tie-breaking.
+    """
+
+    thresholds: Thresholds
+    budget: int = 1_000
+    strategy: QuestionStrategy = field(default_factory=MaxUncertaintyStrategy)
+    open_policy: OpenClosedPolicy = field(default_factory=AdaptiveOpenPolicy)
+    aggregator: Aggregator | None = None
+    decision_confidence: float = 0.9
+    min_samples: int = 5
+    variance_floor: float = 0.15**2
+    use_covariance: bool = True
+    lattice_pruning: bool = True
+    expand_generalizations: bool = True
+    expand_splits: bool = True
+    count_open_evidence: bool = False
+    contextual_open_fraction: float = 0.0
+    screen_spammers: bool = False
+    seed_rules: tuple[Rule, ...] = ()
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.budget, "budget")
+        check_fraction(self.contextual_open_fraction, "contextual_open_fraction")
+        if self.screen_spammers and self.aggregator is not None:
+            raise ConfigurationError(
+                "screen_spammers installs its own trust-weighted aggregator; "
+                "pass one or the other"
+            )
+
+    def build_test(self) -> SignificanceTest:
+        """The significance test implied by this configuration."""
+        return SignificanceTest(
+            thresholds=self.thresholds,
+            decision_confidence=self.decision_confidence,
+            min_samples=self.min_samples,
+            variance_floor=self.variance_floor,
+            use_covariance=self.use_covariance,
+        )
+
+
+class CrowdMiner:
+    """A mining session over one crowd.
+
+    The engine is *stepwise*: :meth:`step` spends exactly one question
+    (or reports that nothing useful remains), so callers — examples,
+    the evaluation harness, interactive front-ends — can interleave
+    their own bookkeeping (checkpoints, progress display) between
+    questions. :meth:`run` is the run-to-completion convenience.
+    """
+
+    def __init__(self, crowd: SimulatedCrowd, config: CrowdMinerConfig) -> None:
+        self.crowd = crowd
+        self.config = config
+        self._rng = as_rng(config.seed)
+        self.consistency: ConsistencyChecker | None = None
+        aggregator = config.aggregator
+        if config.screen_spammers:
+            self.consistency = ConsistencyChecker()
+            aggregator = DynamicTrustAggregator(self.consistency)
+        self.state = MiningState(
+            test=config.build_test(),
+            aggregator=aggregator,
+            lattice_pruning=config.lattice_pruning,
+        )
+        for rule in config.seed_rules:
+            self.state.add_rule(rule, RuleOrigin.SEED)
+        self.log: list[QuestionEvent] = []
+        self._questions = 0
+        self._consecutive_dry_opens = 0
+        self._expanded: set[Rule] = set()
+
+    # -- progress ------------------------------------------------------------
+
+    @property
+    def questions_asked(self) -> int:
+        """Questions spent so far in this session."""
+        return self._questions
+
+    @property
+    def budget_left(self) -> int:
+        """Remaining question budget."""
+        return self.config.budget - self._questions
+
+    @property
+    def open_supply_exhausted(self) -> bool:
+        """True when a full crowd round of open questions came back dry."""
+        return self._consecutive_dry_opens >= len(self.crowd)
+
+    @property
+    def is_done(self) -> bool:
+        """True when no further step can make progress."""
+        if self.budget_left <= 0:
+            return True
+        available = set(self.crowd.available_members())
+        if not available:
+            return True
+        has_closed = any(
+            not available <= k.samples.member_ids for k in self.state.unresolved()
+        )
+        return not has_closed and self.open_supply_exhausted
+
+    # -- the step ------------------------------------------------------------------
+
+    def step(self) -> QuestionEvent | None:
+        """Spend one question; returns its event, or ``None`` when done.
+
+        Raises :class:`~repro.errors.BudgetExhaustedError` when called
+        past the budget (use :attr:`is_done` / :meth:`run` to avoid).
+        """
+        if self.budget_left <= 0:
+            raise BudgetExhaustedError(
+                f"budget of {self.config.budget} questions already spent"
+            )
+        # A member may turn out to have left mid-question (their answer
+        # stream ran dry, their patience expired between scheduling and
+        # asking); retry with the next member, up to one full round.
+        for _ in range(max(1, len(self.crowd))):
+            try:
+                member_id = self.crowd.next_member()
+            except CrowdExhaustedError:
+                return None
+            try:
+                return self._dispatch(member_id)
+            except CrowdExhaustedError:
+                continue
+        return None
+
+    def _dispatch(self, member_id: str) -> QuestionEvent | None:
+        """Choose and pose one question to ``member_id``."""
+        closed_rule = self.config.strategy.select(self.state, member_id, self._rng)
+        ask_open = self.config.open_policy.choose_open(
+            self._rng,
+            has_closed_candidate=closed_rule is not None,
+            open_supply_exhausted=self.open_supply_exhausted,
+        )
+        if ask_open:
+            if not self.open_supply_exhausted:
+                return self._ask_open(member_id)
+            # Open impossible after all: fall back to closed if any.
+            if closed_rule is not None:
+                return self._ask_closed(member_id, closed_rule)
+            return None
+        if closed_rule is not None:
+            return self._ask_closed(member_id, closed_rule)
+        # The policy chose closed but nothing is askable (strict
+        # closed-only policies end the session here).
+        return None
+
+    def _ask_closed(self, member_id: str, rule: Rule) -> QuestionEvent:
+        answer = self.crowd.ask_closed(member_id, rule)
+        if self.consistency is not None:
+            self.consistency.record(member_id, rule, answer.stats)
+        self.state.record_answer(
+            rule, member_id, answer.stats, RuleOrigin.SEED
+        )
+        self._expand_confirmed()
+        event = QuestionEvent(
+            index=self._questions,
+            kind=QuestionKind.CLOSED,
+            member_id=member_id,
+            rule=rule,
+            stats=answer.stats,
+        )
+        self._finish_step(event)
+        return event
+
+    def _pick_context(self):
+        """A specialization-question context, or ``None`` for fully open.
+
+        With the configured probability, the context is the body of a
+        random confirmed-significant rule — "think of occasions
+        involving <body>: what else do you do then?" — steering the
+        member's memory toward refinements of proven structure.
+        """
+        fraction = self.config.contextual_open_fraction
+        if fraction <= 0.0 or self._rng.random() >= fraction:
+            return None
+        confirmed = [
+            k.rule
+            for k in self.state.rules()
+            if k.decision is Decision.SIGNIFICANT
+        ]
+        if not confirmed:
+            return None
+        rule = confirmed[int(self._rng.integers(len(confirmed)))]
+        return rule.antecedent | rule.consequent
+
+    def _ask_open(self, member_id: str) -> QuestionEvent:
+        context = self._pick_context()
+        answer = self.crowd.ask_open(
+            member_id, exclude=self.state.known_rule_set(), context=context
+        )
+        if answer.is_empty:
+            # Only *blind* open questions coming back empty signal that
+            # the crowd's memory is exhausted; a missed contextual probe
+            # just means nobody refines that particular habit.
+            if context is None:
+                self._consecutive_dry_opens += 1
+            self.config.open_policy.observe_open_outcome(False)
+            event = QuestionEvent(
+                index=self._questions,
+                kind=QuestionKind.OPEN,
+                member_id=member_id,
+                rule=None,
+                stats=None,
+            )
+            self._finish_step(event)
+            return event
+        self._consecutive_dry_opens = 0
+        rule, stats = answer.rule, answer.stats
+        assert rule is not None and stats is not None
+        # Discovery quality feedback: a volunteered habit only counts as
+        # a productive find when the volunteer's own stats clear the
+        # thresholds — members digging into the dregs of their memory
+        # drive the open-question rate down.
+        promising = stats.meets(
+            self.config.thresholds.support, self.config.thresholds.confidence
+        )
+        self.config.open_policy.observe_open_outcome(promising)
+        if self.consistency is not None:
+            self.consistency.record(member_id, rule, stats)
+        prior = self._volunteer_prior(stats)
+        if self.config.count_open_evidence:
+            self.state.record_answer(rule, member_id, stats, RuleOrigin.OPEN_ANSWER)
+            self.state.knowledge(rule).prior_promise = prior
+        else:
+            self.state.add_rule(rule, RuleOrigin.OPEN_ANSWER, prior_promise=prior)
+        self._expand_confirmed()
+        event = QuestionEvent(
+            index=self._questions,
+            kind=QuestionKind.OPEN,
+            member_id=member_id,
+            rule=rule,
+            stats=stats,
+        )
+        self._finish_step(event)
+        return event
+
+    #: Prior promise of speculative lattice-generated candidates: just
+    #: below the 0.5 of a fresh unknown, so they are verified after
+    #: directly volunteered rules but before rules evidence disfavours.
+    LATTICE_PRIOR = 0.45
+
+    def _volunteer_prior(self, stats) -> float:
+        """Prior promise implied by a volunteer's (biased) stats.
+
+        The volunteer's answer is treated as half a vote: the
+        significance probability it *would* imply is averaged with the
+        uninformed 0.5, acknowledging the selection bias of asking
+        someone who has the habit.
+        """
+        pseudo = EstimateSummary(
+            n=1,
+            mean=np.array(stats.as_tuple()),
+            mean_cov=np.zeros((2, 2)),
+        )
+        p = self.state.test.probability_significant(pseudo)
+        return 0.5 * (p + 0.5)
+
+    def _expand_confirmed(self) -> None:
+        """Expand lattice neighbours of newly *confirmed* rules.
+
+        Called after every state update: any rule whose decision has
+        become SIGNIFICANT since its last expansion gets its immediate
+        generalizations and alternative body splits registered as
+        candidates. Confirmation-triggered expansion keeps the
+        candidate pool anchored to rules that earned it.
+        """
+        if not (self.config.expand_generalizations or self.config.expand_splits):
+            return
+        for knowledge in self.state.rules():
+            rule = knowledge.rule
+            if knowledge.decision is not Decision.SIGNIFICANT or rule in self._expanded:
+                continue
+            self._expanded.add(rule)
+            if self.config.expand_generalizations:
+                for general in generalizations(rule):
+                    self.state.add_rule(
+                        general, RuleOrigin.LATTICE, prior_promise=self.LATTICE_PRIOR
+                    )
+            if self.config.expand_splits:
+                body = rule.body
+                for antecedent in body.subsets(proper=True):
+                    if not antecedent:
+                        continue
+                    sibling = Rule(antecedent, body - antecedent)
+                    self.state.add_rule(
+                        sibling, RuleOrigin.LATTICE, prior_promise=self.LATTICE_PRIOR
+                    )
+
+    def _finish_step(self, event: QuestionEvent) -> None:
+        self._questions += 1
+        self.log.append(event)
+
+    # -- running to completion -------------------------------------------------------
+
+    def run(
+        self,
+        max_questions: int | None = None,
+        stop_when=None,
+    ) -> MiningResult:
+        """Run until done (or until ``max_questions`` more are spent).
+
+        ``stop_when`` is an optional stopping rule — any callable
+        taking the miner and returning True to end the session early
+        (see :mod:`repro.miner.termination` for the standard ones).
+        """
+        remaining = max_questions if max_questions is not None else self.config.budget
+        while remaining > 0 and not self.is_done:
+            if stop_when is not None and stop_when(self):
+                break
+            event = self.step()
+            if event is None:
+                break
+            remaining -= 1
+        return self.result()
+
+    def result(self, mode: str = "point") -> MiningResult:
+        """Snapshot the session outcome (see ``MiningState.significant_rules``)."""
+        closed = sum(1 for e in self.log if e.kind is QuestionKind.CLOSED)
+        return MiningResult(
+            significant=self.state.significant_rules(mode=mode),
+            questions_asked=self._questions,
+            closed_questions=closed,
+            open_questions=self._questions - closed,
+            rules_discovered=len(self.state),
+            inferred_classifications=self.state.inferred_classifications,
+            log=list(self.log),
+        )
+
+
+def mine_crowd(
+    crowd: SimulatedCrowd,
+    thresholds: Thresholds,
+    budget: int = 1_000,
+    seed_rules: Iterable[Rule] = (),
+    seed: int | np.random.Generator | None = None,
+    **config_overrides,
+) -> MiningResult:
+    """One-call convenience: configure, run, return the result.
+
+    Extra keyword arguments are forwarded to
+    :class:`CrowdMinerConfig` (e.g. ``strategy=``, ``open_policy=``).
+    """
+    config = CrowdMinerConfig(
+        thresholds=thresholds,
+        budget=budget,
+        seed_rules=tuple(seed_rules),
+        seed=seed,
+        **config_overrides,
+    )
+    return CrowdMiner(crowd, config).run()

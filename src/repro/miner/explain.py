@@ -1,0 +1,119 @@
+"""Explanations: why did the system classify a rule the way it did?
+
+Crowd-sourced answers feed statistical machinery feed lattice
+inference; when a user questions an output ("why is 'ginger tea for
+sore throats' not in my results?"), the honest answer traces that
+chain. :func:`explain_rule` renders it: the evidence collected, the
+estimate with error bars, the test's verdict and margin, and — for
+inferred classifications — which ancestor's support condemned it.
+
+The output is plain text by design: it is what a front-end would show
+under a "why?" button, and what the examples print.
+"""
+
+from __future__ import annotations
+
+from repro.core.rule import Rule
+from repro.errors import EstimationError
+from repro.estimation.intervals import summary_intervals
+from repro.estimation.significance import Decision
+from repro.miner.state import MiningState, RuleOrigin
+
+_ORIGIN_TEXT = {
+    RuleOrigin.SEED: "seeded by the query",
+    RuleOrigin.OPEN_ANSWER: "volunteered by a crowd member",
+    RuleOrigin.LATTICE: "generated as a lattice neighbour of a confirmed rule",
+}
+
+
+def explain_rule(state: MiningState, rule: Rule) -> str:
+    """A human-readable account of one rule's current classification.
+
+    Raises ``KeyError`` when the rule is unknown to the session — which
+    is itself the explanation a caller should surface ("never came up:
+    no member volunteered it and no confirmed rule neighbours it").
+    """
+    knowledge = state.knowledge(rule)
+    summary = state.summary_for(knowledge)
+    test = state.test
+    lines = [f"rule: {rule}"]
+    lines.append(f"origin: {_ORIGIN_TEXT[knowledge.origin]}")
+    lines.append(
+        f"evidence: {summary.n} member answer(s)"
+        + ("" if summary.n else " — nothing counted yet")
+    )
+
+    if summary.n > 0:
+        try:
+            intervals = summary_intervals(summary, level=0.9)
+        except EstimationError:  # pragma: no cover - n>0 guards this
+            intervals = None
+        lines.append(
+            f"estimate: support {summary.mean[0]:.3f}, "
+            f"confidence {summary.mean[1]:.3f}"
+        )
+        if intervals is not None:
+            lines.append(
+                f"90% intervals: support {intervals.support}, "
+                f"confidence {intervals.confidence}"
+            )
+        lines.append(
+            f"thresholds: support ≥ {test.thresholds.support}, "
+            f"confidence ≥ {test.thresholds.confidence}"
+        )
+
+    decision = knowledge.decision
+    if knowledge.inferred and decision is Decision.INSIGNIFICANT:
+        culprit = _condemning_ancestor(state, rule)
+        if culprit is not None:
+            culprit_summary = state.summary_for(state.knowledge(culprit))
+            lines.append(
+                "verdict: insignificant, inferred without questions — its "
+                f"generalization {culprit} has support "
+                f"{culprit_summary.mean[0]:.3f}, confidently below the "
+                f"threshold, and support can only shrink as rules grow"
+            )
+            return "\n".join(lines)
+        lines.append("verdict: insignificant (inferred from the rule lattice)")
+        return "\n".join(lines)
+
+    p = test.probability_significant(summary)
+    if decision is Decision.SIGNIFICANT:
+        lines.append(
+            f"verdict: significant — P(truly above both thresholds) = {p:.3f} "
+            f"≥ {test.decision_confidence}"
+        )
+    elif decision is Decision.INSIGNIFICANT:
+        lines.append(
+            f"verdict: insignificant — P(truly above both thresholds) = {p:.3f} "
+            f"≤ {1 - test.decision_confidence:.3f}"
+        )
+    else:
+        reason = (
+            f"only {summary.n} of the required {test.min_samples} answers"
+            if summary.n < test.min_samples
+            else f"P(significant) = {p:.3f} is still in the undecided band "
+            f"({1 - test.decision_confidence:.2f}, {test.decision_confidence})"
+        )
+        lines.append(f"verdict: undecided — {reason}")
+    return "\n".join(lines)
+
+
+def _condemning_ancestor(state: MiningState, rule: Rule) -> Rule | None:
+    """A resolved-insignificant generalization that support-condemns ``rule``."""
+    for other in state.rules():
+        if other.rule == rule or not other.is_resolved:
+            continue
+        if other.decision is not Decision.INSIGNIFICANT or other.inferred:
+            continue
+        if other.rule.generalizes(rule):
+            return other.rule
+    return None
+
+
+def explain_report(state: MiningState, rules=None, mode: str = "point") -> str:
+    """Explanations for several rules (default: the reported significant set)."""
+    if rules is None:
+        rules = sorted(state.significant_rules(mode=mode), key=Rule.sort_key)
+    blocks = [explain_rule(state, rule) for rule in rules]
+    return "\n\n".join(blocks)

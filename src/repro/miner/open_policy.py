@@ -1,0 +1,152 @@
+"""Open/closed mix policies.
+
+Before each question the miner decides its *type*: open (discover new
+candidate rules) or closed (refine a known rule's estimate). The paper
+studies this trade-off explicitly — too few open questions and
+significant rules are never discovered; too many and the budget is
+spent re-soliciting what is already known instead of settling it.
+
+Two policies:
+
+- :class:`FixedRatioPolicy` — flip a coin with probability ``p_open``,
+  the knob the mix experiment (E2) sweeps;
+- :class:`AdaptiveOpenPolicy` — start discovery-heavy and back off as
+  open questions stop yielding novelty (tracked by an exponential
+  moving average of "new rule per open question"), the practical
+  default.
+
+Both fall back sensibly when one option is impossible: if the member
+has no eligible closed question the policy answers "open", and vice
+versa the caller handles a dry open answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_fraction
+
+
+class OpenClosedPolicy:
+    """Base class: decides the type of the next question."""
+
+    def choose_open(
+        self,
+        rng: np.random.Generator,
+        has_closed_candidate: bool,
+        open_supply_exhausted: bool,
+    ) -> bool:
+        """True → ask an open question next.
+
+        ``has_closed_candidate`` tells the policy whether a closed
+        question is even possible for the member about to be served;
+        ``open_supply_exhausted`` reports that recent open questions
+        all came back empty (every member's memory dry).
+        """
+        raise NotImplementedError
+
+    def observe_open_outcome(self, yielded_new_rule: bool) -> None:
+        """Feedback hook: called after each open answer."""
+
+    @property
+    def name(self) -> str:
+        """Short name used in experiment reports."""
+        return type(self).__name__.removesuffix("Policy").lower()
+
+
+class FixedRatioPolicy(OpenClosedPolicy):
+    """Ask open questions a fixed fraction of the time.
+
+    ``fallback_to_open`` controls what happens when no closed question
+    is available (nothing unresolved the member can answer): ``True``
+    (default) asks an open question instead — "discover when idle" —
+    while ``False`` keeps the ratio strict, so ``p_open=0`` is the
+    genuinely closed-only ablation (it can only ever examine seeded
+    rules and will end the session once they are settled).
+    """
+
+    def __init__(self, p_open: float = 0.1, fallback_to_open: bool = True) -> None:
+        self.p_open = check_fraction(p_open, "p_open")
+        self.fallback_to_open = bool(fallback_to_open)
+
+    def choose_open(
+        self,
+        rng: np.random.Generator,
+        has_closed_candidate: bool,
+        open_supply_exhausted: bool,
+    ) -> bool:
+        if open_supply_exhausted:
+            return False
+        if not has_closed_candidate:
+            return self.fallback_to_open or self.p_open > 0.0
+        return bool(rng.random() < self.p_open)
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedRatioPolicy(p_open={self.p_open}, "
+            f"fallback_to_open={self.fallback_to_open})"
+        )
+
+
+class AdaptiveOpenPolicy(OpenClosedPolicy):
+    """Back off from open questions as their yield dries up.
+
+    Maintains an exponential moving average of the fraction of open
+    questions that produced a *new* rule. The probability of the next
+    question being open is clamped between ``floor`` and ``ceiling``
+    and tracks that yield: productive discovery keeps the rate high,
+    a stretch of redundant or empty answers drives it to the floor.
+    """
+
+    def __init__(
+        self,
+        initial_yield: float = 1.0,
+        smoothing: float = 0.85,
+        floor: float = 0.02,
+        ceiling: float = 0.3,
+    ) -> None:
+        check_fraction(smoothing, "smoothing")
+        self.floor = check_fraction(floor, "floor")
+        self.ceiling = check_fraction(ceiling, "ceiling")
+        if self.floor > self.ceiling:
+            raise ValueError("floor must not exceed ceiling")
+        self.smoothing = float(smoothing)
+        self.yield_estimate = check_fraction(initial_yield, "initial_yield")
+
+    def choose_open(
+        self,
+        rng: np.random.Generator,
+        has_closed_candidate: bool,
+        open_supply_exhausted: bool,
+    ) -> bool:
+        if not has_closed_candidate:
+            return True
+        if open_supply_exhausted:
+            return False
+        p = min(self.ceiling, max(self.floor, self.yield_estimate * self.ceiling))
+        return bool(rng.random() < p)
+
+    def observe_open_outcome(self, yielded_new_rule: bool) -> None:
+        self.yield_estimate = (
+            self.smoothing * self.yield_estimate
+            + (1.0 - self.smoothing) * (1.0 if yielded_new_rule else 0.0)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveOpenPolicy(yield={self.yield_estimate:.2f}, "
+            f"floor={self.floor}, ceiling={self.ceiling})"
+        )
+
+
+def make_open_policy(spec: str | float) -> OpenClosedPolicy:
+    """Build a policy from an experiment-config spec.
+
+    A float builds a :class:`FixedRatioPolicy` with that ratio; the
+    string ``"adaptive"`` builds an :class:`AdaptiveOpenPolicy`.
+    """
+    if isinstance(spec, str):
+        if spec.lower() == "adaptive":
+            return AdaptiveOpenPolicy()
+        raise ValueError(f"unknown open policy spec: {spec!r}")
+    return FixedRatioPolicy(float(spec))

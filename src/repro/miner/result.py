@@ -1,0 +1,122 @@
+"""Mining session results and the per-question event log.
+
+A finished (or interrupted) session yields a :class:`MiningResult`: the
+reported significant rules (with estimated stats), the semantically
+concise maximal subset, the interaction cost, and the complete
+question-by-question log for auditing and evaluation replay.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.measures import RuleStats
+from repro.core.order import maximal_rules
+from repro.core.rule import Rule
+
+
+class QuestionKind(enum.Enum):
+    """What kind of question an event records."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionEvent:
+    """One question/answer exchange in the session log.
+
+    ``rule`` / ``stats`` are ``None`` for open questions that came back
+    empty.
+    """
+
+    index: int
+    kind: QuestionKind
+    member_id: str
+    rule: Rule | None
+    stats: RuleStats | None
+
+    @property
+    def is_empty_open(self) -> bool:
+        """True for a dry open answer."""
+        return self.kind is QuestionKind.OPEN and self.rule is None
+
+
+@dataclass(slots=True)
+class MiningResult:
+    """The outcome of a mining session.
+
+    Attributes
+    ----------
+    significant:
+        Reported significant rules with their estimated stats.
+    questions_asked:
+        Total questions spent (both kinds, including dry opens).
+    closed_questions / open_questions:
+        The split by kind.
+    rules_discovered:
+        How many distinct rules entered the knowledge base.
+    inferred_classifications:
+        Rules settled for free by lattice propagation.
+    log:
+        The full event log, in question order.
+    """
+
+    significant: dict[Rule, RuleStats]
+    questions_asked: int
+    closed_questions: int
+    open_questions: int
+    rules_discovered: int
+    inferred_classifications: int
+    log: list[QuestionEvent] = field(default_factory=list)
+
+    @property
+    def maximal_significant(self) -> dict[Rule, RuleStats]:
+        """The concise answer: only the most specific significant rules.
+
+        Every omitted significant rule is a generalization of a kept
+        one, hence implied by support antitonicity — the same
+        redundancy-elimination the papers apply to their output.
+        """
+        kept = maximal_rules(list(self.significant))
+        return {rule: self.significant[rule] for rule in kept}
+
+    def top_k(self, k: int, by: str = "support") -> list[tuple[Rule, RuleStats]]:
+        """The ``k`` strongest reported rules.
+
+        ``by`` ranks by ``"support"``, ``"confidence"`` or
+        ``"product"`` (support × confidence); ties break toward shorter
+        rules then deterministically. The paper lists top-k retrieval
+        as the natural output mode when users cannot absorb the full
+        significant set.
+        """
+        keys = {
+            "support": lambda stats: stats.support,
+            "confidence": lambda stats: stats.confidence,
+            "product": lambda stats: stats.support * stats.confidence,
+        }
+        if by not in keys:
+            raise ValueError(f"unknown ranking {by!r}; choose from {sorted(keys)}")
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ranked = sorted(
+            self.significant.items(),
+            key=lambda kv: (-keys[by](kv[1]), len(kv[0].body), kv[0].sort_key()),
+        )
+        return ranked[:k]
+
+    def summary(self) -> str:
+        """A short human-readable report of the session."""
+        lines = [
+            f"questions asked : {self.questions_asked} "
+            f"({self.closed_questions} closed, {self.open_questions} open)",
+            f"rules discovered: {self.rules_discovered} "
+            f"({self.inferred_classifications} classified by inference)",
+            f"significant     : {len(self.significant)} "
+            f"({len(self.maximal_significant)} maximal)",
+        ]
+        for rule in sorted(self.maximal_significant, key=Rule.sort_key):
+            stats = self.significant[rule]
+            lines.append(f"  {rule}  {stats}")
+        return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""The miner's knowledge base.
+
+:class:`MiningState` is everything the system believes at a point in a
+session: the rules it knows about, the evidence collected for each, the
+current classification of each, and how each became known. It is the
+bridge between crowd answers and question selection — strategies read
+it, the main loop writes it.
+
+Classification updates happen in two ways:
+
+- **direct** — a rule's own evidence is re-assessed by the
+  significance test after each new answer;
+- **inferred** — support antitonicity propagates *support-based*
+  insignificance downward: when a rule's support is confidently below
+  threshold, every known specialization is condemned without spending
+  a single question on it. (Confidence is not monotone along the
+  lattice, so no symmetric upward rule exists for significance; the
+  paper's pruning is likewise support-driven.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+from repro.estimation.aggregate import Aggregator, MeanAggregator
+from repro.estimation.samples import EstimateSummary, RuleSamples
+from repro.estimation.significance import Assessment, Decision, SignificanceTest
+
+
+class RuleOrigin(enum.Enum):
+    """How a rule entered the knowledge base."""
+
+    SEED = "seed"  # provided upfront (query-driven candidates)
+    OPEN_ANSWER = "open_answer"  # volunteered by a member
+    LATTICE = "lattice"  # generated as a neighbour of a known rule
+
+
+@dataclass(slots=True)
+class RuleKnowledge:
+    """Everything known about one rule."""
+
+    rule: Rule
+    origin: RuleOrigin
+    samples: RuleSamples
+    decision: Decision = Decision.UNDECIDED
+    inferred: bool = False  # decision came from lattice propagation
+    last_assessment: Assessment | None = None
+    #: Prior belief that the rule is significant, before any counted
+    #: evidence. 0.5 = no opinion. Open-answer rules get a boost from
+    #: the volunteer's (uncounted, biased) stats; lattice-generated
+    #: candidates get a slight discount — they are speculative.
+    prior_promise: float = 0.5
+
+    @property
+    def is_resolved(self) -> bool:
+        """True once the rule has a settled decision (direct or inferred)."""
+        return self.decision.is_final
+
+    @property
+    def uncertainty(self) -> float:
+        """Misclassification probability if forced to decide now.
+
+        0.5 for rules with no evidence (maximally unknown); 0 for
+        resolved rules.
+        """
+        if self.is_resolved:
+            return 0.0
+        if self.last_assessment is None:
+            return 0.5
+        return self.last_assessment.uncertainty
+
+
+class MiningState:
+    """The evolving knowledge base of one mining session.
+
+    Parameters
+    ----------
+    test:
+        The significance test used for all classification.
+    aggregator:
+        Cross-member aggregation policy (defaults to the plain mean).
+    lattice_pruning:
+        Enable support-based downward propagation of insignificance.
+    """
+
+    def __init__(
+        self,
+        test: SignificanceTest,
+        aggregator: Aggregator | None = None,
+        lattice_pruning: bool = True,
+    ) -> None:
+        self.test = test
+        self.aggregator = aggregator or MeanAggregator()
+        self.lattice_pruning = bool(lattice_pruning)
+        self._rules: dict[Rule, RuleKnowledge] = {}
+        #: Counters the evaluation harness reads.
+        self.inferred_classifications = 0
+
+    # -- rule bookkeeping -------------------------------------------------------
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def knowledge(self, rule: Rule) -> RuleKnowledge:
+        """The knowledge record for ``rule`` (KeyError when unknown)."""
+        return self._rules[rule]
+
+    def rules(self) -> list[RuleKnowledge]:
+        """All knowledge records, in discovery order."""
+        return list(self._rules.values())
+
+    def unresolved(self) -> list[RuleKnowledge]:
+        """Rules still lacking a settled decision, in discovery order."""
+        return [k for k in self._rules.values() if not k.is_resolved]
+
+    def known_rule_set(self) -> set[Rule]:
+        """The set of known rules (used to exclude from open questions)."""
+        return set(self._rules)
+
+    def add_rule(
+        self, rule: Rule, origin: RuleOrigin, prior_promise: float = 0.5
+    ) -> RuleKnowledge:
+        """Register ``rule`` if new; returns its knowledge record.
+
+        A repeated registration keeps the existing record but lets the
+        prior promise *rise* (a rule volunteered again after being
+        lattice-generated is more promising than either signal alone
+        suggested). A newly added rule may be immediately classified by
+        lattice propagation when some known generalization is already
+        support-insignificant.
+        """
+        existing = self._rules.get(rule)
+        if existing is not None:
+            existing.prior_promise = max(existing.prior_promise, prior_promise)
+            return existing
+        knowledge = RuleKnowledge(
+            rule=rule,
+            origin=origin,
+            samples=RuleSamples(rule),
+            prior_promise=prior_promise,
+        )
+        self._rules[rule] = knowledge
+        if self.lattice_pruning:
+            self._inherit_insignificance(knowledge)
+        return knowledge
+
+    def _inherit_insignificance(self, knowledge: RuleKnowledge) -> None:
+        """Condemn a new rule if a known generalization is support-dead."""
+        for other in self._rules.values():
+            if other.rule is knowledge.rule:
+                continue
+            if (
+                other.is_resolved
+                and other.decision is Decision.INSIGNIFICANT
+                and other.rule.generalizes(knowledge.rule)
+                and self._support_dead(other)
+            ):
+                knowledge.decision = Decision.INSIGNIFICANT
+                knowledge.inferred = True
+                self.inferred_classifications += 1
+                return
+
+    def _support_dead(self, knowledge: RuleKnowledge) -> bool:
+        """True when the rule's *support* is confidently below threshold."""
+        summary = self.summary_for(knowledge)
+        if summary.n < self.test.min_samples:
+            return False
+        p_support = self.test.probability_support_exceeds(summary)
+        return p_support <= 1.0 - self.test.decision_confidence
+
+    # -- evidence updates ----------------------------------------------------------
+
+    def summary_for(self, knowledge: RuleKnowledge) -> EstimateSummary:
+        """The aggregated estimate snapshot of a rule."""
+        return self.aggregator.summarize(knowledge.samples)
+
+    def record_answer(
+        self, rule: Rule, member_id: str, stats: RuleStats, origin: RuleOrigin
+    ) -> RuleKnowledge:
+        """Incorporate one member answer about ``rule`` and re-classify.
+
+        Registers the rule when unknown (with the given origin),
+        stores the observation, re-runs the significance assessment,
+        and — when the update settles the rule as support-insignificant
+        — propagates that downward to known specializations.
+        """
+        knowledge = self.add_rule(rule, origin)
+        knowledge.samples.add(member_id, stats)
+        self._reassess(knowledge)
+        return knowledge
+
+    def _reassess(self, knowledge: RuleKnowledge) -> None:
+        summary = self.summary_for(knowledge)
+        assessment = self.test.assess(summary)
+        knowledge.last_assessment = assessment
+        previous = knowledge.decision
+        # Direct evidence overrides an inferred decision.
+        if assessment.decision.is_final or knowledge.inferred:
+            if assessment.decision.is_final:
+                knowledge.decision = assessment.decision
+                knowledge.inferred = False
+            elif knowledge.inferred and assessment.decision is Decision.UNDECIDED:
+                # Keep the inferred label until direct evidence settles it.
+                pass
+        else:
+            knowledge.decision = assessment.decision
+        if (
+            self.lattice_pruning
+            and knowledge.decision is Decision.INSIGNIFICANT
+            and not knowledge.inferred
+            and knowledge.decision is not previous
+            and self._support_dead(knowledge)
+        ):
+            self._propagate_insignificance(knowledge)
+
+    def _propagate_insignificance(self, source: RuleKnowledge) -> None:
+        """Condemn known, unresolved specializations of a support-dead rule."""
+        for other in self._rules.values():
+            if other.rule is source.rule or other.is_resolved:
+                continue
+            if source.rule.generalizes(other.rule):
+                other.decision = Decision.INSIGNIFICANT
+                other.inferred = True
+                self.inferred_classifications += 1
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def significant_rules(self, mode: str = "point") -> dict[Rule, RuleStats]:
+        """The rules the system would report as significant right now.
+
+        Parameters
+        ----------
+        mode:
+            ``"decided"`` — only rules whose decision is settled
+            SIGNIFICANT (the conservative, end-of-session answer);
+            ``"point"`` — additionally include undecided rules whose
+            current point estimate clears both thresholds (the paper's
+            anytime answer, used for quality-vs-questions curves).
+            Point inclusion still requires the test's minimum sample
+            count: a rule one enthusiast mentioned once is a candidate,
+            not an answer.
+        """
+        if mode not in ("decided", "point"):
+            raise ValueError(f"unknown report mode: {mode!r}")
+        reported: dict[Rule, RuleStats] = {}
+        for knowledge in self._rules.values():
+            summary = self.summary_for(knowledge)
+            if knowledge.decision is Decision.SIGNIFICANT:
+                include = True
+            elif (
+                mode == "point"
+                and knowledge.decision is Decision.UNDECIDED
+                and summary.n >= self.test.min_samples
+            ):
+                include = self.test.point_decision(summary) is Decision.SIGNIFICANT
+            else:
+                include = False
+            if include:
+                mean = summary.mean
+                support = float(min(1.0, max(0.0, mean[0])))
+                confidence = float(min(1.0, max(0.0, mean[1])))
+                reported[knowledge.rule] = RuleStats(
+                    support, max(support, confidence)
+                )
+        return reported

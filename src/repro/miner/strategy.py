@@ -1,0 +1,199 @@
+"""Question-selection strategies.
+
+Given the current knowledge base and the member about to be served, a
+strategy picks which rule to ask a *closed* question about (the
+open/closed choice itself is the mix policy's job, see
+:mod:`repro.miner.open_policy`).
+
+The paper's core algorithmic claim is that *adaptive, error-driven*
+selection (:class:`MaxUncertaintyStrategy` — ask about the rule whose
+classification is currently most likely to be wrong) beats non-adaptive
+baselines (:class:`RandomStrategy`, :class:`RoundRobinStrategy`) by a
+wide margin in questions-to-quality. All three share the same
+eligibility filter so the comparison isolates the *ordering* decision:
+
+- resolved rules are never asked again (their answer is already known
+  with sufficient confidence — re-asking wastes the member's patience);
+- a member is never asked a rule they already answered (a second answer
+  from the same member adds no independent evidence under the
+  members-as-samples model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rule import Rule
+from repro.estimation.significance import Decision
+from repro.miner.state import MiningState, RuleKnowledge
+
+
+class QuestionStrategy:
+    """Base class for closed-question selection."""
+
+    def eligible(self, state: MiningState, member_id: str) -> list[RuleKnowledge]:
+        """Unresolved rules this member can still usefully answer."""
+        return [
+            knowledge
+            for knowledge in state.unresolved()
+            if not knowledge.samples.has_answer_from(member_id)
+        ]
+
+    def select(
+        self, state: MiningState, member_id: str, rng: np.random.Generator
+    ) -> Rule | None:
+        """The rule to ask ``member_id`` about, or ``None`` when nothing helps."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Short name used in experiment reports."""
+        return type(self).__name__.removesuffix("Strategy").lower()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomStrategy(QuestionStrategy):
+    """Uniformly random choice among eligible rules (the naive baseline)."""
+
+    def select(
+        self, state: MiningState, member_id: str, rng: np.random.Generator
+    ) -> Rule | None:
+        eligible = self.eligible(state, member_id)
+        if not eligible:
+            return None
+        return eligible[int(rng.integers(len(eligible)))].rule
+
+
+class RoundRobinStrategy(QuestionStrategy):
+    """Fair cycling through eligible rules in discovery order.
+
+    Non-adaptive but systematic: every unresolved rule accumulates
+    evidence at the same rate. This is the "spread the budget evenly"
+    baseline, the strongest non-adaptive contender.
+    """
+
+    def select(
+        self, state: MiningState, member_id: str, rng: np.random.Generator
+    ) -> Rule | None:
+        eligible = self.eligible(state, member_id)
+        if not eligible:
+            return None
+        # Fewest samples first = evens out evidence across rules;
+        # discovery order breaks ties deterministically.
+        return min(eligible, key=lambda k: k.samples.n).rule
+
+
+class MaxUncertaintyStrategy(QuestionStrategy):
+    """The paper's adaptive strategy: ask where a question helps most.
+
+    Two regimes, reflecting where a rule stands on its way to a
+    decision:
+
+    - **verification** (``n < min_samples``): the rule cannot be
+      settled yet no matter what the evidence says, so the question's
+      value is proportional to the rule's *promise* — the evidence's
+      probability of significance blended with the rule's prior
+      promise (one pseudo-sample's worth), so a single unlucky zero
+      answer demotes a freshly volunteered rule rather than burying it
+      forever under the stream of new candidates. Promising rules get
+      confirmed across more members first; rules whose early answers
+      look hopeless drift to the back of the queue.
+    - **settling** (``n ≥ min_samples``, still undecided): the value
+      is the rule's *uncertainty* — the probability of misclassifying
+      it if forced to decide now — discounted by how much one more
+      sample can still move the estimate. The mean shifts by at most
+      ``O(1/n)`` per answer, so the score is ``uncertainty ·
+      min_samples / n``: boundary rules receive extra evidence while it
+      can still change the verdict, but a rule that stays on the
+      boundary after many samples stops hoarding budget (it *is*
+      borderline — more answers will not make it less so), and the
+      stream of fresh candidates behind it gets verified instead.
+
+    Both regimes share one scale (promise is ≥ discounted uncertainty
+    at equal ``p``), so a single ``max`` interleaves them correctly:
+    confirming a promising discovery beats poking at a coin-flip
+    boundary, which beats chasing rules that are probably noise. Ties
+    break toward the rule *closest to resolution* (largest ``n``),
+    concentrating budget until something actually gets decided.
+    """
+
+    def _score(self, state: MiningState, knowledge: RuleKnowledge) -> float:
+        assessment = knowledge.last_assessment
+        p = 0.5 if assessment is None else assessment.probability_significant
+        n = knowledge.samples.n
+        min_samples = state.test.min_samples
+        if n < min_samples:
+            # Blend evidence with one pseudo-sample of prior promise.
+            return (n * p + knowledge.prior_promise) / (n + 1)
+        # Diminishing returns: the value of the (n+1)-th sample decays.
+        return min(p, 1.0 - p) * (min_samples / n)
+
+    def select(
+        self, state: MiningState, member_id: str, rng: np.random.Generator
+    ) -> Rule | None:
+        eligible = self.eligible(state, member_id)
+        if not eligible:
+            return None
+        best = max(
+            eligible,
+            key=lambda k: (self._score(state, k), k.samples.n),
+        )
+        return best.rule
+
+
+class HorizontalStrategy(QuestionStrategy):
+    """The levelwise (Apriori-inspired) baseline of the papers.
+
+    Asks about a rule only when every *known generalization* of it is
+    already decided significant — the classic bottom-up, level-by-level
+    sweep of the lattice, adapted to rules. Within the unblocked
+    frontier it proceeds breadth-first (smallest bodies, fewest samples
+    first). The papers use exactly this as the "horizontal" baseline
+    their adaptive ("vertical") algorithm is compared against: it is
+    systematic and sound, but it cannot race down a promising branch,
+    so it reaches the specific, most informative rules much later.
+    """
+
+    def _blocked(self, state: MiningState, knowledge: RuleKnowledge) -> bool:
+        rule = knowledge.rule
+        for other in state.rules():
+            if other.rule == rule:
+                continue
+            if other.rule.generalizes(rule) and not (
+                other.is_resolved and other.decision is Decision.SIGNIFICANT
+            ):
+                return True
+        return False
+
+    def select(
+        self, state: MiningState, member_id: str, rng: np.random.Generator
+    ) -> Rule | None:
+        eligible = self.eligible(state, member_id)
+        if not eligible:
+            return None
+        frontier = [k for k in eligible if not self._blocked(state, k)]
+        pool = frontier or eligible  # all blocked: fall back gracefully
+        best = min(pool, key=lambda k: (len(k.rule.body), k.samples.n))
+        return best.rule
+
+
+#: Registry used by experiment configs ("crowdminer" is the headline name).
+STRATEGIES = {
+    "crowdminer": MaxUncertaintyStrategy,
+    "maxuncertainty": MaxUncertaintyStrategy,
+    "random": RandomStrategy,
+    "roundrobin": RoundRobinStrategy,
+    "horizontal": HorizontalStrategy,
+}
+
+
+def make_strategy(name: str) -> QuestionStrategy:
+    """Instantiate a strategy by registry name."""
+    try:
+        return STRATEGIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {sorted(set(STRATEGIES))}"
+        ) from None

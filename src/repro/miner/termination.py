@@ -1,0 +1,107 @@
+"""Early-termination criteria for mining sessions.
+
+The budget is the hard stop; real deployments also want soft stops:
+"I only need ten good recommendations" (the papers' top-k retrieval,
+listed as the natural extension), "stop when the statistics say nothing
+more is settleable", or "stop when discovery has stalled". A stopping
+rule is a callable over the running miner, checked between steps by
+:meth:`CrowdMiner.run`; this module provides the useful ones and the
+combinators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.miner.crowdminer import CrowdMiner
+
+#: A stopping rule: True → end the session now.
+StoppingRule = Callable[[CrowdMiner], bool]
+
+
+def found_k_significant(k: int, mode: str = "decided") -> StoppingRule:
+    """Stop once ``k`` rules are reported significant.
+
+    With ``mode="decided"`` (default) only confidently settled rules
+    count — the right reading of "give me the top ten" — while
+    ``"point"`` counts the anytime report.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    def rule(miner: CrowdMiner) -> bool:
+        return len(miner.state.significant_rules(mode=mode)) >= k
+
+    rule.__name__ = f"found_{k}_significant"
+    return rule
+
+
+def nothing_settleable(check_every: int = 50) -> StoppingRule:
+    """Stop when the budget forecast says no rule can still be settled.
+
+    Runs the sample-size forecast (see :mod:`repro.miner.budgeting`)
+    every ``check_every`` questions — it is O(unresolved rules) — and
+    stops when every unresolved rule is practically undecidable with
+    the current crowd.
+    """
+    if check_every <= 0:
+        raise ValueError("check_every must be positive")
+
+    def rule(miner: CrowdMiner) -> bool:
+        if miner.questions_asked == 0 or miner.questions_asked % check_every:
+            return False
+        from repro.miner.budgeting import forecast_budget
+
+        forecast = forecast_budget(miner.state, crowd_size=len(miner.crowd))
+        if not forecast.plans:
+            return False  # nothing unresolved: is_done will handle it
+        return all(plan.practically_undecidable for plan in forecast.plans)
+
+    rule.__name__ = "nothing_settleable"
+    return rule
+
+
+def discovery_stalled(window: int = 100, min_new_rules: int = 1) -> StoppingRule:
+    """Stop when fewer than ``min_new_rules`` appeared in the last window.
+
+    A coarse "the well is dry" heuristic for discovery-dominated
+    sessions (e.g. pure-open surveying).
+    """
+    if window <= 0 or min_new_rules <= 0:
+        raise ValueError("window and min_new_rules must be positive")
+    checkpoints: dict[int, int] = {}
+
+    def rule(miner: CrowdMiner) -> bool:
+        asked = miner.questions_asked
+        checkpoints[asked] = len(miner.state)
+        baseline = checkpoints.get(asked - window)
+        if baseline is None:
+            return False
+        return len(miner.state) - baseline < min_new_rules
+
+    rule.__name__ = "discovery_stalled"
+    return rule
+
+
+def any_of(*rules: StoppingRule) -> StoppingRule:
+    """Stop when any constituent rule fires."""
+    if not rules:
+        raise ValueError("any_of needs at least one rule")
+
+    def combined(miner: CrowdMiner) -> bool:
+        return any(rule(miner) for rule in rules)
+
+    combined.__name__ = "any_of(" + ", ".join(r.__name__ for r in rules) + ")"
+    return combined
+
+
+def all_of(*rules: StoppingRule) -> StoppingRule:
+    """Stop only when every constituent rule fires."""
+    if not rules:
+        raise ValueError("all_of needs at least one rule")
+
+    def combined(miner: CrowdMiner) -> bool:
+        return all(rule(miner) for rule in rules)
+
+    combined.__name__ = "all_of(" + ", ".join(r.__name__ for r in rules) + ")"
+    return combined

@@ -1,0 +1,61 @@
+"""Synthetic data substrate: latent habit models, generators, populations.
+
+Everything the simulation needs that the real system would get from the
+world: an item vocabulary, a population with habits, and materialized
+personal databases standing in for the crowd's (virtual) memories.
+"""
+
+from repro.synth.datasets import (
+    DatasetFormatError,
+    domain_from_db,
+    load_basket_file,
+    load_csv_baskets,
+    parse_basket_lines,
+    save_basket_file,
+)
+from repro.synth.domains import (
+    NAMED_MODELS,
+    culinary_domain,
+    culinary_model,
+    folk_remedies_domain,
+    folk_remedies_model,
+    travel_domain,
+    travel_model,
+)
+from repro.synth.factories import random_domain, random_habit_model
+from repro.synth.latent import HabitPattern, LatentHabitModel, UserHabit, UserProfile
+from repro.synth.population import (
+    Member,
+    Population,
+    build_population,
+    partition_global_db,
+)
+from repro.synth.quest import QuestConfig, QuestGenerator
+
+__all__ = [
+    "DatasetFormatError",
+    "HabitPattern",
+    "LatentHabitModel",
+    "Member",
+    "NAMED_MODELS",
+    "Population",
+    "QuestConfig",
+    "QuestGenerator",
+    "UserHabit",
+    "UserProfile",
+    "build_population",
+    "culinary_domain",
+    "domain_from_db",
+    "load_basket_file",
+    "load_csv_baskets",
+    "parse_basket_lines",
+    "save_basket_file",
+    "culinary_model",
+    "folk_remedies_domain",
+    "folk_remedies_model",
+    "partition_global_db",
+    "random_domain",
+    "random_habit_model",
+    "travel_domain",
+    "travel_model",
+]

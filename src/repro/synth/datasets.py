@@ -1,0 +1,124 @@
+"""Reading and writing transaction datasets in common text formats.
+
+Association-mining research distributes datasets in two line-oriented
+formats; supporting them makes the library's classic substrate and the
+crowd-from-real-data pipeline (experiment E6) usable with actual
+published data instead of only synthetic Quest output:
+
+- **basket format** (FIMI repository style: ``retail.dat``,
+  ``kosarak.dat``): one transaction per line, items separated by
+  whitespace. Items are opaque tokens (often integers).
+- **CSV basket format**: same, comma-separated, optionally with a
+  header line to skip.
+
+Both readers stream — they never hold more than one line of text in
+memory beyond the accumulated transactions — and both writers produce
+files the readers round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.items import ItemDomain
+from repro.core.transactions import TransactionDB
+from repro.errors import ReproError
+
+
+class DatasetFormatError(ReproError):
+    """A dataset file could not be parsed."""
+
+
+def _read_lines(path: str | Path) -> Iterator[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from handle
+
+
+def parse_basket_lines(
+    lines: Iterable[str], separator: str | None = None
+) -> Iterator[frozenset[str]]:
+    """Parse basket-format lines into transactions.
+
+    ``separator=None`` splits on arbitrary whitespace (the FIMI
+    convention); otherwise the explicit separator is used and items are
+    stripped. Empty lines are skipped (some published files end with
+    one); a line yielding no items after stripping is treated as empty.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        raw = line.split() if separator is None else line.split(separator)
+        items = frozenset(item.strip() for item in raw if item.strip())
+        if items:
+            yield items
+
+
+def load_basket_file(
+    path: str | Path,
+    separator: str | None = None,
+    max_transactions: int | None = None,
+) -> TransactionDB:
+    """Load a basket-format file as a :class:`TransactionDB`.
+
+    Parameters
+    ----------
+    path:
+        The file to read.
+    separator:
+        ``None`` (whitespace, FIMI style) or an explicit separator
+        (e.g. ``","``).
+    max_transactions:
+        Optional cap — useful for sampling the head of a large file.
+    """
+    def rows() -> Iterator[frozenset[str]]:
+        count = 0
+        for row in parse_basket_lines(_read_lines(path), separator):
+            if max_transactions is not None and count >= max_transactions:
+                return
+            count += 1
+            yield row
+
+    db = TransactionDB(rows())
+    if len(db) == 0:
+        raise DatasetFormatError(f"no transactions found in {path}")
+    return db
+
+
+def save_basket_file(
+    db: TransactionDB, path: str | Path, separator: str = " "
+) -> None:
+    """Write a database in basket format (items sorted within each line)."""
+    if any(separator in item for row in db for item in row):
+        raise DatasetFormatError(
+            f"separator {separator!r} occurs inside an item name; "
+            f"choose a different separator"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in db:
+            handle.write(separator.join(sorted(row)))
+            handle.write("\n")
+
+
+def load_csv_baskets(
+    path: str | Path, skip_header: bool = False
+) -> TransactionDB:
+    """Load comma-separated baskets (optionally skipping a header line)."""
+    lines = _read_lines(path)
+    if skip_header:
+        next(lines, None)
+    db = TransactionDB(parse_basket_lines(lines, separator=","))
+    if len(db) == 0:
+        raise DatasetFormatError(f"no transactions found in {path}")
+    return db
+
+
+def domain_from_db(db: TransactionDB, category: str = "item") -> ItemDomain:
+    """Build an :class:`ItemDomain` covering every item in a database.
+
+    Loaded datasets have no category structure; everything lands in one
+    category (the NL renderer falls back to generic phrasing).
+    """
+    items = db.items
+    return ItemDomain(items, categories={item: category for item in items})

@@ -1,0 +1,210 @@
+"""Named example domains with preset habit models.
+
+Three ready-made scenarios matching the application domains the
+crowd-mining line of work draws its examples from:
+
+- **folk remedies** — the 2013 paper's motivating domain: which
+  treatments do people actually use for which ailments ("ginger tea
+  for a sore throat")?
+- **travel** — the vacation-planning scenario (activities at
+  attractions plus nearby restaurants);
+- **culinary** — dish/drink combinations (useful, per the papers, for
+  composing menus or dietician studies).
+
+Each accessor returns a fully parameterized
+:class:`~repro.synth.latent.LatentHabitModel`; the planted habits are
+this library's stand-in for the unknown real-world truth, so examples
+and benchmarks can score themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.items import ItemDomain
+from repro.core.rule import Rule
+from repro.synth.latent import HabitPattern, LatentHabitModel
+
+#: Category labels used by the NL question renderer.
+SYMPTOM, REMEDY = "symptom", "remedy"
+PLACE, ACTIVITY, RESTAURANT = "place", "activity", "restaurant"
+DISH, DRINK = "dish", "drink"
+
+
+def folk_remedies_domain() -> ItemDomain:
+    """Symptoms and remedies of the folk-medicine scenario."""
+    return ItemDomain.from_categories(
+        {
+            SYMPTOM: [
+                "sore throat",
+                "headache",
+                "insomnia",
+                "nausea",
+                "cough",
+                "back pain",
+                "cold",
+                "heartburn",
+                "fatigue",
+                "stress",
+            ],
+            REMEDY: [
+                "ginger tea",
+                "honey",
+                "chamomile tea",
+                "coffee",
+                "chicken soup",
+                "hot bath",
+                "peppermint tea",
+                "lemon",
+                "garlic",
+                "yoga",
+                "nap",
+                "baking soda",
+                "ice pack",
+                "whiskey",
+                "eucalyptus oil",
+                "meditation",
+            ],
+        }
+    )
+
+
+def folk_remedies_model(seed: int | np.random.Generator | None = 0) -> LatentHabitModel:
+    """The folk-medicine population: a dozen planted treatment habits."""
+    domain = folk_remedies_domain()
+    patterns = [
+        HabitPattern(Rule.parse("sore throat -> ginger tea"), 0.8, 0.30, 0.85),
+        HabitPattern(Rule.parse("sore throat -> ginger tea, honey"), 0.6, 0.30, 0.70),
+        HabitPattern(Rule.parse("headache -> coffee"), 0.7, 0.40, 0.75),
+        HabitPattern(Rule.parse("insomnia -> chamomile tea"), 0.6, 0.25, 0.80),
+        HabitPattern(Rule.parse("nausea -> peppermint tea"), 0.5, 0.20, 0.75),
+        HabitPattern(Rule.parse("cough -> honey, lemon"), 0.7, 0.30, 0.80),
+        HabitPattern(Rule.parse("cold -> chicken soup"), 0.8, 0.30, 0.85),
+        HabitPattern(Rule.parse("back pain -> hot bath"), 0.5, 0.25, 0.70),
+        HabitPattern(Rule.parse("heartburn -> baking soda"), 0.3, 0.20, 0.60),
+        HabitPattern(Rule.parse("stress -> meditation"), 0.4, 0.35, 0.65),
+        HabitPattern(Rule.parse("stress -> yoga"), 0.3, 0.35, 0.60),
+        HabitPattern(Rule.parse("fatigue -> nap"), 0.9, 0.40, 0.85),
+    ]
+    return LatentHabitModel(domain, patterns, background_rate=0.01, seed=seed)
+
+
+def travel_domain() -> ItemDomain:
+    """Attractions, activities and restaurants of the travel scenario."""
+    return ItemDomain.from_categories(
+        {
+            PLACE: [
+                "central park",
+                "bronx zoo",
+                "madison square",
+                "brooklyn bridge",
+                "high line",
+                "coney island",
+            ],
+            ACTIVITY: [
+                "biking",
+                "basketball",
+                "baseball",
+                "feed a monkey",
+                "rent bikes",
+                "picnic",
+                "jogging",
+                "street show",
+                "swimming",
+            ],
+            RESTAURANT: [
+                "maoz vegetarian",
+                "pine restaurant",
+                "shake shack",
+                "katz deli",
+                "pizza corner",
+            ],
+        }
+    )
+
+
+def travel_model(seed: int | np.random.Generator | None = 0) -> LatentHabitModel:
+    """The vacation-planning population (the running-example flavour)."""
+    domain = travel_domain()
+    # Note on calibration: when several habits share an antecedent item
+    # (e.g. central park), occasions created by one habit dilute the
+    # measured confidence of the others, so shared-context habits carry
+    # deliberately higher conditional rates than solo ones.
+    patterns = [
+        HabitPattern(Rule.parse("central park -> biking"), 0.8, 0.40, 0.80),
+        HabitPattern(
+            Rule.parse("central park, biking -> rent bikes"), 0.7, 0.45, 0.90
+        ),
+        HabitPattern(
+            Rule.parse("madison square -> maoz vegetarian"), 0.6, 0.30, 0.70
+        ),
+        HabitPattern(Rule.parse("bronx zoo -> feed a monkey"), 0.7, 0.30, 0.80),
+        HabitPattern(
+            Rule.parse("bronx zoo -> pine restaurant"), 0.6, 0.30, 0.70
+        ),
+        HabitPattern(Rule.parse("high line -> picnic"), 0.6, 0.30, 0.70),
+        HabitPattern(Rule.parse("high line -> street show"), 0.4, 0.30, 0.55),
+        HabitPattern(Rule.parse("coney island -> swimming"), 0.6, 0.25, 0.75),
+        HabitPattern(
+            Rule.parse("madison square -> shake shack"), 0.7, 0.30, 0.80
+        ),
+        HabitPattern(Rule.parse("brooklyn bridge -> jogging"), 0.5, 0.25, 0.65),
+    ]
+    return LatentHabitModel(domain, patterns, background_rate=0.015, seed=seed)
+
+
+def culinary_domain() -> ItemDomain:
+    """Dishes and drinks of the culinary scenario."""
+    return ItemDomain.from_categories(
+        {
+            DISH: [
+                "steak",
+                "fries",
+                "muesli",
+                "yogurt",
+                "pizza",
+                "salad",
+                "falafel",
+                "pasta",
+                "sushi",
+                "pancakes",
+                "burger",
+                "hummus",
+            ],
+            DRINK: [
+                "coke",
+                "apple juice",
+                "red wine",
+                "beer",
+                "green tea",
+                "orange juice",
+                "espresso",
+                "lemonade",
+            ],
+        }
+    )
+
+
+def culinary_model(seed: int | np.random.Generator | None = 0) -> LatentHabitModel:
+    """The culinary population (dish/drink pairing habits)."""
+    domain = culinary_domain()
+    patterns = [
+        HabitPattern(Rule.parse("steak, fries -> coke"), 0.5, 0.25, 0.70),
+        HabitPattern(Rule.parse("muesli, yogurt -> apple juice"), 0.4, 0.30, 0.65),
+        HabitPattern(Rule.parse("steak -> red wine"), 0.5, 0.25, 0.60),
+        HabitPattern(Rule.parse("pizza -> beer"), 0.6, 0.30, 0.70),
+        HabitPattern(Rule.parse("sushi -> green tea"), 0.5, 0.20, 0.75),
+        HabitPattern(Rule.parse("pancakes -> orange juice"), 0.5, 0.25, 0.70),
+        HabitPattern(Rule.parse("falafel -> lemonade"), 0.3, 0.25, 0.55),
+        HabitPattern(Rule.parse("pasta -> red wine"), 0.4, 0.30, 0.55),
+        HabitPattern(Rule.parse("burger, fries -> coke"), 0.6, 0.30, 0.75),
+        HabitPattern(Rule.parse("salad -> lemonade"), 0.2, 0.30, 0.45),
+    ]
+    return LatentHabitModel(domain, patterns, background_rate=0.02, seed=seed)
+
+
+NAMED_MODELS = {
+    "folk_remedies": folk_remedies_model,
+    "travel": travel_model,
+    "culinary": culinary_model,
+}

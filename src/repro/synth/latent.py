@@ -1,0 +1,228 @@
+"""Latent habit model: the population-level ground truth.
+
+The paper's synthetic experiments need a crowd whose behaviour has
+*known* structure, so the quality of the mined answer can be scored
+exactly. This module provides that structure.
+
+A :class:`LatentHabitModel` holds a set of :class:`HabitPattern`\\ s.
+Each pattern is a rule (e.g. ``{sore throat} → {ginger tea}``) with
+population parameters: what fraction of people have the habit at all
+(*prevalence*), how often the antecedent situation arises in a habit
+holder's life (*antecedent rate*), and how reliably the consequent
+follows (*conditional rate*). Individual crowd members are *sampled*
+from the model: each member gets their own subset of habits and their
+own per-habit rates (population mean plus across-user spread), from
+which a materialized personal :class:`~repro.core.transactions.TransactionDB`
+is generated occasion by occasion.
+
+Because personal databases are materialized, every quantity a simulated
+member later reports (supports, confidences, open-question rules) is
+*internally consistent* — e.g. support is automatically antitone along
+the rule lattice — which is exactly the property the mining algorithm's
+lattice-based inferences rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng, check_fraction, check_nonnegative, check_positive
+from repro.core.items import ItemDomain
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class HabitPattern:
+    """One population-level habit.
+
+    Attributes
+    ----------
+    rule:
+        The rule describing the habit.
+    prevalence:
+        Fraction of the population that has the habit at all.
+    antecedent_rate:
+        Mean per-occasion probability that the antecedent situation
+        arises for a habit holder. For itemset rules (empty
+        antecedent) this is the per-occasion probability of the body.
+    conditional_rate:
+        Mean probability that the consequent accompanies the
+        antecedent, for a habit holder (the habit's "confidence").
+    rate_std:
+        Across-user standard deviation applied to both rates
+        (truncated to ``[0, 1]``). Zero makes every holder identical.
+    """
+
+    rule: Rule
+    prevalence: float
+    antecedent_rate: float
+    conditional_rate: float
+    rate_std: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_fraction(self.prevalence, "prevalence")
+        check_fraction(self.antecedent_rate, "antecedent_rate")
+        check_fraction(self.conditional_rate, "conditional_rate")
+        check_nonnegative(self.rate_std, "rate_std")
+
+    @property
+    def expected_support(self) -> float:
+        """Population-mean support of the rule among habit holders."""
+        return self.antecedent_rate * self.conditional_rate
+
+    @property
+    def population_support(self) -> float:
+        """Approximate crowd-mean support including non-holders."""
+        return self.prevalence * self.expected_support
+
+
+@dataclass(frozen=True, slots=True)
+class UserHabit:
+    """A habit as realized for one specific member."""
+
+    pattern: HabitPattern
+    antecedent_rate: float
+    conditional_rate: float
+
+
+@dataclass(frozen=True, slots=True)
+class UserProfile:
+    """The latent truth about one crowd member: their realized habits."""
+
+    habits: tuple[UserHabit, ...]
+
+    def has_rule(self, rule: Rule) -> bool:
+        """True when the member holds a habit with exactly this rule."""
+        return any(h.pattern.rule == rule for h in self.habits)
+
+
+@dataclass(slots=True)
+class LatentHabitModel:
+    """A population model over an item domain.
+
+    Parameters
+    ----------
+    domain:
+        The item universe. Every pattern rule must draw its items from
+        this domain.
+    patterns:
+        The planted habits.
+    background_rate:
+        Per-occasion probability that any individual item occurs
+        spontaneously (independent of habits). Gives every rule a small
+        nonzero floor support, so the miner faces realistic noise rather
+        than exact zeros.
+    seed:
+        Seed (or generator) controlling all sampling from the model.
+    """
+
+    domain: ItemDomain
+    patterns: list[HabitPattern]
+    background_rate: float = 0.01
+    seed: int | np.random.Generator | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_fraction(self.background_rate, "background_rate")
+        for pattern in self.patterns:
+            self.domain.validate_items(pattern.rule.body)
+        rules = [p.rule for p in self.patterns]
+        if len(set(rules)) != len(rules):
+            raise ConfigurationError("duplicate pattern rules in latent model")
+        self._rng = as_rng(self.seed)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _truncated_rate(self, mean: float, std: float, rng: np.random.Generator) -> float:
+        if std == 0.0:
+            return mean
+        return float(np.clip(rng.normal(mean, std), 0.0, 1.0))
+
+    def realize_user(self, rng: np.random.Generator | None = None) -> UserProfile:
+        """Sample one member's latent profile (which habits, what rates)."""
+        rng = self._rng if rng is None else rng
+        habits: list[UserHabit] = []
+        for pattern in self.patterns:
+            if rng.random() < pattern.prevalence:
+                habits.append(
+                    UserHabit(
+                        pattern=pattern,
+                        antecedent_rate=self._truncated_rate(
+                            pattern.antecedent_rate, pattern.rate_std, rng
+                        ),
+                        conditional_rate=self._truncated_rate(
+                            pattern.conditional_rate, pattern.rate_std, rng
+                        ),
+                    )
+                )
+        return UserProfile(tuple(habits))
+
+    def generate_transaction(
+        self, profile: UserProfile, rng: np.random.Generator | None = None
+    ) -> frozenset[str]:
+        """Generate one occasion of a member's life.
+
+        Habit mechanics: for each habit the member holds, the
+        antecedent situation arises with the member's antecedent rate;
+        when it does, the antecedent items are in the occasion, and the
+        consequent items join with the member's conditional rate.
+        Background items occur independently at ``background_rate``.
+        """
+        rng = self._rng if rng is None else rng
+        items: set[str] = set()
+        for habit in profile.habits:
+            rule = habit.pattern.rule
+            if rule.is_itemset_rule:
+                if rng.random() < habit.antecedent_rate * habit.conditional_rate:
+                    items.update(rule.body)
+                continue
+            if rng.random() < habit.antecedent_rate:
+                items.update(rule.antecedent)
+                if rng.random() < habit.conditional_rate:
+                    items.update(rule.consequent)
+        if self.background_rate > 0.0:
+            mask = rng.random(len(self.domain)) < self.background_rate
+            if mask.any():
+                items.update(
+                    item for item, hit in zip(self.domain.items, mask) if hit
+                )
+        return frozenset(items)
+
+    def generate_personal_db(
+        self,
+        profile: UserProfile,
+        n_transactions: int,
+        rng: np.random.Generator | None = None,
+    ) -> TransactionDB:
+        """Materialize a member's personal database of ``n_transactions``."""
+        check_positive(n_transactions, "n_transactions")
+        rng = self._rng if rng is None else rng
+        return TransactionDB(
+            self.generate_transaction(profile, rng) for _ in range(n_transactions)
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def rules(self) -> list[Rule]:
+        """The planted rules, in declaration order."""
+        return [p.rule for p in self.patterns]
+
+    def expected_crowd_stats(self, rule: Rule) -> tuple[float, float]:
+        """Analytic approximation of the crowd-mean (support, confidence).
+
+        Exact only for planted rules whose bodies do not overlap other
+        patterns or background items; used by tests as a coarse oracle
+        (the exact oracle measures materialized databases instead).
+        """
+        for pattern in self.patterns:
+            if pattern.rule == rule:
+                support = pattern.prevalence * pattern.expected_support
+                confidence = pattern.prevalence * pattern.conditional_rate
+                return (support, confidence)
+        floor = self.background_rate ** len(rule.body)
+        return (floor, self.background_rate ** len(rule.consequent))

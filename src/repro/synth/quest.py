@@ -1,0 +1,181 @@
+"""IBM Quest-style synthetic transaction generator.
+
+The synthetic-market-basket generator of Agrawal & Srikant (VLDB 1994)
+is the de-facto workload for association-mining papers. We reimplement
+its core mechanism:
+
+1. draw a pool of *potential patterns* — correlated itemsets whose
+   sizes are Poisson-distributed and whose items partially overlap with
+   previously drawn patterns;
+2. assign each pattern a weight (exponentially distributed) and a
+   *corruption level* (how often items are dropped when the pattern is
+   emitted);
+3. build each transaction by sampling patterns by weight and emitting
+   their (possibly corrupted) items until the Poisson-drawn transaction
+   size is filled.
+
+The output feeds two places: "real-data-like" global databases that are
+partitioned into personal databases (experiment E6), and stress inputs
+for the classic miners' tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng, check_fraction, check_positive
+from repro.core.items import ItemDomain
+from repro.core.transactions import TransactionDB
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class QuestConfig:
+    """Parameters of the Quest generator (names follow the paper).
+
+    Attributes
+    ----------
+    n_items:
+        Size of the item universe (``N``).
+    n_transactions:
+        Number of transactions to generate (``|D|``).
+    avg_transaction_size:
+        Mean transaction length (``|T|``), Poisson-distributed.
+    avg_pattern_size:
+        Mean potential-pattern length (``|I|``), Poisson-distributed.
+    n_patterns:
+        Size of the potential-pattern pool (``|L|``).
+    correlation:
+        Fraction of a new pattern's items drawn from the previous
+        pattern (0.5 in the original generator).
+    corruption_mean:
+        Mean of the per-pattern corruption level (normally distributed,
+        clamped to ``[0, 1]``); a corrupted emission drops items.
+    """
+
+    n_items: int = 200
+    n_transactions: int = 5_000
+    avg_transaction_size: float = 8.0
+    avg_pattern_size: float = 3.0
+    n_patterns: int = 50
+    correlation: float = 0.5
+    corruption_mean: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_items, "n_items")
+        check_positive(self.n_transactions, "n_transactions")
+        check_positive(self.n_patterns, "n_patterns")
+        check_fraction(self.correlation, "correlation")
+        check_fraction(self.corruption_mean, "corruption_mean")
+        if self.avg_transaction_size <= 0 or self.avg_pattern_size <= 0:
+            raise ConfigurationError("average sizes must be positive")
+
+
+@dataclass(slots=True)
+class _Pattern:
+    items: tuple[str, ...]
+    weight: float
+    corruption: float
+
+
+@dataclass(slots=True)
+class QuestGenerator:
+    """A seeded Quest generator.
+
+    >>> gen = QuestGenerator(QuestConfig(n_items=50, n_transactions=100), seed=7)
+    >>> db = gen.generate()
+    >>> len(db)
+    100
+    """
+
+    config: QuestConfig
+    seed: int | np.random.Generator | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _patterns: list[_Pattern] = field(init=False, repr=False)
+    _domain: ItemDomain = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = as_rng(self.seed)
+        self._domain = ItemDomain(
+            [f"item{i:04d}" for i in range(self.config.n_items)]
+        )
+        self._patterns = self._draw_patterns()
+
+    @property
+    def domain(self) -> ItemDomain:
+        """The item universe the generator draws from."""
+        return self._domain
+
+    @property
+    def patterns(self) -> list[tuple[tuple[str, ...], float]]:
+        """The potential patterns and their (normalized) weights."""
+        total = sum(p.weight for p in self._patterns)
+        return [(p.items, p.weight / total) for p in self._patterns]
+
+    def _draw_pattern_size(self, mean: float) -> int:
+        # Poisson shifted so sizes are at least 1.
+        return 1 + int(self._rng.poisson(max(mean - 1.0, 0.0)))
+
+    def _draw_patterns(self) -> list[_Pattern]:
+        cfg = self.config
+        items = self._domain.items
+        patterns: list[_Pattern] = []
+        previous: tuple[str, ...] = ()
+        weights = self._rng.exponential(1.0, size=cfg.n_patterns)
+        for k in range(cfg.n_patterns):
+            size = min(self._draw_pattern_size(cfg.avg_pattern_size), cfg.n_items)
+            chosen: set[str] = set()
+            # Correlated part: reuse items from the previous pattern.
+            if previous:
+                n_reuse = int(round(cfg.correlation * size))
+                n_reuse = min(n_reuse, len(previous))
+                if n_reuse:
+                    chosen.update(
+                        self._rng.choice(previous, size=n_reuse, replace=False)
+                    )
+            while len(chosen) < size:
+                chosen.add(items[int(self._rng.integers(cfg.n_items))])
+            corruption = float(
+                np.clip(self._rng.normal(cfg.corruption_mean, 0.1), 0.0, 1.0)
+            )
+            pattern = _Pattern(tuple(sorted(chosen)), float(weights[k]), corruption)
+            patterns.append(pattern)
+            previous = pattern.items
+        return patterns
+
+    def _emit_pattern(self, pattern: _Pattern) -> list[str]:
+        kept = [
+            item for item in pattern.items if self._rng.random() >= pattern.corruption
+        ]
+        # The original generator keeps at least something of a chosen
+        # pattern half of the time it corrupts everything away.
+        if not kept and pattern.items:
+            kept = [pattern.items[int(self._rng.integers(len(pattern.items)))]]
+        return kept
+
+    def generate_transaction(self) -> frozenset[str]:
+        """Generate one transaction."""
+        cfg = self.config
+        target = max(1, int(self._rng.poisson(cfg.avg_transaction_size)))
+        weights = np.array([p.weight for p in self._patterns])
+        weights = weights / weights.sum()
+        chosen: set[str] = set()
+        guard = 0
+        while len(chosen) < target and guard < 20:
+            pattern = self._patterns[int(self._rng.choice(len(self._patterns), p=weights))]
+            emitted = self._emit_pattern(pattern)
+            # If the pattern overflows the target size, accept it anyway
+            # half the time (as the original generator does), else stop.
+            if chosen and len(chosen) + len(emitted) > target and self._rng.random() < 0.5:
+                break
+            chosen.update(emitted)
+            guard += 1
+        return frozenset(chosen)
+
+    def generate(self, n_transactions: int | None = None) -> TransactionDB:
+        """Generate a full database (defaults to the configured size)."""
+        n = n_transactions if n_transactions is not None else self.config.n_transactions
+        check_positive(n, "n_transactions")
+        return TransactionDB(self.generate_transaction() for _ in range(n))

@@ -1,0 +1,77 @@
+"""Tests for FP-Growth, including the Apriori-equivalence property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic import apriori_frequent_itemsets, fpgrowth_frequent_itemsets
+from repro.core import Itemset, TransactionDB
+from repro.errors import EmptyDatabaseError
+
+random_dbs = st.lists(
+    st.lists(st.sampled_from(list("abcdefg")), max_size=5),
+    min_size=1,
+    max_size=40,
+).map(TransactionDB)
+
+thresholds = st.sampled_from([0.05, 0.1, 0.25, 0.5, 0.75, 1.0])
+
+
+class TestSmallCases:
+    def test_tiny_db(self, tiny_db):
+        result = fpgrowth_frequent_itemsets(tiny_db, 0.5)
+        assert result[Itemset(["cough", "tea"])] == pytest.approx(0.5)
+
+    def test_single_path_tree(self):
+        # All transactions nest: the tree is a single path and the
+        # combinatorial shortcut kicks in.
+        db = TransactionDB([["a"], ["a", "b"], ["a", "b", "c"]])
+        result = fpgrowth_frequent_itemsets(db, 1 / 3)
+        assert result[Itemset(["a"])] == pytest.approx(1.0)
+        assert result[Itemset(["a", "b"])] == pytest.approx(2 / 3)
+        assert result[Itemset(["a", "b", "c"])] == pytest.approx(1 / 3)
+
+    def test_max_size_cap(self, tiny_db):
+        result = fpgrowth_frequent_itemsets(tiny_db, 0.1, max_size=2)
+        assert all(len(itemset) <= 2 for itemset in result)
+
+    def test_empty_db_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            fpgrowth_frequent_itemsets(TransactionDB([]), 0.5)
+
+    def test_zero_support_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            fpgrowth_frequent_itemsets(tiny_db, 0.0)
+
+    def test_nothing_frequent(self):
+        db = TransactionDB([["a"], ["b"]])
+        assert fpgrowth_frequent_itemsets(db, 0.9) == {}
+
+
+class TestEquivalence:
+    """FP-Growth must agree exactly with Apriori — the executable spec."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dbs, thresholds)
+    def test_matches_apriori(self, db, min_support):
+        a = apriori_frequent_itemsets(db, min_support)
+        f = fpgrowth_frequent_itemsets(db, min_support)
+        assert set(a) == set(f)
+        for itemset in a:
+            assert a[itemset] == pytest.approx(f[itemset])
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_dbs)
+    def test_matches_apriori_with_size_cap(self, db):
+        a = apriori_frequent_itemsets(db, 0.2, max_size=2)
+        f = fpgrowth_frequent_itemsets(db, 0.2, max_size=2)
+        assert a == f
+
+    def test_matches_on_dense_db(self, rng):
+        rows = [
+            [f"i{k}" for k in range(10) if rng.random() < 0.5] for _ in range(150)
+        ]
+        db = TransactionDB(rows)
+        a = apriori_frequent_itemsets(db, 0.1)
+        f = fpgrowth_frequent_itemsets(db, 0.1)
+        assert set(a) == set(f)

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Expensive world-building (populations, ground truths) is cached at
+session scope; tests must treat those objects as read-only. Anything a
+test mutates (crowds, miners) is built per-test from the cached
+populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ItemDomain, Itemset, Rule, TransactionDB
+from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.estimation import Thresholds
+from repro.miner import compute_ground_truth
+from repro.synth import build_population, folk_remedies_model
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_domain():
+    """Four items in two categories."""
+    return ItemDomain.from_categories(
+        {"symptom": ["cough", "headache"], "remedy": ["tea", "honey"]}
+    )
+
+
+@pytest.fixture
+def tiny_db():
+    """A hand-checkable six-transaction database.
+
+    Supports (out of 6): cough 4/6, tea 4/6, honey 2/6,
+    {cough, tea} 3/6, {cough, tea, honey} 1/6, headache 1/6.
+    """
+    return TransactionDB(
+        [
+            ["cough", "tea"],
+            ["cough", "tea", "honey"],
+            ["cough", "tea"],
+            ["cough"],
+            ["tea", "headache"],
+            ["honey"],
+        ]
+    )
+
+
+@pytest.fixture
+def simple_rule():
+    return Rule(["cough"], ["tea"])
+
+
+@pytest.fixture
+def thresholds():
+    return Thresholds(0.10, 0.5)
+
+
+@pytest.fixture(scope="session")
+def folk_model():
+    return folk_remedies_model(seed=1)
+
+
+@pytest.fixture(scope="session")
+def folk_population(folk_model):
+    """A 25-member folk-remedies population (read-only!)."""
+    return build_population(
+        folk_model, n_members=25, transactions_per_member=120, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def folk_truth(folk_population):
+    return compute_ground_truth(folk_population, Thresholds(0.10, 0.5))
+
+
+@pytest.fixture
+def folk_crowd(folk_population):
+    """A fresh crowd over the shared population (mutable per-test)."""
+    return SimulatedCrowd.from_population(
+        folk_population, answer_model=standard_answer_model(), seed=3
+    )
+
+
+def make_itemset(*items: str) -> Itemset:
+    """Tiny helper used across test modules."""
+    return Itemset(items)

@@ -1,0 +1,99 @@
+"""Tests for repro.core.items."""
+
+import pytest
+
+from repro.core import DEFAULT_CATEGORY, ItemDomain
+from repro.errors import InvalidItemError
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = ItemDomain(["a", "b"])
+        assert len(d) == 2
+        assert list(d) == ["a", "b"]
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(InvalidItemError, match="duplicate"):
+            ItemDomain(["a", "a"])
+
+    def test_empty_item_name_rejected(self):
+        with pytest.raises(InvalidItemError):
+            ItemDomain([""])
+
+    def test_non_string_item_rejected(self):
+        with pytest.raises(InvalidItemError):
+            ItemDomain([42])  # type: ignore[list-item]
+
+    def test_category_for_unknown_item_rejected(self):
+        with pytest.raises(InvalidItemError, match="outside the domain"):
+            ItemDomain(["a"], categories={"b": "x"})
+
+    def test_empty_domain_allowed(self):
+        assert len(ItemDomain([])) == 0
+
+    def test_from_categories(self):
+        d = ItemDomain.from_categories({"s": ["a", "b"], "r": ["c"]})
+        assert d.category_of("a") == "s"
+        assert d.category_of("c") == "r"
+        assert d.categories == ("s", "r")
+
+
+class TestAccessors:
+    def test_default_category(self):
+        d = ItemDomain(["a"])
+        assert d.category_of("a") == DEFAULT_CATEGORY
+
+    def test_contains(self, tiny_domain):
+        assert "cough" in tiny_domain
+        assert "aspirin" not in tiny_domain
+
+    def test_index_of_preserves_order(self, tiny_domain):
+        assert tiny_domain.index_of("cough") == 0
+        assert tiny_domain.index_of("honey") == 3
+
+    def test_index_of_unknown_raises(self, tiny_domain):
+        with pytest.raises(InvalidItemError):
+            tiny_domain.index_of("aspirin")
+
+    def test_category_of_unknown_raises(self, tiny_domain):
+        with pytest.raises(InvalidItemError):
+            tiny_domain.category_of("aspirin")
+
+    def test_items_in_category(self, tiny_domain):
+        assert tiny_domain.items_in_category("symptom") == ("cough", "headache")
+        assert tiny_domain.items_in_category("nonexistent") == ()
+
+    def test_validate_items(self, tiny_domain):
+        tiny_domain.validate_items(["cough", "tea"])
+        with pytest.raises(InvalidItemError, match="aspirin"):
+            tiny_domain.validate_items(["cough", "aspirin"])
+
+
+class TestEquality:
+    def test_equal_domains(self):
+        a = ItemDomain(["x", "y"], categories={"x": "c"})
+        b = ItemDomain(["x", "y"], categories={"x": "c"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_category_changes_equality(self):
+        a = ItemDomain(["x"], categories={"x": "c1"})
+        b = ItemDomain(["x"], categories={"x": "c2"})
+        assert a != b
+
+    def test_order_matters(self):
+        assert ItemDomain(["x", "y"]) != ItemDomain(["y", "x"])
+
+    def test_not_equal_to_other_types(self):
+        assert ItemDomain(["x"]) != ["x"]
+
+
+class TestRestrict:
+    def test_restrict_keeps_categories(self, tiny_domain):
+        sub = tiny_domain.restrict(["cough", "tea"])
+        assert list(sub) == ["cough", "tea"]
+        assert sub.category_of("tea") == "remedy"
+
+    def test_restrict_unknown_raises(self, tiny_domain):
+        with pytest.raises(InvalidItemError):
+            tiny_domain.restrict(["aspirin"])

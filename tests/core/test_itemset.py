@@ -1,0 +1,125 @@
+"""Tests for repro.core.itemset, including canonicalization properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Itemset
+
+items_strategy = st.lists(
+    st.sampled_from(list("abcdefgh")), min_size=0, max_size=6
+)
+
+
+class TestConstruction:
+    def test_deduplicates(self):
+        assert len(Itemset(["a", "a", "b"])) == 2
+
+    def test_sorted_canonical_order(self):
+        assert Itemset(["c", "a", "b"]).items == ("a", "b", "c")
+
+    def test_from_itemset_is_identity(self):
+        a = Itemset(["x", "y"])
+        assert Itemset(a) == a
+
+    def test_of_variadic(self):
+        assert Itemset.of("b", "a") == Itemset(["a", "b"])
+
+    def test_empty(self):
+        assert len(Itemset.empty()) == 0
+        assert not Itemset.empty()
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            Itemset([1])  # type: ignore[list-item]
+
+
+class TestEqualityHashing:
+    @given(items_strategy)
+    def test_order_independent(self, items):
+        assert Itemset(items) == Itemset(list(reversed(items)))
+        assert hash(Itemset(items)) == hash(Itemset(list(reversed(items))))
+
+    def test_str_is_canonical(self):
+        assert str(Itemset(["b", "a"])) == "{a, b}"
+
+    def test_repr_roundtrip(self):
+        a = Itemset(["x", "y"])
+        assert eval(repr(a)) == a
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert Itemset(["a"]) | Itemset(["b"]) == Itemset(["a", "b"])
+
+    def test_intersection(self):
+        assert Itemset(["a", "b"]) & Itemset(["b", "c"]) == Itemset(["b"])
+
+    def test_difference(self):
+        assert Itemset(["a", "b"]) - Itemset(["b"]) == Itemset(["a"])
+
+    def test_isdisjoint(self):
+        assert Itemset(["a"]).isdisjoint(Itemset(["b"]))
+        assert not Itemset(["a"]).isdisjoint(Itemset(["a"]))
+
+    def test_with_item(self):
+        assert Itemset(["a"]).with_item("b") == Itemset(["a", "b"])
+
+    @given(items_strategy, items_strategy)
+    def test_union_commutes(self, a, b):
+        assert Itemset(a) | Itemset(b) == Itemset(b) | Itemset(a)
+
+    @given(items_strategy, items_strategy)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert (Itemset(a) - Itemset(b)).isdisjoint(Itemset(b))
+
+
+class TestPartialOrder:
+    def test_subset_operators(self):
+        small, big = Itemset(["a"]), Itemset(["a", "b"])
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not big <= small
+
+    def test_self_comparison(self):
+        a = Itemset(["a"])
+        assert a <= a and a >= a
+        assert not a < a and not a > a
+
+    @given(items_strategy, items_strategy)
+    def test_subset_antisymmetry(self, a, b):
+        x, y = Itemset(a), Itemset(b)
+        if x <= y and y <= x:
+            assert x == y
+
+    @given(items_strategy, items_strategy)
+    def test_intersection_is_lower_bound(self, a, b):
+        x, y = Itemset(a), Itemset(b)
+        assert (x & y) <= x and (x & y) <= y
+
+
+class TestEnumeration:
+    def test_subsets_count(self):
+        a = Itemset(["a", "b", "c"])
+        assert len(list(a.subsets())) == 8
+        assert len(list(a.subsets(proper=True))) == 7
+        assert len(list(a.subsets(size=2))) == 3
+
+    def test_subsets_out_of_range_size(self):
+        assert list(Itemset(["a"]).subsets(size=5)) == []
+
+    def test_immediate_subsets(self):
+        a = Itemset(["a", "b"])
+        subs = set(a.immediate_subsets())
+        assert subs == {Itemset(["a"]), Itemset(["b"])}
+
+    @given(items_strategy)
+    def test_all_subsets_are_subsets(self, items):
+        a = Itemset(items)
+        for sub in a.subsets():
+            assert sub <= a
+
+    def test_contains(self):
+        a = Itemset([f"i{k}" for k in range(12)])
+        assert "i3" in a
+        assert "zzz" not in a

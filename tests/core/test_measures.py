@@ -1,0 +1,98 @@
+"""Tests for repro.core.measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RuleStats, conviction, leverage, lift
+from repro.errors import InvalidThresholdError
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestRuleStats:
+    def test_basic(self):
+        s = RuleStats(0.2, 0.6)
+        assert s.support == 0.2
+        assert s.confidence == 0.6
+
+    def test_support_cannot_exceed_confidence(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            RuleStats(0.7, 0.3)
+
+    def test_equal_support_confidence_ok(self):
+        RuleStats(0.5, 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidThresholdError):
+            RuleStats(-0.1, 0.5)
+        with pytest.raises(InvalidThresholdError):
+            RuleStats(0.1, 1.5)
+
+    def test_as_tuple(self):
+        assert RuleStats(0.2, 0.6).as_tuple() == (0.2, 0.6)
+
+    def test_meets(self):
+        s = RuleStats(0.2, 0.6)
+        assert s.meets(0.2, 0.6)
+        assert s.meets(0.1, 0.5)
+        assert not s.meets(0.3, 0.5)
+        assert not s.meets(0.1, 0.7)
+
+    def test_antecedent_support(self):
+        assert RuleStats(0.3, 0.6).antecedent_support == pytest.approx(0.5)
+        assert RuleStats(0.0, 0.0).antecedent_support == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RuleStats(0.1, 0.5).support = 0.9  # type: ignore[misc]
+
+    def test_str_format(self):
+        assert str(RuleStats(0.25, 0.5)) == "(s=0.250, c=0.500)"
+
+
+class TestLift:
+    def test_independent_items_lift_one(self):
+        assert lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_positive_correlation(self):
+        assert lift(0.5, 0.5, 0.5) == pytest.approx(2.0)
+
+    def test_zero_joint_is_zero(self):
+        assert lift(0.0, 0.5, 0.5) == 0.0
+
+    def test_zero_marginal_is_inf(self):
+        assert lift(0.1, 0.0, 0.5) == math.inf
+
+    @given(fractions, fractions, fractions)
+    def test_never_negative(self, joint, a, b):
+        assert lift(joint, a, b) >= 0.0
+
+
+class TestLeverage:
+    def test_independent_is_zero(self):
+        assert leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_positive(self):
+        assert leverage(0.5, 0.5, 0.5) == pytest.approx(0.25)
+
+    @given(fractions, fractions, fractions)
+    def test_bounded_for_consistent_inputs(self, raw, a, b):
+        # The classic [−0.25, 1] bound holds only for probabilistically
+        # consistent triples: max(0, a+b−1) ≤ joint ≤ min(a, b).
+        low, high = max(0.0, a + b - 1.0), min(a, b)
+        joint = low + raw * (high - low)
+        assert -0.25 - 1e-9 <= leverage(joint, a, b) <= 1.0
+
+
+class TestConviction:
+    def test_perfect_confidence_is_inf(self):
+        assert conviction(1.0, 0.5) == math.inf
+
+    def test_independence_is_one(self):
+        assert conviction(0.5, 0.5) == pytest.approx(1.0)
+
+    def test_zero_confidence(self):
+        assert conviction(0.0, 0.4) == pytest.approx(0.6)

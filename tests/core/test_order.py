@@ -1,0 +1,133 @@
+"""Tests for the rule generalization lattice (repro.core.order)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Rule,
+    comparable,
+    generalizations,
+    is_generalization_chain,
+    maximal_rules,
+    minimal_rules,
+    specializations,
+    upward_closure,
+)
+
+
+def random_rules():
+    items = list("abcdef")
+    def build(draw_sets):
+        a, c = draw_sets
+        c = [x for x in c if x not in a] or ["z"]
+        return Rule(a, c)
+    return st.tuples(
+        st.lists(st.sampled_from(items), max_size=2, unique=True),
+        st.lists(st.sampled_from(items), min_size=1, max_size=2, unique=True),
+    ).map(build)
+
+
+class TestGeneralizations:
+    def test_drop_from_antecedent(self):
+        gens = set(generalizations(Rule(["a", "b"], ["c"])))
+        assert Rule(["a"], ["c"]) in gens
+        assert Rule(["b"], ["c"]) in gens
+
+    def test_consequent_kept_nonempty(self):
+        gens = list(generalizations(Rule(["a"], ["c"])))
+        # Only the antecedent can shrink; {a}→{} is illegal.
+        assert gens == [Rule([], ["c"])]
+
+    def test_multi_item_consequent_shrinks(self):
+        gens = set(generalizations(Rule([], ["c", "d"])))
+        assert gens == {Rule([], ["c"]), Rule([], ["d"])}
+
+    @given(random_rules())
+    def test_all_outputs_generalize_input(self, rule):
+        for general in generalizations(rule):
+            assert general.generalizes(rule)
+            assert general != rule
+
+
+class TestSpecializations:
+    def test_adds_one_item_each_side(self):
+        specs = set(specializations(Rule(["a"], ["b"]), ["a", "b", "c"]))
+        assert Rule(["a", "c"], ["b"]) in specs
+        assert Rule(["a"], ["b", "c"]) in specs
+        assert len(specs) == 2
+
+    def test_skips_used_items(self):
+        specs = list(specializations(Rule(["a"], ["b"]), ["a", "b"]))
+        assert specs == []
+
+    @given(random_rules())
+    def test_all_outputs_specialize_input(self, rule):
+        for specific in specializations(rule, list("abcdefgh")):
+            assert rule.generalizes(specific)
+            assert specific != rule
+
+
+class TestChainsAndExtremes:
+    def test_chain_detection(self):
+        chain = [Rule([], ["c"]), Rule(["a"], ["c"]), Rule(["a", "b"], ["c"])]
+        assert is_generalization_chain(chain)
+        assert not is_generalization_chain(list(reversed(chain)))
+
+    def test_maximal_rules(self):
+        rules = [Rule(["a"], ["c"]), Rule(["a", "b"], ["c"]), Rule(["x"], ["y"])]
+        kept = set(maximal_rules(rules))
+        assert kept == {Rule(["a", "b"], ["c"]), Rule(["x"], ["y"])}
+
+    def test_minimal_rules(self):
+        rules = [Rule(["a"], ["c"]), Rule(["a", "b"], ["c"]), Rule(["x"], ["y"])]
+        kept = set(minimal_rules(rules))
+        assert kept == {Rule(["a"], ["c"]), Rule(["x"], ["y"])}
+
+    def test_maximal_handles_duplicates(self):
+        rules = [Rule(["a"], ["c"])] * 3
+        assert maximal_rules(rules) == [Rule(["a"], ["c"])]
+
+    def test_empty_inputs(self):
+        assert maximal_rules([]) == []
+        assert minimal_rules([]) == []
+
+    @given(st.lists(random_rules(), max_size=8))
+    def test_maximal_subset_of_input(self, rules):
+        kept = maximal_rules(rules)
+        assert set(kept) <= set(rules)
+        # No kept rule generalizes another kept rule.
+        for a in kept:
+            for b in kept:
+                if a != b:
+                    assert not a.generalizes(b)
+
+
+class TestClosure:
+    def test_upward_closure_contains_input(self):
+        rule = Rule(["a", "b"], ["c"])
+        closure = upward_closure([rule])
+        assert rule in closure
+        assert Rule(["a"], ["c"]) in closure
+        assert Rule([], ["c"]) in closure
+
+    def test_upward_closure_size(self):
+        # {a,b}→{c}: antecedent subsets {∅,{a},{b},{a,b}} × consequent {c}.
+        closure = upward_closure([Rule(["a", "b"], ["c"])])
+        assert len(closure) == 4
+
+    @given(st.lists(random_rules(), min_size=1, max_size=4))
+    def test_closure_is_upward_closed(self, rules):
+        closure = upward_closure(rules)
+        for rule in closure:
+            for general in generalizations(rule):
+                assert general in closure
+
+
+class TestComparable:
+    def test_comparable_pairs(self):
+        a, b = Rule(["x"], ["y"]), Rule(["x", "z"], ["y"])
+        assert comparable(a, b)
+        assert comparable(b, a)
+
+    def test_incomparable_pair(self):
+        assert not comparable(Rule(["x"], ["y"]), Rule(["p"], ["q"]))

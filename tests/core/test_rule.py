@@ -1,0 +1,105 @@
+"""Tests for repro.core.rule."""
+
+import pytest
+
+from repro.core import Itemset, Rule
+from repro.errors import InvalidRuleError
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rule(["a"], ["b"])
+        assert r.antecedent == Itemset(["a"])
+        assert r.consequent == Itemset(["b"])
+        assert r.body == Itemset(["a", "b"])
+
+    def test_empty_consequent_rejected(self):
+        with pytest.raises(InvalidRuleError, match="consequent"):
+            Rule(["a"], [])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(InvalidRuleError, match="disjoint"):
+            Rule(["a", "b"], ["b"])
+
+    def test_empty_antecedent_allowed(self):
+        r = Rule([], ["a"])
+        assert r.is_itemset_rule
+
+    def test_itemset_rule_constructor(self):
+        r = Rule.itemset_rule(["a", "b"])
+        assert r.is_itemset_rule
+        assert r.body == Itemset(["a", "b"])
+
+    def test_len_is_body_size(self):
+        assert len(Rule(["a", "b"], ["c"])) == 3
+
+
+class TestParse:
+    def test_parse_basic(self):
+        r = Rule.parse("a, b -> c")
+        assert r == Rule(["a", "b"], ["c"])
+
+    def test_parse_strips_whitespace(self):
+        assert Rule.parse("  a ->  b , c ") == Rule(["a"], ["b", "c"])
+
+    def test_parse_empty_antecedent(self):
+        assert Rule.parse("-> a").is_itemset_rule
+
+    def test_parse_multiword_items(self):
+        r = Rule.parse("sore throat -> ginger tea")
+        assert "sore throat" in r.antecedent
+
+    def test_parse_missing_arrow_raises(self):
+        with pytest.raises(InvalidRuleError, match="->"):
+            Rule.parse("a, b")
+
+    def test_parse_empty_consequent_raises(self):
+        with pytest.raises(InvalidRuleError):
+            Rule.parse("a ->")
+
+
+class TestEquality:
+    def test_equal_rules(self):
+        assert Rule(["a"], ["b"]) == Rule(["a"], ["b"])
+        assert hash(Rule(["a"], ["b"])) == hash(Rule(["a"], ["b"]))
+
+    def test_direction_matters(self):
+        assert Rule(["a"], ["b"]) != Rule(["b"], ["a"])
+
+    def test_split_matters(self):
+        assert Rule(["a"], ["b", "c"]) != Rule(["a", "b"], ["c"])
+
+    def test_str(self):
+        assert str(Rule(["a"], ["b"])) == "{a} -> {b}"
+
+
+class TestGeneralization:
+    def test_generalizes_self(self):
+        r = Rule(["a"], ["b"])
+        assert r.generalizes(r)
+        assert r.specializes(r)
+
+    def test_smaller_antecedent_generalizes(self):
+        general = Rule(["a"], ["c"])
+        specific = Rule(["a", "b"], ["c"])
+        assert general.generalizes(specific)
+        assert specific.specializes(general)
+        assert not specific.generalizes(general)
+
+    def test_smaller_consequent_generalizes(self):
+        general = Rule(["a"], ["c"])
+        specific = Rule(["a"], ["c", "d"])
+        assert general.generalizes(specific)
+
+    def test_cross_side_not_comparable(self):
+        # {a}→{b,c} vs {a,b}→{c}: same body, different splits — neither
+        # generalizes the other (b sits on different sides).
+        r1 = Rule(["a"], ["b", "c"])
+        r2 = Rule(["a", "b"], ["c"])
+        assert not r1.generalizes(r2)
+        assert not r2.generalizes(r1)
+
+    def test_sort_key_orders_by_size_first(self):
+        small = Rule(["a"], ["b"])
+        big = Rule(["a", "b"], ["c"])
+        assert small.sort_key() < big.sort_key()

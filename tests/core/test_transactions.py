@@ -1,0 +1,122 @@
+"""Tests for repro.core.transactions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Itemset, Rule, TransactionDB
+from repro.errors import EmptyDatabaseError
+
+dbs = st.lists(
+    st.lists(st.sampled_from(list("abcde")), max_size=4),
+    min_size=1,
+    max_size=30,
+).map(TransactionDB)
+
+
+class TestBasics:
+    def test_len_and_iter(self, tiny_db):
+        assert len(tiny_db) == 6
+        assert all(isinstance(t, frozenset) for t in tiny_db)
+
+    def test_getitem(self, tiny_db):
+        assert tiny_db[0] == frozenset({"cough", "tea"})
+
+    def test_items_sorted(self, tiny_db):
+        assert tiny_db.items == ("cough", "headache", "honey", "tea")
+
+    def test_transactions_deduplicate_items(self):
+        db = TransactionDB([["a", "a", "b"]])
+        assert db[0] == frozenset({"a", "b"})
+
+    def test_empty_transactions_allowed(self):
+        db = TransactionDB([[], ["a"]])
+        assert db.support(Itemset(["a"])) == 0.5
+
+
+class TestSupport:
+    def test_known_supports(self, tiny_db):
+        assert tiny_db.support(Itemset(["cough"])) == pytest.approx(4 / 6)
+        assert tiny_db.support(Itemset(["cough", "tea"])) == pytest.approx(3 / 6)
+        assert tiny_db.support(Itemset(["cough", "tea", "honey"])) == pytest.approx(1 / 6)
+
+    def test_empty_itemset_full_support(self, tiny_db):
+        assert tiny_db.support(Itemset.empty()) == 1.0
+
+    def test_unknown_item_zero(self, tiny_db):
+        assert tiny_db.support(Itemset(["aspirin"])) == 0.0
+
+    def test_count_matches_support(self, tiny_db):
+        itemset = Itemset(["tea"])
+        assert tiny_db.count(itemset) == tiny_db.support(itemset) * len(tiny_db)
+
+    def test_empty_db_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            TransactionDB([]).support(Itemset(["a"]))
+
+    def test_matching_ids(self, tiny_db):
+        assert tiny_db.matching_ids(Itemset(["honey"])) == frozenset({1, 5})
+
+    @given(dbs)
+    def test_support_antitone_in_itemset(self, db):
+        for row in db:
+            items = sorted(row)
+            if len(items) >= 2:
+                small = Itemset(items[:1])
+                big = Itemset(items[:2])
+                assert db.support(small) >= db.support(big)
+
+    @given(dbs)
+    def test_item_frequencies_match_support(self, db):
+        for item, freq in db.item_frequencies().items():
+            assert freq == pytest.approx(db.support(Itemset([item])))
+
+
+class TestRuleStats:
+    def test_known_rule(self, tiny_db, simple_rule):
+        stats = tiny_db.rule_stats(simple_rule)
+        assert stats.support == pytest.approx(3 / 6)
+        assert stats.confidence == pytest.approx(3 / 4)
+
+    def test_vacuous_antecedent_confidence_zero(self, tiny_db):
+        stats = tiny_db.rule_stats(Rule(["aspirin"], ["tea"]))
+        assert stats.support == 0.0
+        assert stats.confidence == 0.0
+
+    def test_itemset_rule(self, tiny_db):
+        stats = tiny_db.rule_stats(Rule.itemset_rule(["tea"]))
+        assert stats.support == stats.confidence == pytest.approx(4 / 6)
+
+    @given(dbs)
+    def test_confidence_at_least_support(self, db):
+        items = db.items
+        if len(items) >= 2:
+            stats = db.rule_stats(Rule([items[0]], [items[1]]))
+            assert stats.confidence >= stats.support - 1e-12
+
+
+class TestDerived:
+    def test_project(self, tiny_db):
+        projected = tiny_db.project(["tea"])
+        assert len(projected) == len(tiny_db)
+        assert projected.items == ("tea",)
+
+    def test_sample_size(self, tiny_db, rng):
+        sampled = tiny_db.sample(10, rng)
+        assert len(sampled) == 10
+        assert set(sampled.items) <= set(tiny_db.items)
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(EmptyDatabaseError):
+            TransactionDB([]).sample(1, rng)
+
+    def test_concatenate(self, tiny_db):
+        double = TransactionDB.concatenate([tiny_db, tiny_db])
+        assert len(double) == 12
+        assert double.support(Itemset(["cough"])) == pytest.approx(
+            tiny_db.support(Itemset(["cough"]))
+        )
+
+    def test_concatenate_empty_list(self):
+        assert len(TransactionDB.concatenate([])) == 0

@@ -1,0 +1,84 @@
+"""Tests for simulated crowd members."""
+
+import pytest
+
+from repro.core import Itemset, Rule, TransactionDB
+from repro.crowd import (
+    ClosedQuestion,
+    ExactAnswerModel,
+    OpenAnswerPolicy,
+    OpenQuestion,
+    SimulatedMember,
+)
+from repro.errors import CrowdExhaustedError
+
+
+@pytest.fixture
+def member():
+    db = TransactionDB(
+        [["cough", "tea"]] * 6 + [["cough"]] * 2 + [["headache", "coffee"]] * 2
+    )
+    return SimulatedMember(
+        member_id="u1",
+        db=db,
+        answer_model=ExactAnswerModel(),
+        open_policy=OpenAnswerPolicy(personal_min_support=0.2),
+        seed=1,
+    )
+
+
+class TestClosedAnswers:
+    def test_exact_member_reports_truth(self, member):
+        answer = member.answer_closed(ClosedQuestion(Rule(["cough"], ["tea"])))
+        assert answer.stats.support == pytest.approx(0.6)
+        assert answer.stats.confidence == pytest.approx(0.75)
+        assert answer.member_id == "u1"
+
+    def test_unknown_rule_is_zero(self, member):
+        answer = member.answer_closed(ClosedQuestion(Rule(["yoga"], ["tea"])))
+        assert answer.stats.support == 0.0
+
+
+class TestOpenAnswers:
+    def test_volunteers_a_personal_rule(self, member):
+        answer = member.answer_open(OpenQuestion())
+        assert not answer.is_empty
+        assert member.db.rule_stats(answer.rule).support > 0
+
+    def test_never_repeats_itself(self, member):
+        seen = set()
+        for _ in range(30):
+            answer = member.answer_open(OpenQuestion())
+            if answer.is_empty:
+                break
+            assert answer.rule not in seen
+            seen.add(answer.rule)
+        assert answer.is_empty  # memory eventually exhausted
+
+    def test_respects_exclusion(self, member):
+        exclude = set(
+            member._cache.pool_for(member.db)  # the full personal pool
+        )
+        answer = member.answer_open(OpenQuestion(), exclude=exclude)
+        assert answer.is_empty
+
+    def test_context_restricts_antecedent(self, member):
+        answer = member.answer_open(OpenQuestion(Itemset(["headache"])))
+        if not answer.is_empty:
+            assert "headache" in answer.rule.antecedent
+
+
+class TestPatience:
+    def test_patience_limits_questions(self, member):
+        member.patience = 2
+        member.answer_closed(ClosedQuestion(Rule(["cough"], ["tea"])))
+        member.answer_open(OpenQuestion())
+        assert not member.is_available
+        with pytest.raises(CrowdExhaustedError):
+            member.answer_closed(ClosedQuestion(Rule(["cough"], ["tea"])))
+
+    def test_unbounded_by_default(self, member):
+        for _ in range(50):
+            member.answer_closed(ClosedQuestion(Rule(["cough"], ["tea"])))
+        assert member.is_available
+        assert member.questions_answered == 50

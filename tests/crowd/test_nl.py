@@ -1,0 +1,85 @@
+"""Tests for natural-language question rendering."""
+
+from repro.core import Itemset, Rule
+from repro.crowd import (
+    ClosedQuestion,
+    OpenQuestion,
+    QuestionRenderer,
+    culinary_renderer,
+    folk_remedies_renderer,
+    travel_renderer,
+)
+from repro.synth import culinary_domain, folk_remedies_domain, travel_domain
+
+
+class TestTemplates:
+    def test_folk_symptom_remedy(self):
+        renderer = folk_remedies_renderer(folk_remedies_domain())
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["sore throat"], ["ginger tea"]))
+        )
+        assert text == "When you have a sore throat, how often do you use ginger tea?"
+
+    def test_travel_place_activity(self):
+        renderer = travel_renderer(travel_domain())
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["central park"], ["biking"]))
+        )
+        assert "visit central park" in text and "biking" in text
+
+    def test_travel_place_restaurant(self):
+        renderer = travel_renderer(travel_domain())
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["bronx zoo"], ["pine restaurant"]))
+        )
+        assert "eat at pine restaurant" in text
+
+    def test_culinary_dish_drink(self):
+        renderer = culinary_renderer(culinary_domain())
+        text = renderer.render_closed(ClosedQuestion(Rule(["pizza"], ["beer"])))
+        assert "When you eat pizza" in text and "drink beer" in text
+
+    def test_multi_item_join(self):
+        renderer = folk_remedies_renderer(folk_remedies_domain())
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["cough"], ["honey", "lemon"]))
+        )
+        assert "honey and lemon" in text
+
+
+class TestFallbacks:
+    def test_mixed_categories_use_generic(self):
+        renderer = folk_remedies_renderer(folk_remedies_domain())
+        # antecedent mixes symptom and remedy → generic phrasing
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["cough", "honey"], ["lemon"]))
+        )
+        assert "When your day includes" in text
+
+    def test_itemset_rule_phrasing(self):
+        renderer = QuestionRenderer(folk_remedies_domain())
+        text = renderer.render_closed(ClosedQuestion(Rule.itemset_rule(["honey"])))
+        assert text == "How often does your day include honey?"
+
+    def test_no_templates_at_all(self):
+        renderer = QuestionRenderer(folk_remedies_domain())
+        text = renderer.render_closed(
+            ClosedQuestion(Rule(["sore throat"], ["ginger tea"]))
+        )
+        assert "how often does it also include" in text
+
+
+class TestOpenRendering:
+    def test_plain_open(self):
+        renderer = QuestionRenderer(folk_remedies_domain())
+        assert "Tell us" in renderer.render_open(OpenQuestion())
+
+    def test_contextual_open(self):
+        renderer = QuestionRenderer(folk_remedies_domain())
+        text = renderer.render_open(OpenQuestion(Itemset(["headache"])))
+        assert "headache" in text
+
+    def test_likert_scale_line(self):
+        renderer = QuestionRenderer(folk_remedies_domain())
+        line = renderer.render_likert_scale()
+        assert line.startswith("never") and line.endswith("very often")

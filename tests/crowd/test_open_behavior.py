@@ -1,0 +1,94 @@
+"""Tests for open-answer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import Itemset, Rule, RuleStats, TransactionDB
+from repro.crowd import OpenAnswerPolicy, PersonalRuleCache
+
+
+@pytest.fixture
+def db():
+    # "cough→tea" dominates; "headache→coffee" is a weaker habit.
+    return TransactionDB(
+        [["cough", "tea"]] * 8 + [["headache", "coffee"]] * 2
+    )
+
+
+class TestPersonalRules:
+    def test_pool_respects_thresholds(self, db):
+        policy = OpenAnswerPolicy(
+            personal_min_support=0.5, personal_min_confidence=0.5
+        )
+        pool = policy.personal_rules(db)
+        assert Rule(["cough"], ["tea"]) in pool
+        assert Rule(["headache"], ["coffee"]) not in pool  # support 0.2
+
+    def test_pool_caps_body_size(self):
+        db = TransactionDB([["a", "b", "c", "d", "e"]] * 5)
+        policy = OpenAnswerPolicy(max_body_size=2)
+        pool = policy.personal_rules(db)
+        assert all(len(rule) <= 2 for rule in pool)
+
+    def test_empty_db_empty_pool(self):
+        assert OpenAnswerPolicy().personal_rules(TransactionDB([])) == {}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OpenAnswerPolicy(max_body_size=0)
+
+
+class TestChoose:
+    def test_prominence_prefers_strong_rules(self, db, rng):
+        policy = OpenAnswerPolicy(
+            personal_min_support=0.1, personal_min_confidence=0.3, sharpness=2.0
+        )
+        pool = policy.personal_rules(db)
+        counts = {True: 0, False: 0}
+        for _ in range(100):
+            rule, _ = policy.choose(pool, Itemset.empty(), set(), rng)
+            counts[rule.body == Itemset(["cough", "tea"])] += 1
+        assert counts[True] > counts[False]
+
+    def test_exclusion(self, db, rng):
+        policy = OpenAnswerPolicy(personal_min_support=0.1)
+        pool = policy.personal_rules(db)
+        choice = policy.choose(pool, Itemset.empty(), set(pool), rng)
+        assert choice is None
+
+    def test_context_filters_antecedent(self, db, rng):
+        policy = OpenAnswerPolicy(
+            personal_min_support=0.1, personal_min_confidence=0.3
+        )
+        pool = policy.personal_rules(db)
+        for _ in range(20):
+            choice = policy.choose(pool, Itemset(["headache"]), set(), rng)
+            if choice is None:
+                break
+            rule, _ = choice
+            assert "headache" in rule.antecedent
+
+    def test_zero_sharpness_is_uniform(self, db, rng):
+        policy = OpenAnswerPolicy(
+            personal_min_support=0.1, personal_min_confidence=0.3, sharpness=0.0
+        )
+        pool = policy.personal_rules(db)
+        seen = set()
+        for _ in range(300):
+            rule, _ = policy.choose(pool, Itemset.empty(), set(), rng)
+            seen.add(rule)
+        assert seen == set(pool)
+
+
+class TestCache:
+    def test_pool_computed_once(self, db):
+        policy = OpenAnswerPolicy()
+        cache = PersonalRuleCache(policy)
+        first = cache.pool_for(db)
+        second = cache.pool_for(db)
+        assert first is second
+
+    def test_distinct_dbs_distinct_pools(self, db):
+        other = TransactionDB([["x", "y"]] * 5)
+        cache = PersonalRuleCache(OpenAnswerPolicy(personal_min_support=0.1))
+        assert cache.pool_for(db) is not cache.pool_for(other)

@@ -1,0 +1,44 @@
+"""Tests for question/answer value objects."""
+
+import pytest
+
+from repro.core import Itemset, Rule, RuleStats
+from repro.crowd import ClosedAnswer, ClosedQuestion, OpenAnswer, OpenQuestion
+
+
+class TestQuestions:
+    def test_closed_str(self):
+        q = ClosedQuestion(Rule(["a"], ["b"]))
+        assert "{a} -> {b}" in str(q)
+
+    def test_open_default_context_empty(self):
+        assert not OpenQuestion().context
+
+    def test_open_context_str(self):
+        q = OpenQuestion(Itemset(["headache"]))
+        assert "headache" in str(q)
+
+    def test_questions_hashable(self):
+        assert len({ClosedQuestion(Rule(["a"], ["b"])), OpenQuestion()}) == 2
+
+
+class TestAnswers:
+    def test_closed_answer_rule_shortcut(self):
+        q = ClosedQuestion(Rule(["a"], ["b"]))
+        a = ClosedAnswer("u1", q, RuleStats(0.2, 0.5))
+        assert a.rule == q.rule
+        assert a.member_id == "u1"
+
+    def test_open_answer_full(self):
+        a = OpenAnswer("u1", OpenQuestion(), Rule(["a"], ["b"]), RuleStats(0.2, 0.5))
+        assert not a.is_empty
+
+    def test_open_answer_empty(self):
+        a = OpenAnswer("u1", OpenQuestion(), None, None)
+        assert a.is_empty
+
+    def test_open_answer_half_empty_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            OpenAnswer("u1", OpenQuestion(), Rule(["a"], ["b"]), None)
+        with pytest.raises(ValueError, match="both"):
+            OpenAnswer("u1", OpenQuestion(), None, RuleStats(0.2, 0.5))

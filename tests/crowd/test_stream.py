@@ -1,0 +1,147 @@
+"""Tests for stream-driven crowd members."""
+
+import io
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.crowd import (
+    ClosedQuestion,
+    OpenQuestion,
+    QuestionRenderer,
+    StreamMember,
+    parse_open_answer,
+    parse_stats,
+)
+from repro.errors import CrowdExhaustedError
+from repro.synth import folk_remedies_domain
+
+
+class TestParsing:
+    def test_frequency_words(self):
+        assert parse_stats("never") == RuleStats(0.0, 0.0)
+        assert parse_stats("OFTEN") == RuleStats(0.75, 0.75)
+
+    def test_two_numbers(self):
+        assert parse_stats("0.2 0.6") == RuleStats(0.2, 0.6)
+
+    def test_numbers_coherced(self):
+        # support > confidence input is repaired, not rejected.
+        assert parse_stats("0.7 0.3") == RuleStats(0.7, 0.7)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_stats("dunno maybe")
+        with pytest.raises(ValueError):
+            parse_stats("0.2 0.6 0.9")
+
+    def test_open_pass(self):
+        assert parse_open_answer("pass") is None
+        assert parse_open_answer("NONE") is None
+
+    def test_open_rule_and_stats(self):
+        rule, stats = parse_open_answer("cough -> tea ; sometimes")
+        assert rule == Rule(["cough"], ["tea"])
+        assert stats == RuleStats(0.5, 0.5)
+
+    def test_open_numeric_stats(self):
+        _, stats = parse_open_answer("a, b -> c ; 0.1 0.4")
+        assert stats == RuleStats(0.1, 0.4)
+
+    def test_open_missing_semicolon(self):
+        with pytest.raises(ValueError, match="';'|pass"):
+            parse_open_answer("cough -> tea often")
+
+    def test_open_bad_rule(self):
+        with pytest.raises(ValueError, match="bad rule"):
+            parse_open_answer("cough tea ; often")
+
+
+class TestStreamMember:
+    def test_closed_answers_in_order(self):
+        member = StreamMember("u1", ["often", "0.1 0.5"])
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        assert member.answer_closed(q).stats == RuleStats(0.75, 0.75)
+        assert member.answer_closed(q).stats == RuleStats(0.1, 0.5)
+        assert member.questions_answered == 2
+
+    def test_comments_and_blanks_skipped(self):
+        member = StreamMember("u1", ["# my answers", "", "rarely"])
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        assert member.answer_closed(q).stats.support == 0.25
+
+    def test_exhausted_stream(self):
+        member = StreamMember("u1", ["often"])
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        member.answer_closed(q)
+        with pytest.raises(CrowdExhaustedError):
+            member.answer_closed(q)
+        assert not member.is_available
+
+    def test_open_answer(self):
+        member = StreamMember("u1", ["cough -> tea ; often"])
+        answer = member.answer_open(OpenQuestion())
+        assert answer.rule == Rule(["cough"], ["tea"])
+
+    def test_open_pass(self):
+        member = StreamMember("u1", ["pass"])
+        assert member.answer_open(OpenQuestion()).is_empty
+
+    def test_open_known_rule_treated_as_empty(self):
+        member = StreamMember("u1", ["cough -> tea ; often"])
+        answer = member.answer_open(
+            OpenQuestion(), exclude={Rule(["cough"], ["tea"])}
+        )
+        assert answer.is_empty
+
+    def test_echo_renders_questions(self):
+        out = io.StringIO()
+        renderer = QuestionRenderer(folk_remedies_domain())
+        member = StreamMember("u1", ["often"], renderer=renderer, echo=out)
+        member.answer_closed(ClosedQuestion(Rule(["cough"], ["honey"])))
+        text = out.getvalue()
+        assert "cough" in text and "honey" in text
+        assert "never" in text  # the Likert scale line
+
+    def test_tagged_lines_answer_their_kind(self):
+        member = StreamMember(
+            "u1",
+            [
+                "open: cough -> tea ; often",
+                "closed: sometimes",
+                "closed: never",
+                "open: pass",
+            ],
+        )
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        # Closed question first: the open-tagged line is held, the
+        # first closed-tagged line answers.
+        assert member.answer_closed(q).stats.support == 0.5
+        # Now the held open line serves the open question.
+        answer = member.answer_open(OpenQuestion())
+        assert answer.rule == Rule(["cough"], ["tea"])
+        assert member.answer_closed(q).stats.support == 0.0
+        assert member.answer_open(OpenQuestion()).is_empty
+
+    def test_tagged_lines_consumed_in_order_within_kind(self):
+        member = StreamMember(
+            "u1", ["closed: never", "closed: often", "open: pass"]
+        )
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        assert member.answer_closed(q).stats.support == 0.0
+        assert member.answer_closed(q).stats.support == 0.75
+
+    def test_mixed_tagged_and_untagged(self):
+        member = StreamMember("u1", ["closed: often", "rarely"])
+        q = ClosedQuestion(Rule(["cough"], ["tea"]))
+        assert member.answer_closed(q).stats.support == 0.75
+        assert member.answer_closed(q).stats.support == 0.25
+
+    def test_file_like_stream(self, tmp_path):
+        answers = tmp_path / "answers.txt"
+        answers.write_text("# scripted member\noften\nsometimes\n")
+        with open(answers) as handle:
+            member = StreamMember("u1", handle)
+            q = ClosedQuestion(Rule(["cough"], ["tea"]))
+            assert member.answer_closed(q).stats.support == 0.75
+            assert member.answer_closed(q).stats.support == 0.5

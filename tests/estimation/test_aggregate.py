@@ -1,0 +1,88 @@
+"""Tests for aggregation policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import (
+    MeanAggregator,
+    RuleSamples,
+    TrimmedMeanAggregator,
+    WeightedAggregator,
+)
+
+
+def store_with(values):
+    store = RuleSamples(Rule(["a"], ["b"]))
+    for i, (s, c) in enumerate(values):
+        store.add(f"u{i}", RuleStats(s, c))
+    return store
+
+
+class TestMean:
+    def test_matches_store_summary(self):
+        store = store_with([(0.2, 0.5), (0.4, 0.9)])
+        agg = MeanAggregator()
+        summary = agg.summarize(store)
+        assert np.allclose(summary.mean, [0.3, 0.7])
+        assert summary.n == 2
+
+
+class TestTrimmed:
+    def test_no_trim_when_too_few_samples(self):
+        store = store_with([(0.2, 0.5), (0.4, 0.9)])
+        summary = TrimmedMeanAggregator(trim=0.1).summarize(store)
+        assert summary.n == 2  # floor(0.1 * 2) == 0 → nothing trimmed
+
+    def test_trims_outliers(self):
+        honest = [(0.3, 0.6)] * 8
+        spam = [(1.0, 1.0), (0.0, 0.0)]
+        store = store_with(honest + spam)
+        summary = TrimmedMeanAggregator(trim=0.2).summarize(store)
+        assert np.allclose(summary.mean, [0.3, 0.6], atol=1e-9)
+
+    def test_outliers_shift_plain_mean_but_not_trimmed(self):
+        honest = [(0.3, 0.6)] * 8
+        spam = [(1.0, 1.0)] * 2
+        store = store_with(honest + spam)
+        plain = MeanAggregator().summarize(store)
+        trimmed = TrimmedMeanAggregator(trim=0.2).summarize(store)
+        assert plain.mean[0] > trimmed.mean[0]
+
+    def test_invalid_trim_rejected(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim=0.5)
+
+    def test_empty_store(self):
+        summary = TrimmedMeanAggregator(0.2).summarize(
+            store_with([])
+        )
+        assert summary.n == 0
+
+
+class TestWeighted:
+    def test_zero_weight_excluded(self):
+        store = store_with([(0.2, 0.5), (1.0, 1.0)])
+        agg = WeightedAggregator({"u1": 0.0})  # u1 is the (1.0, 1.0) spammer
+        summary = agg.summarize(store)
+        assert np.allclose(summary.mean, [0.2, 0.5])
+
+    def test_uniform_weights_match_mean(self):
+        store = store_with([(0.2, 0.5), (0.4, 0.9), (0.6, 0.8)])
+        weighted = WeightedAggregator({}).summarize(store)
+        plain = MeanAggregator().summarize(store)
+        assert np.allclose(weighted.mean, plain.mean)
+
+    def test_all_zero_weights_fall_back(self):
+        store = store_with([(0.2, 0.5), (0.4, 0.9)])
+        agg = WeightedAggregator({"u0": 0.0, "u1": 0.0}, default_weight=0.0)
+        summary = agg.summarize(store)
+        assert summary.n == 2  # falls back to the unweighted summary
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedAggregator({"u0": -1.0})
+
+    def test_empty_store(self):
+        summary = WeightedAggregator({}).summarize(store_with([]))
+        assert summary.n == 0

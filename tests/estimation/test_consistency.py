@@ -1,0 +1,104 @@
+"""Tests for consistency-based spammer screening."""
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import ConsistencyChecker
+
+
+class TestViolationScoring:
+    def test_unknown_member_zero(self):
+        checker = ConsistencyChecker()
+        assert checker.violation_score("nobody") == 0.0
+        assert checker.trust("nobody") == 1.0
+
+    def test_consistent_answers_no_violation(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.4, 0.6))
+        checker.record("u", Rule(["a", "c"], ["b"]), RuleStats(0.2, 0.5))
+        assert checker.violation_score("u") == 0.0
+        assert checker.trust("u") == 1.0
+
+    def test_monotonicity_violation_detected(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        checker.record("u", Rule(["a", "c"], ["b"]), RuleStats(0.9, 0.95))
+        assert checker.violation_score("u") == pytest.approx(0.8)
+        assert checker.trust("u") < 0.5
+
+    def test_body_subset_comparability(self):
+        # Different splits with subset-ordered bodies are comparable.
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        checker.record("u", Rule(["b"], ["a", "c"]), RuleStats(0.9, 0.95))
+        assert checker.violation_score("u") > 0.0
+
+    def test_equal_bodies_must_report_equal_support(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.2, 0.4))
+        checker.record("u", Rule(["b"], ["a"]), RuleStats(0.7, 0.9))
+        assert checker.violation_score("u") == pytest.approx(0.5)
+
+    def test_incomparable_rules_ignored(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        checker.record("u", Rule(["x"], ["y"]), RuleStats(0.9, 0.95))
+        assert checker.violation_score("u") == 0.0
+
+    def test_revision_replaces_old_answer(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.5, 0.7))
+        # Only one stored answer for this rule; no self-comparison pair
+        # beyond the one scored at re-record time.
+        record = checker._members["u"]
+        assert len(record.answers) == 1
+
+
+class TestTrustAndFlagging:
+    def test_tolerance_forgives_small_violations(self):
+        checker = ConsistencyChecker(tolerance=0.3)
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.2, 0.5))
+        checker.record("u", Rule(["a", "c"], ["b"]), RuleStats(0.45, 0.6))
+        assert checker.trust("u") == 1.0
+
+    def test_flagged_lists_low_trust_members(self):
+        checker = ConsistencyChecker(tolerance=0.0, severity=50.0)
+        checker.record("bad", Rule(["a"], ["b"]), RuleStats(0.0, 0.1))
+        checker.record("bad", Rule(["a", "c"], ["b"]), RuleStats(1.0, 1.0))
+        checker.record("good", Rule(["a"], ["b"]), RuleStats(0.5, 0.7))
+        checker.record("good", Rule(["a", "c"], ["b"]), RuleStats(0.3, 0.6))
+        assert checker.flagged() == ["bad"]
+
+    def test_trust_weights_cover_all_members(self):
+        checker = ConsistencyChecker()
+        checker.record("u1", Rule(["a"], ["b"]), RuleStats(0.2, 0.4))
+        checker.record("u2", Rule(["a"], ["b"]), RuleStats(0.3, 0.5))
+        assert set(checker.trust_weights()) == {"u1", "u2"}
+
+    def test_separates_spammers_from_honest(self, rng):
+        # Statistical end-to-end check on random comparable pairs.
+        checker = ConsistencyChecker()
+        base = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        for k in range(30):
+            general_s = rng.uniform(0.4, 0.6)
+            specific_s = general_s * rng.uniform(0.3, 0.9)
+            checker.record(
+                "honest", base, RuleStats(general_s, min(1.0, general_s + 0.2))
+            )
+            checker.record(
+                "honest", specific, RuleStats(specific_s, min(1.0, specific_s + 0.2))
+            )
+            a, b = sorted(rng.uniform(0, 1, 2))
+            checker.record("spammer", base, RuleStats(a, b))
+            a, b = sorted(rng.uniform(0, 1, 2))
+            checker.record("spammer", specific, RuleStats(a, b))
+        assert checker.trust("honest") > checker.trust("spammer")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConsistencyChecker(tolerance=-1)
+        with pytest.raises(ValueError):
+            ConsistencyChecker(severity=-1)

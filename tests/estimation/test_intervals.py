@@ -1,0 +1,123 @@
+"""Tests for confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Rule, RuleStats
+from repro.errors import EstimationError
+from repro.estimation import (
+    Interval,
+    RuleSamples,
+    summary_intervals,
+    wald_interval,
+    wilson_interval,
+)
+
+
+class TestInterval:
+    def test_basic(self):
+        i = Interval(0.2, 0.6)
+        assert i.width == pytest.approx(0.4)
+        assert i.contains(0.3)
+        assert not i.contains(0.7)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.6, 0.2)
+
+    def test_out_of_unit_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-0.1, 0.5)
+
+    def test_str(self):
+        assert str(Interval(0.25, 0.5)) == "[0.250, 0.500]"
+
+
+class TestWald:
+    def test_zero_variance_degenerate(self):
+        i = wald_interval(0.4, 0.0)
+        assert i.low == i.high == 0.4
+
+    def test_symmetric_about_mean(self):
+        i = wald_interval(0.5, 0.01)
+        assert (i.low + i.high) / 2 == pytest.approx(0.5)
+
+    def test_clipped_to_unit(self):
+        i = wald_interval(0.02, 0.05)
+        assert i.low == 0.0
+
+    def test_level_widens(self):
+        narrow = wald_interval(0.5, 0.01, level=0.8)
+        wide = wald_interval(0.5, 0.01, level=0.99)
+        assert wide.width > narrow.width
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(EstimationError):
+            wald_interval(0.5, -0.1)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        i = wilson_interval(12, 365)
+        assert i.contains(12 / 365)
+
+    def test_extreme_counts_stay_in_unit(self):
+        assert wilson_interval(0, 10).low == 0.0
+        assert wilson_interval(10, 10).high <= 1.0
+        assert wilson_interval(10, 10).contains(1.0) or wilson_interval(10, 10).high < 1.0
+
+    def test_never_degenerate_at_extremes(self):
+        # Unlike Wald, Wilson has nonzero width at p=0.
+        assert wilson_interval(0, 20).width > 0.0
+
+    def test_more_trials_narrower(self):
+        assert wilson_interval(5, 50).width > wilson_interval(50, 500).width
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(EstimationError):
+            wilson_interval(11, 10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100), st.integers(1, 100))
+    def test_always_valid_interval(self, successes, trials):
+        successes = min(successes, trials)
+        i = wilson_interval(successes, trials)
+        assert 0.0 <= i.low <= i.high <= 1.0
+
+
+class TestSummaryIntervals:
+    def store(self, values):
+        store = RuleSamples(Rule(["a"], ["b"]))
+        for k, (s, c) in enumerate(values):
+            store.add(f"u{k}", RuleStats(s, c))
+        return store.summary()
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(EstimationError):
+            summary_intervals(self.store([]))
+
+    def test_contains_means(self):
+        summary = self.store([(0.2, 0.5), (0.4, 0.7), (0.3, 0.6)])
+        intervals = summary_intervals(summary)
+        assert intervals.support.contains(0.3)
+        assert intervals.confidence.contains(0.6)
+        assert intervals.n == 3
+
+    def test_joint_wider_than_marginal(self):
+        summary = self.store([(0.2, 0.5), (0.4, 0.7), (0.3, 0.6), (0.35, 0.65)])
+        marginal = summary_intervals(summary, joint=False)
+        joint = summary_intervals(summary, joint=True)
+        assert joint.support.width >= marginal.support.width
+
+    def test_more_samples_narrower(self):
+        few = self.store([(0.2, 0.5), (0.4, 0.7)])
+        values = [(0.2, 0.5), (0.4, 0.7)] * 10
+        many = self.store(
+            [(s + 0.001 * i, c + 0.001 * i) for i, (s, c) in enumerate(values)]
+        )
+        assert (
+            summary_intervals(many).support.width
+            <= summary_intervals(few).support.width
+        )

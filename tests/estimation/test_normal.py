@@ -1,0 +1,89 @@
+"""Tests for bivariate-normal quadrant probabilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import quadrant_probability, quadrant_probability_independent
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+small_var = st.floats(1e-6, 0.1, allow_nan=False)
+
+
+class TestDegenerateCases:
+    def test_both_deterministic_inside(self):
+        p = quadrant_probability(np.array([0.6, 0.8]), np.zeros((2, 2)), (0.5, 0.5))
+        assert p == 1.0
+
+    def test_both_deterministic_outside(self):
+        p = quadrant_probability(np.array([0.3, 0.8]), np.zeros((2, 2)), (0.5, 0.5))
+        assert p == 0.0
+
+    def test_one_degenerate_inside(self):
+        cov = np.diag([0.0, 0.01])
+        p = quadrant_probability(np.array([0.6, 0.5]), cov, (0.5, 0.5))
+        assert p == pytest.approx(0.5, abs=0.01)
+
+    def test_one_degenerate_outside(self):
+        cov = np.diag([0.0, 0.01])
+        p = quadrant_probability(np.array([0.4, 0.9]), cov, (0.5, 0.5))
+        assert p == 0.0
+
+
+class TestSymmetry:
+    def test_centered_independent_quarter(self):
+        p = quadrant_probability(np.array([0.5, 0.5]), np.eye(2) * 0.01, (0.5, 0.5))
+        assert p == pytest.approx(0.25, abs=1e-6)
+
+    def test_perfect_positive_correlation_half(self):
+        # With ρ→1, being above one threshold implies above the other.
+        cov = np.array([[0.01, 0.0099999], [0.0099999, 0.01]])
+        p = quadrant_probability(np.array([0.5, 0.5]), cov, (0.5, 0.5))
+        assert p == pytest.approx(0.5, abs=0.02)
+
+    def test_strong_negative_correlation_near_zero(self):
+        cov = np.array([[0.01, -0.0099999], [-0.0099999, 0.01]])
+        p = quadrant_probability(np.array([0.5, 0.5]), cov, (0.5, 0.5))
+        assert p == pytest.approx(0.0, abs=0.02)
+
+
+class TestMonotonicity:
+    def test_far_above_thresholds_near_one(self):
+        p = quadrant_probability(np.array([0.9, 0.9]), np.eye(2) * 1e-4, (0.1, 0.1))
+        assert p > 0.999
+
+    def test_far_below_near_zero(self):
+        p = quadrant_probability(np.array([0.01, 0.01]), np.eye(2) * 1e-4, (0.5, 0.5))
+        assert p < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit, unit, small_var, small_var)
+    def test_in_unit_interval(self, m1, m2, v1, v2):
+        p = quadrant_probability(np.array([m1, m2]), np.diag([v1, v2]), (0.3, 0.5))
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(unit, small_var)
+    def test_decreasing_in_threshold(self, mean, var):
+        cov = np.diag([var, var])
+        lo = quadrant_probability(np.array([mean, mean]), cov, (0.2, 0.2))
+        hi = quadrant_probability(np.array([mean, mean]), cov, (0.6, 0.6))
+        assert lo >= hi - 1e-9
+
+
+class TestIndependentVariant:
+    def test_matches_joint_for_diagonal_cov(self):
+        mean = np.array([0.4, 0.7])
+        cov = np.diag([0.02, 0.03])
+        joint = quadrant_probability(mean, cov, (0.3, 0.5))
+        independent = quadrant_probability_independent(mean, cov, (0.3, 0.5))
+        assert joint == pytest.approx(independent, abs=1e-6)
+
+    def test_ignores_correlation(self):
+        mean = np.array([0.5, 0.5])
+        cov = np.array([[0.01, 0.009], [0.009, 0.01]])
+        independent = quadrant_probability_independent(mean, cov, (0.5, 0.5))
+        assert independent == pytest.approx(0.25, abs=1e-6)
+        joint = quadrant_probability(mean, cov, (0.5, 0.5))
+        assert joint > independent  # positive correlation raises the quadrant mass

@@ -1,0 +1,65 @@
+"""Tests for per-rule sample stores."""
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import RuleSamples
+
+
+@pytest.fixture
+def store():
+    return RuleSamples(Rule(["a"], ["b"]))
+
+
+class TestAccumulation:
+    def test_counts_distinct_members(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        store.add("u2", RuleStats(0.4, 0.6))
+        assert store.n == 2
+        assert store.member_ids == {"u1", "u2"}
+
+    def test_same_member_revises_not_appends(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        store.add("u1", RuleStats(0.8, 0.9))
+        assert store.n == 1
+        assert store.observation_of("u1") == RuleStats(0.8, 0.9)
+        summary = store.summary()
+        assert np.allclose(summary.mean, [0.8, 0.9])
+
+    def test_revision_keeps_estimator_exact(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        store.add("u2", RuleStats(0.4, 0.6))
+        store.add("u1", RuleStats(0.6, 0.7))
+        summary = store.summary()
+        data = np.array([[0.6, 0.7], [0.4, 0.6]])
+        assert np.allclose(summary.mean, data.mean(axis=0))
+        expected_cov = np.cov(data, rowvar=False, ddof=1) / 2
+        assert np.allclose(summary.mean_cov, expected_cov, atol=1e-9)
+
+    def test_has_answer_from(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        assert store.has_answer_from("u1")
+        assert not store.has_answer_from("u2")
+
+    def test_observation_of_missing_is_none(self, store):
+        assert store.observation_of("nobody") is None
+
+
+class TestSummaries:
+    def test_empty_summary(self, store):
+        summary = store.summary()
+        assert summary.n == 0
+        assert np.allclose(summary.mean, 0.0)
+
+    def test_single_sample_no_cov(self, store):
+        store.add("u1", RuleStats(0.3, 0.6))
+        summary = store.summary()
+        assert summary.n == 1
+        assert np.allclose(summary.mean, [0.3, 0.6])
+        assert np.allclose(summary.mean_cov, 0.0)
+
+    def test_as_array_shape(self, store):
+        assert store.as_array().shape == (0, 2)
+        store.add("u1", RuleStats(0.3, 0.6))
+        assert store.as_array().shape == (1, 2)

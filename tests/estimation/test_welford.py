@@ -1,0 +1,95 @@
+"""Property tests for the streaming mean/covariance estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import StreamingMeanCov
+
+observations = st.lists(
+    st.tuples(
+        st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False)
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestAgainstNumpy:
+    @settings(max_examples=80, deadline=None)
+    @given(observations)
+    def test_mean_matches(self, data):
+        est = StreamingMeanCov()
+        for x in data:
+            est.add(x)
+        assert np.allclose(est.mean, np.mean(data, axis=0), atol=1e-10)
+
+    @settings(max_examples=80, deadline=None)
+    @given(observations)
+    def test_cov_matches(self, data):
+        est = StreamingMeanCov()
+        for x in data:
+            est.add(x)
+        if len(data) < 2:
+            assert np.allclose(est.cov, 0.0)
+        else:
+            expected = np.cov(np.array(data), rowvar=False, ddof=1)
+            assert np.allclose(est.cov, expected, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(observations, st.integers(0, 39))
+    def test_remove_inverts_add(self, data, index):
+        index = index % len(data)
+        est = StreamingMeanCov()
+        for x in data:
+            est.add(x)
+        est.remove(data[index])
+        remaining = data[:index] + data[index + 1 :]
+        if not remaining:
+            assert est.n == 0
+        else:
+            assert np.allclose(est.mean, np.mean(remaining, axis=0), atol=1e-9)
+            if len(remaining) >= 2:
+                expected = np.cov(np.array(remaining), rowvar=False, ddof=1)
+                assert np.allclose(est.cov, expected, atol=1e-8)
+
+
+class TestBasics:
+    def test_empty_state(self):
+        est = StreamingMeanCov()
+        assert est.n == 0
+        assert np.allclose(est.mean, 0.0)
+        assert np.allclose(est.cov, 0.0)
+        assert np.allclose(est.sem_cov, 0.0)
+
+    def test_sem_cov_is_cov_over_n(self):
+        est = StreamingMeanCov()
+        for x in [(0.1, 0.2), (0.3, 0.6), (0.2, 0.9)]:
+            est.add(x)
+        assert np.allclose(est.sem_cov, est.cov / 3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="2-vector"):
+            StreamingMeanCov().add((1.0, 2.0, 3.0))  # type: ignore[arg-type]
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingMeanCov().remove((0.1, 0.1))
+
+    def test_copy_is_independent(self):
+        est = StreamingMeanCov()
+        est.add((0.5, 0.5))
+        clone = est.copy()
+        clone.add((0.1, 0.9))
+        assert est.n == 1
+        assert clone.n == 2
+
+    def test_variance_never_negative_after_removals(self):
+        est = StreamingMeanCov()
+        data = [(0.1, 0.1), (0.1, 0.1), (0.1, 0.1)]
+        for x in data:
+            est.add(x)
+        est.remove((0.1, 0.1))
+        assert est.cov[0, 0] >= 0.0
+        assert est.cov[1, 1] >= 0.0

@@ -1,0 +1,53 @@
+"""Tests for the ASCII curve chart."""
+
+import pytest
+
+from repro.eval import PRPoint, QualityCurve, ascii_chart
+
+
+def curve(label, values):
+    points = tuple(
+        PRPoint(questions=(i + 1) * 100, precision=v, recall=v)
+        for i, v in enumerate(values)
+    )
+    return QualityCurve(label, points)
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"one": curve("one", [0.2, 0.8])})
+        assert "a=one" in chart
+        assert "a" in chart.splitlines()[1:][0] or any(
+            "a" in line for line in chart.splitlines()
+        )
+
+    def test_multiple_curves_distinct_markers(self):
+        chart = ascii_chart(
+            {"x": curve("x", [0.1, 0.2]), "y": curve("y", [0.8, 0.9])}
+        )
+        assert "a=x" in chart and "b=y" in chart
+
+    def test_high_values_near_top(self):
+        chart = ascii_chart({"hi": curve("hi", [1.0, 1.0])}, height=5)
+        lines = chart.splitlines()
+        assert "a" in lines[1]  # first grid row (top)
+
+    def test_metric_selection(self):
+        points = (PRPoint(100, 1.0, 0.0),)
+        c = QualityCurve("z", points)
+        chart_p = ascii_chart({"z": c}, metric="precision", height=5)
+        chart_r = ascii_chart({"z": c}, metric="recall", height=5)
+        assert chart_p.splitlines()[1].count("a") == 1  # top row
+        assert chart_r.splitlines()[-3].count("a") == 1  # bottom grid row
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            ascii_chart({"z": curve("z", [0.5])}, metric="accuracy")
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no curves)"
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"z": curve("z", [0.5, 0.6])})
+        assert chart.splitlines()[0].startswith("f1")
+        assert "0..200" in chart.splitlines()[0]

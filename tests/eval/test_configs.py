@@ -1,0 +1,49 @@
+"""Tests for the canonical experiment configs."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import EXPERIMENTS
+from repro.eval.configs import _base
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+@pytest.mark.parametrize("scale", ["full", "smoke"])
+class TestAllConfigs:
+    def test_builds_valid_configs(self, name, scale):
+        base, variants = EXPERIMENTS[name](scale)
+        assert variants
+        for label, overrides in variants.items():
+            config = dataclasses.replace(base, name=label, **overrides)
+            assert config.budget >= max(config.checkpoints)
+
+    def test_variant_labels_unique_and_nonempty(self, name, scale):
+        _, variants = EXPERIMENTS[name](scale)
+        assert all(label for label in variants)
+
+
+class TestScales:
+    def test_smoke_smaller_than_full(self):
+        assert _base("smoke").budget < _base("full").budget
+        assert _base("smoke").n_members < _base("full").n_members
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _base("galactic")
+
+
+class TestSpecificExperiments:
+    def test_e1_covers_all_strategies(self):
+        _, variants = EXPERIMENTS["e1"]("smoke")
+        strategies = {v["strategy"] for v in variants.values()}
+        assert strategies == {"crowdminer", "roundrobin", "random", "horizontal"}
+
+    def test_e2_includes_adaptive(self):
+        _, variants = EXPERIMENTS["e2"]("smoke")
+        assert "adaptive" in variants
+
+    def test_e9_includes_full_baseline(self):
+        _, variants = EXPERIMENTS["e9"]("smoke")
+        assert variants["full"] == {}

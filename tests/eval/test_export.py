@@ -1,0 +1,64 @@
+"""Tests for experiment-result exporters."""
+
+import csv
+import io
+import json
+
+from repro.eval import PRPoint, QualityCurve
+from repro.eval.export import results_to_csv, results_to_json, save_results
+from repro.eval.runner import ExperimentConfig, ExperimentResult, RepetitionOutcome
+
+
+def make_result(label):
+    curve = QualityCurve(
+        label, (PRPoint(10, 1.0, 0.4), PRPoint(20, 0.9, 0.8))
+    )
+    rep = RepetitionOutcome(
+        curve=curve,
+        truth_size=12,
+        rules_discovered=30,
+        inferred_classifications=2,
+        open_questions=5,
+        wall_seconds=0.1,
+    )
+    config = ExperimentConfig(name=label, budget=20, checkpoints=(10, 20))
+    return ExperimentResult(config=config, curve=curve, repetitions=(rep,))
+
+
+RESULTS = {"a": make_result("a"), "b": make_result("b")}
+
+
+class TestCSV:
+    def test_row_per_checkpoint_per_variant(self):
+        rows = list(csv.reader(io.StringIO(results_to_csv(RESULTS))))
+        assert rows[0] == ["variant", "questions", "precision", "recall", "f1"]
+        assert len(rows) == 1 + 2 * 2
+
+    def test_values_parse_back(self):
+        rows = list(csv.DictReader(io.StringIO(results_to_csv(RESULTS))))
+        first = rows[0]
+        assert first["variant"] == "a"
+        assert float(first["precision"]) == 1.0
+        assert float(first["f1"]) > 0
+
+
+class TestJSON:
+    def test_document_shape(self):
+        doc = results_to_json(RESULTS)
+        assert doc["format"] == "experiment-results"
+        assert set(doc["variants"]) == {"a", "b"}
+        curve = doc["variants"]["a"]["curve"]
+        assert curve[0]["questions"] == 10
+        assert doc["variants"]["a"]["config"]["budget"] == 20
+
+    def test_json_serializable(self):
+        json.dumps(results_to_json(RESULTS))
+
+
+class TestSave:
+    def test_writes_both_files(self, tmp_path):
+        csv_path, json_path = save_results(RESULTS, tmp_path / "out", "e1")
+        assert csv_path.exists() and json_path.exists()
+        assert "variant" in csv_path.read_text()
+        loaded = json.loads(json_path.read_text())
+        assert loaded["format"] == "experiment-results"

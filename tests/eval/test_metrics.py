@@ -1,0 +1,110 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import Thresholds
+from repro.eval import PRPoint, QualityCurve, average_curves, precision_recall, score_report
+from repro.miner import GroundTruth
+
+
+def make_truth(rules):
+    return GroundTruth(
+        thresholds=Thresholds(0.1, 0.5),
+        significant=frozenset(rules),
+        stats={r: RuleStats(0.2, 0.6) for r in rules},
+    )
+
+
+R1, R2, R3 = Rule(["a"], ["b"]), Rule(["c"], ["d"]), Rule(["e"], ["f"])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        truth = make_truth([R1, R2])
+        assert precision_recall([R1, R2], truth) == (1.0, 1.0)
+
+    def test_partial(self):
+        truth = make_truth([R1, R2])
+        p, r = precision_recall([R1, R3], truth)
+        assert p == 0.5
+        assert r == 0.5
+
+    def test_empty_report_precision_one(self):
+        truth = make_truth([R1])
+        p, r = precision_recall([], truth)
+        assert p == 1.0
+        assert r == 0.0
+
+    def test_empty_truth_recall_one(self):
+        truth = make_truth([])
+        p, r = precision_recall([R1], truth)
+        assert p == 0.0
+        assert r == 1.0
+
+
+class TestPRPoint:
+    def test_f1(self):
+        point = PRPoint(10, 0.5, 0.5)
+        assert point.f1 == pytest.approx(0.5)
+
+    def test_f1_zero_when_both_zero(self):
+        assert PRPoint(10, 0.0, 0.0).f1 == 0.0
+
+    def test_score_report(self):
+        truth = make_truth([R1, R2])
+        point = score_report([R1], truth, questions=42)
+        assert point.questions == 42
+        assert point.precision == 1.0
+        assert point.recall == 0.5
+
+
+class TestQualityCurve:
+    def curve(self):
+        return QualityCurve(
+            "x",
+            (
+                PRPoint(10, 1.0, 0.1),
+                PRPoint(20, 1.0, 0.5),
+                PRPoint(30, 0.9, 0.9),
+            ),
+        )
+
+    def test_order_enforced(self):
+        with pytest.raises(ValueError, match="ordered"):
+            QualityCurve("x", (PRPoint(20, 1, 1), PRPoint(10, 1, 1)))
+
+    def test_final(self):
+        assert self.curve().final().questions == 30
+
+    def test_final_empty_raises(self):
+        with pytest.raises(ValueError):
+            QualityCurve("x", ()).final()
+
+    def test_questions_to_recall(self):
+        assert self.curve().questions_to_recall(0.5) == 20
+        assert self.curve().questions_to_recall(0.95) is None
+
+    def test_questions_to_f1(self):
+        curve = self.curve()
+        assert curve.questions_to_f1(0.6) == 20  # f1(20) ≈ 0.667
+        assert curve.questions_to_f1(0.95) is None
+
+
+class TestAverageCurves:
+    def test_pointwise_average(self):
+        a = QualityCurve("a", (PRPoint(10, 1.0, 0.2), PRPoint(20, 1.0, 0.6)))
+        b = QualityCurve("b", (PRPoint(10, 0.5, 0.4), PRPoint(20, 0.8, 0.8)))
+        avg = average_curves("avg", [a, b])
+        assert avg.points[0].precision == pytest.approx(0.75)
+        assert avg.points[1].recall == pytest.approx(0.7)
+
+    def test_mismatched_grids_rejected(self):
+        a = QualityCurve("a", (PRPoint(10, 1.0, 0.2),))
+        b = QualityCurve("b", (PRPoint(20, 1.0, 0.2),))
+        with pytest.raises(ValueError, match="mismatched"):
+            average_curves("avg", [a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_curves("avg", [])

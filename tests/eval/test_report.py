@@ -1,0 +1,61 @@
+"""Tests for text reporting."""
+
+from repro.eval import (
+    PRPoint,
+    QualityCurve,
+    format_curve,
+    format_rows,
+    format_summary_table,
+)
+from repro.eval.runner import ExperimentConfig, ExperimentResult, RepetitionOutcome
+
+
+def make_result(label="v1"):
+    curve = QualityCurve(
+        label, (PRPoint(10, 1.0, 0.4), PRPoint(20, 0.9, 0.8))
+    )
+    rep = RepetitionOutcome(
+        curve=curve,
+        truth_size=12,
+        rules_discovered=30,
+        inferred_classifications=2,
+        open_questions=5,
+        wall_seconds=0.1,
+    )
+    config = ExperimentConfig(name=label, budget=20, checkpoints=(10, 20))
+    return ExperimentResult(config=config, curve=curve, repetitions=(rep,))
+
+
+class TestFormatCurve:
+    def test_contains_all_checkpoints(self):
+        text = format_curve(make_result().curve)
+        assert "10" in text and "20" in text
+        assert "[v1]" in text
+
+    def test_columns_labelled(self):
+        text = format_curve(make_result().curve)
+        assert "precision" in text and "recall" in text and "F1" in text
+
+
+class TestSummaryTable:
+    def test_one_row_per_variant(self):
+        table = format_summary_table({"a": make_result("a"), "b": make_result("b")})
+        lines = table.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_q_to_f1_dash_when_unreached(self):
+        table = format_summary_table({"a": make_result("a")})
+        # F1 at final point ≈ 0.847 < 0.9; 0.8 is reached at q=20.
+        assert "—" not in table.splitlines()[2].split()[0]
+
+
+class TestFormatRows:
+    def test_alignment(self):
+        table = format_rows(("name", "value"), [("x", 1), ("longer", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        table = format_rows(("a", "b"), [])
+        assert "a" in table

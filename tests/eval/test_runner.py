@@ -1,0 +1,102 @@
+"""Tests for the experiment runner (small, fast configs)."""
+
+import pytest
+
+from repro.crowd import ComposedAnswerModel, ExactAnswerModel, LikertAnswerModel, NoisyAnswerModel
+from repro.errors import ConfigurationError
+from repro.eval import ExperimentConfig, build_world, run_experiment, run_session, run_variants
+
+
+TINY = ExperimentConfig(
+    name="tiny",
+    n_items=40,
+    n_patterns=5,
+    n_members=8,
+    transactions_per_member=50,
+    budget=60,
+    checkpoints=(20, 60),
+    repetitions=2,
+    seed=3,
+)
+
+
+class TestConfigValidation:
+    def test_checkpoints_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(checkpoints=(100, 50), budget=100)
+
+    def test_checkpoints_within_budget(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(checkpoints=(200,), budget=100)
+
+    def test_checkpoints_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(checkpoints=(0, 50), budget=100)
+
+    def test_checkpoints_required(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(checkpoints=(), budget=100)
+
+
+class TestAnswerModelConstruction:
+    def test_exact(self):
+        cfg = ExperimentConfig(answer_sigma=0.0, likert=False)
+        assert isinstance(cfg.answer_model(), ExactAnswerModel)
+
+    def test_likert_only(self):
+        cfg = ExperimentConfig(answer_sigma=0.0, likert=True)
+        assert isinstance(cfg.answer_model(), LikertAnswerModel)
+
+    def test_noise_only(self):
+        cfg = ExperimentConfig(answer_sigma=0.1, likert=False)
+        assert isinstance(cfg.answer_model(), NoisyAnswerModel)
+
+    def test_composed(self):
+        cfg = ExperimentConfig(answer_sigma=0.1, likert=True)
+        assert isinstance(cfg.answer_model(), ComposedAnswerModel)
+
+
+class TestBuildWorld:
+    def test_world_shape(self):
+        model, population, truth = build_world(TINY, seed=1)
+        assert len(model.patterns) == 5
+        assert len(population) == 8
+        assert population.equal_sized
+
+    def test_deterministic(self):
+        _, pop_a, truth_a = build_world(TINY, seed=1)
+        _, pop_b, truth_b = build_world(TINY, seed=1)
+        assert truth_a.significant == truth_b.significant
+        assert [list(m.db) for m in pop_a] == [list(m.db) for m in pop_b]
+
+
+class TestRunSession:
+    def test_curve_on_checkpoint_grid(self):
+        _, population, truth = build_world(TINY, seed=1)
+        outcome = run_session(TINY, population, truth, seed=2)
+        assert tuple(p.questions for p in outcome.curve.points) == (20, 60)
+        assert outcome.wall_seconds > 0
+
+
+class TestRunExperiment:
+    def test_fully_deterministic_across_calls(self):
+        # World seeding must not depend on process state (hash salt).
+        a = run_experiment(TINY)
+        b = run_experiment(TINY)
+        assert [p.f1 for p in a.curve.points] == [p.f1 for p in b.curve.points]
+        assert a.mean_truth_size == b.mean_truth_size
+
+    def test_averages_repetitions(self):
+        result = run_experiment(TINY)
+        assert len(result.repetitions) == 2
+        assert result.curve.label == "tiny"
+        assert result.mean_truth_size > 0
+
+    def test_run_variants_overrides(self):
+        results = run_variants(TINY, {
+            "rand": {"strategy": "random"},
+            "rr": {"strategy": "roundrobin"},
+        })
+        assert set(results) == {"rand", "rr"}
+        assert results["rand"].config.strategy == "random"
+        assert results["rand"].config.name == "rand"

@@ -1,0 +1,144 @@
+"""End-to-end integration tests: does the miner actually mine?
+
+These tests run complete sessions on small worlds and assert on
+*quality*, not just plumbing. Budgets and thresholds are chosen so the
+assertions hold with margin across seed drift, but they are the real
+claims of the paper at miniature scale.
+"""
+
+import pytest
+
+from repro import (
+    SimulatedCrowd,
+    Thresholds,
+    build_population,
+    compute_ground_truth,
+    folk_remedies_model,
+    mine_crowd,
+    standard_answer_model,
+)
+from repro.crowd import ExactAnswerModel
+from repro.eval import precision_recall
+from repro.miner import FixedRatioPolicy, make_strategy
+
+
+@pytest.fixture(scope="module")
+def world():
+    model = folk_remedies_model(seed=1)
+    population = build_population(
+        model, n_members=30, transactions_per_member=150, seed=2
+    )
+    truth = compute_ground_truth(population, Thresholds(0.10, 0.5))
+    return model, population, truth
+
+
+def fresh_crowd(population, exact=False, seed=3):
+    model = ExactAnswerModel() if exact else standard_answer_model()
+    return SimulatedCrowd.from_population(population, answer_model=model, seed=seed)
+
+
+class TestMiningQuality:
+    def test_exact_answers_high_quality(self, world):
+        _, population, truth = world
+        crowd = fresh_crowd(population, exact=True)
+        result = mine_crowd(crowd, Thresholds(0.10, 0.5), budget=2_000, seed=4)
+        precision, recall = precision_recall(result.significant, truth)
+        assert precision >= 0.8
+        assert recall >= 0.55
+
+    def test_noisy_answers_still_work(self, world):
+        _, population, truth = world
+        crowd = fresh_crowd(population)
+        result = mine_crowd(crowd, Thresholds(0.10, 0.5), budget=1_200, seed=4)
+        precision, recall = precision_recall(result.significant, truth)
+        assert precision >= 0.6
+        assert recall >= 0.4
+
+    def test_more_budget_not_worse(self, world):
+        _, population, truth = world
+        scores = []
+        for budget in (300, 1_200):
+            crowd = fresh_crowd(population)
+            result = mine_crowd(crowd, Thresholds(0.10, 0.5), budget=budget, seed=4)
+            _, recall = precision_recall(result.significant, truth)
+            scores.append(recall)
+        assert scores[1] >= scores[0]
+
+    def test_planted_headline_rule_found(self, world):
+        model, population, truth = world
+        crowd = fresh_crowd(population, exact=True)
+        result = mine_crowd(crowd, Thresholds(0.10, 0.5), budget=1_200, seed=4)
+        # The strongest planted habit must be reported (possibly as a
+        # generalization-compatible variant: check the exact rule).
+        from repro.core import Rule
+
+        headline = Rule(["fatigue"], ["nap"])
+        assert headline in truth.significant
+        assert headline in result.significant
+
+
+class TestStrategyOrdering:
+    def test_crowdminer_beats_random_at_fixed_budget(self):
+        # A wider world than the folk fixture (more planted habits →
+        # more candidates) — where adaptive selection has room to win.
+        from repro.synth import random_domain, random_habit_model
+
+        domain = random_domain(100, seed=31)
+        model = random_habit_model(domain, n_patterns=15, seed=31)
+        population = build_population(
+            model, n_members=40, transactions_per_member=200, seed=32
+        )
+        thresholds = Thresholds(0.10, 0.5)
+        truth = compute_ground_truth(population, thresholds)
+        f1 = {}
+        for name in ("crowdminer", "random"):
+            crowd = fresh_crowd(population, seed=33)
+            result = mine_crowd(
+                crowd,
+                thresholds,
+                budget=1_000,
+                seed=34,
+                strategy=make_strategy(name),
+            )
+            p, r = precision_recall(result.significant, truth)
+            f1[name] = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+        assert f1["crowdminer"] > f1["random"]
+
+
+class TestOpenClosedTradeoff:
+    def test_pure_open_verifies_nothing(self, world):
+        _, population, truth = world
+        crowd = fresh_crowd(population)
+        result = mine_crowd(
+            crowd,
+            Thresholds(0.10, 0.5),
+            budget=400,
+            seed=4,
+            open_policy=FixedRatioPolicy(1.0),
+        )
+        # Discovery only — no rule ever gets enough counted evidence.
+        assert len(result.significant) == 0
+
+    def test_mixed_beats_pure_open(self, world):
+        _, population, truth = world
+        crowd = fresh_crowd(population)
+        mixed = mine_crowd(
+            crowd,
+            Thresholds(0.10, 0.5),
+            budget=400,
+            seed=4,
+            open_policy=FixedRatioPolicy(0.1),
+        )
+        _, recall_mixed = precision_recall(mixed.significant, truth)
+        assert recall_mixed > 0.0
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, world):
+        _, population, _ = world
+        results = []
+        for _ in range(2):
+            crowd = fresh_crowd(population, seed=9)
+            result = mine_crowd(crowd, Thresholds(0.10, 0.5), budget=300, seed=10)
+            results.append(sorted(str(r) for r in result.significant))
+        assert results[0] == results[1]

@@ -1,0 +1,189 @@
+"""Failure-injection integration tests.
+
+Real crowds misbehave: members leave mid-session, answer streams dry
+up, spammers pollute evidence, whole sub-crowds churn. These tests
+inject each failure and assert the session *degrades* instead of
+crashing or silently corrupting results.
+"""
+
+import pytest
+
+from repro.core import Rule
+from repro.crowd import (
+    ExactAnswerModel,
+    SimulatedCrowd,
+    SimulatedMember,
+    SpammerAnswerModel,
+    StreamMember,
+    standard_answer_model,
+)
+from repro.estimation import Thresholds
+from repro.eval import precision_recall
+from repro.miner import CrowdMiner, CrowdMinerConfig, compute_ground_truth
+
+
+class TestMemberChurn:
+    def test_tiny_patience_session_terminates_cleanly(self, folk_population):
+        crowd = SimulatedCrowd.from_population(
+            folk_population, answer_model=ExactAnswerModel(), patience=1, seed=5
+        )
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(thresholds=Thresholds(0.1, 0.5), budget=10_000, seed=6),
+        )
+        result = miner.run()
+        assert result.questions_asked <= len(folk_population)
+        assert miner.is_done
+
+    def test_mixed_patience(self, folk_population):
+        # Half the crowd answers 2 questions, half is unbounded.
+        members = []
+        for index, pop_member in enumerate(folk_population):
+            members.append(
+                SimulatedMember(
+                    member_id=pop_member.member_id,
+                    db=pop_member.db,
+                    answer_model=ExactAnswerModel(),
+                    patience=2 if index % 2 == 0 else None,
+                    seed=index,
+                )
+            )
+        crowd = SimulatedCrowd(members, seed=7)
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(thresholds=Thresholds(0.1, 0.5), budget=400, seed=8),
+        )
+        result = miner.run()
+        assert result.questions_asked > 0
+        # The patient half carried the session.
+        loads = crowd.stats.per_member
+        impatient = [m.member_id for i, m in enumerate(folk_population) if i % 2 == 0]
+        assert all(loads[mid] <= 2 for mid in impatient)
+
+
+class TestStreamExhaustion:
+    def test_streams_drying_up_mid_session(self):
+        # Three members with short scripted streams; the session must
+        # stop gracefully when the last stream dries up.
+        script = [
+            "open: sore throat -> ginger tea ; often",
+            "closed: often",
+            "closed: sometimes",
+        ]
+        members = [StreamMember(f"m{i}", list(script)) for i in range(3)]
+        crowd = SimulatedCrowd(members, seed=1)
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(
+                thresholds=Thresholds(0.25, 0.5), budget=100, min_samples=3, seed=2
+            ),
+        )
+        result = miner.run()
+        assert result.questions_asked <= 9
+        # All members ran dry; nothing crashed, the log is consistent.
+        assert len(result.log) == result.questions_asked
+
+
+class TestSpamPollution:
+    @pytest.mark.parametrize("screen", [False, True])
+    def test_screening_never_hurts_much(self, folk_population, folk_truth, screen):
+        def factory(index):
+            return SpammerAnswerModel() if index % 4 == 0 else standard_answer_model()
+
+        crowd = SimulatedCrowd.from_population(
+            folk_population, answer_model_factory=factory, seed=9
+        )
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(
+                thresholds=Thresholds(0.1, 0.5),
+                budget=900,
+                seed=10,
+                screen_spammers=screen,
+            ),
+        )
+        result = miner.run()
+        precision, recall = precision_recall(result.significant, folk_truth)
+        # With a quarter of the crowd spamming, the session still
+        # produces output and does not crash; screened precision should
+        # be at least competitive.
+        assert result.questions_asked == 900
+        if screen:
+            assert precision >= 0.3
+
+    def test_screened_beats_unscreened_precision(self, folk_population, folk_truth):
+        def factory(index):
+            return SpammerAnswerModel() if index % 3 == 0 else standard_answer_model()
+
+        outcomes = {}
+        for screen in (False, True):
+            crowd = SimulatedCrowd.from_population(
+                folk_population, answer_model_factory=factory, seed=11
+            )
+            miner = CrowdMiner(
+                crowd,
+                CrowdMinerConfig(
+                    thresholds=Thresholds(0.1, 0.5),
+                    budget=900,
+                    seed=12,
+                    screen_spammers=screen,
+                ),
+            )
+            result = miner.run()
+            outcomes[screen] = precision_recall(result.significant, folk_truth)
+        # A third of the crowd spamming: screening should not lose on
+        # precision (allow small noise margin).
+        assert outcomes[True][0] >= outcomes[False][0] - 0.05
+
+
+class TestDegenerateCrowds:
+    def test_single_member_crowd(self, folk_population):
+        member = folk_population.members[0]
+        crowd = SimulatedCrowd(
+            [
+                SimulatedMember(
+                    member_id=member.member_id,
+                    db=member.db,
+                    answer_model=ExactAnswerModel(),
+                    seed=1,
+                )
+            ],
+            seed=2,
+        )
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(
+                thresholds=Thresholds(0.1, 0.5), budget=200, min_samples=1, seed=3
+            ),
+        )
+        result = miner.run()
+        # One member: every rule gets at most one sample, and with
+        # min_samples=1 the session can still classify.
+        assert result.questions_asked > 0
+
+    def test_empty_personal_databases(self):
+        from repro.core import TransactionDB
+
+        members = [
+            SimulatedMember(
+                member_id=f"u{i}",
+                db=TransactionDB([[] for _ in range(10)]),
+                answer_model=ExactAnswerModel(),
+                seed=i,
+            )
+            for i in range(3)
+        ]
+        crowd = SimulatedCrowd(members, seed=4)
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(
+                thresholds=Thresholds(0.1, 0.5),
+                budget=50,
+                seed=5,
+                seed_rules=(Rule(["a"], ["b"]),),
+            ),
+        )
+        result = miner.run()
+        # Nobody does anything: the seeded rule must come back
+        # insignificant, not significant.
+        assert Rule(["a"], ["b"]) not in result.significant

@@ -1,0 +1,115 @@
+"""Whole-pipeline property tests (hypothesis over world parameters).
+
+Rather than fixing one world, these draw small random worlds and assert
+structural invariants that must hold for *any* of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimulatedCrowd, Thresholds, build_population, mine_crowd
+from repro.crowd import ExactAnswerModel
+from repro.miner import compute_ground_truth
+from repro.synth import random_domain, random_habit_model
+
+world_params = st.tuples(
+    st.integers(20, 60),  # n_items
+    st.integers(2, 6),  # n_patterns
+    st.integers(4, 10),  # n_members
+    st.integers(0, 10_000),  # seed
+)
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build(params):
+    n_items, n_patterns, n_members, seed = params
+    rng = np.random.default_rng(seed)
+    domain = random_domain(n_items, seed=rng)
+    model = random_habit_model(domain, n_patterns, seed=rng)
+    population = build_population(model, n_members, 60, seed=rng)
+    return model, population
+
+
+class TestOracleInvariants:
+    @SLOW
+    @given(world_params)
+    def test_truth_monotone_in_thresholds(self, params):
+        _, population = build(params)
+        loose = compute_ground_truth(population, Thresholds(0.05, 0.3))
+        tight = compute_ground_truth(population, Thresholds(0.15, 0.6))
+        assert tight.significant <= loose.significant
+
+    @SLOW
+    @given(world_params)
+    def test_truth_stats_meet_thresholds(self, params):
+        _, population = build(params)
+        thresholds = Thresholds(0.1, 0.5)
+        truth = compute_ground_truth(population, thresholds)
+        for rule in truth.significant:
+            stats = truth.stats[rule]
+            assert stats.support >= thresholds.support - 1e-9
+            assert stats.confidence >= thresholds.confidence - 1e-9
+
+    @SLOW
+    @given(world_params)
+    def test_truth_matches_population_means(self, params):
+        _, population = build(params)
+        truth = compute_ground_truth(population, Thresholds(0.1, 0.5))
+        for rule in list(truth.significant)[:5]:
+            s, c = population.mean_rule_stats(rule)
+            assert truth.stats[rule].support == pytest.approx(s, abs=1e-9)
+            assert truth.stats[rule].confidence == pytest.approx(c, abs=1e-9)
+
+
+class TestMinerInvariants:
+    @SLOW
+    @given(world_params)
+    def test_session_bookkeeping_consistent(self, params):
+        _, population = build(params)
+        crowd = SimulatedCrowd.from_population(
+            population, answer_model=ExactAnswerModel(), seed=1
+        )
+        result = mine_crowd(crowd, Thresholds(0.1, 0.5), budget=120, seed=2)
+        assert result.questions_asked <= 120
+        assert result.questions_asked == len(result.log)
+        assert (
+            result.closed_questions + result.open_questions == result.questions_asked
+        )
+        assert crowd.stats.total_questions == result.questions_asked
+
+    @SLOW
+    @given(world_params)
+    def test_reported_rules_have_enough_evidence(self, params):
+        _, population = build(params)
+        crowd = SimulatedCrowd.from_population(
+            population, answer_model=ExactAnswerModel(), seed=1
+        )
+        from repro.miner import CrowdMiner, CrowdMinerConfig
+
+        config = CrowdMinerConfig(thresholds=Thresholds(0.1, 0.5), budget=120, seed=2)
+        miner = CrowdMiner(crowd, config)
+        miner.run()
+        for rule in miner.state.significant_rules(mode="point"):
+            knowledge = miner.state.knowledge(rule)
+            assert knowledge.samples.n >= config.min_samples
+
+    @SLOW
+    @given(world_params)
+    def test_maximal_report_is_antichain(self, params):
+        _, population = build(params)
+        crowd = SimulatedCrowd.from_population(
+            population, answer_model=ExactAnswerModel(), seed=1
+        )
+        result = mine_crowd(crowd, Thresholds(0.1, 0.5), budget=150, seed=2)
+        maximal = list(result.maximal_significant)
+        for a in maximal:
+            for b in maximal:
+                if a != b:
+                    assert not a.generalizes(b)

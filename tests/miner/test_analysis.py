@@ -1,0 +1,107 @@
+"""Tests for session analysis."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.crowd import ExactAnswerModel, SimulatedCrowd
+from repro.estimation import Thresholds
+from repro.miner import (
+    CrowdMiner,
+    CrowdMinerConfig,
+    MemberLoad,
+    QuestionEvent,
+    QuestionKind,
+    analyze_log,
+    analyze_result,
+)
+
+R1, R2 = Rule(["a"], ["b"]), Rule(["c"], ["d"])
+S = RuleStats(0.2, 0.5)
+
+
+def closed(i, member, rule):
+    return QuestionEvent(i, QuestionKind.CLOSED, member, rule, S)
+
+
+def open_q(i, member, rule=None):
+    stats = S if rule is not None else None
+    return QuestionEvent(i, QuestionKind.OPEN, member, rule, stats)
+
+
+class TestAnalyzeLog:
+    def test_empty_log(self):
+        analysis = analyze_log([])
+        assert analysis.total_questions == 0
+        assert analysis.crowd_complexity == 0
+        assert analysis.open_fraction == 0.0
+        assert analysis.questions_per_unique_rule == 0.0
+
+    def test_counts(self):
+        log = [
+            closed(0, "u1", R1),
+            closed(1, "u2", R1),
+            open_q(2, "u1", R2),
+            open_q(3, "u2"),
+        ]
+        analysis = analyze_log(log)
+        assert analysis.total_questions == 4
+        assert analysis.closed_questions == 2
+        assert analysis.open_questions == 2
+        assert analysis.empty_open_answers == 1
+        assert analysis.unique_rules_asked == 1  # only R1 was *asked*
+        assert analysis.crowd_complexity == 2  # R1 + the open question
+
+    def test_discovery_curve_monotone(self):
+        log = [closed(0, "u1", R1), open_q(1, "u1", R2), closed(2, "u2", R1)]
+        analysis = analyze_log(log)
+        assert analysis.discovery_curve == (1, 2, 2)
+
+    def test_rates(self):
+        log = [open_q(0, "u1"), open_q(1, "u1", R1)]
+        analysis = analyze_log(log)
+        assert analysis.open_fraction == 1.0
+        assert analysis.empty_open_rate == 0.5
+
+    def test_redundancy_factor(self):
+        log = [closed(i, f"u{i}", R1) for i in range(5)]
+        analysis = analyze_log(log)
+        assert analysis.questions_per_unique_rule == 5.0
+
+    def test_summary_text(self):
+        text = analyze_log([closed(0, "u1", R1)]).summary()
+        assert "crowd complexity" in text
+        assert "member load" in text
+
+
+class TestMemberLoad:
+    def test_equal_load_zero_gini(self):
+        load = MemberLoad({"a": 3, "b": 3, "c": 3})
+        assert load.gini == pytest.approx(0.0)
+        assert load.mean == 3.0
+        assert load.max == 3
+
+    def test_skewed_load_positive_gini(self):
+        load = MemberLoad({"a": 0, "b": 0, "c": 9})
+        assert load.gini > 0.5
+
+    def test_empty(self):
+        load = MemberLoad({})
+        assert load.gini == 0.0
+        assert load.mean == 0.0
+        assert load.max == 0
+
+
+class TestAnalyzeRealSession:
+    def test_round_robin_crowd_is_fair(self, folk_population):
+        crowd = SimulatedCrowd.from_population(
+            folk_population, answer_model=ExactAnswerModel(), seed=3
+        )
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(thresholds=Thresholds(0.1, 0.5), budget=200, seed=4),
+        )
+        result = miner.run()
+        analysis = analyze_result(result)
+        assert analysis.total_questions == result.questions_asked
+        assert analysis.member_load.gini < 0.2  # round-robin is fair
+        assert analysis.discovery_curve[-1] >= analysis.unique_rules_asked

@@ -1,0 +1,117 @@
+"""Tests for budget forecasting."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.errors import EstimationError
+from repro.estimation import SignificanceTest, Thresholds
+from repro.miner import (
+    MiningState,
+    RuleOrigin,
+    forecast_budget,
+    plan_rule,
+    required_samples,
+)
+
+
+def make_state():
+    test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+    return MiningState(test)
+
+
+def feed(state, rule, values):
+    for i, (s, c) in enumerate(values):
+        state.record_answer(rule, f"u{i}", RuleStats(s, c), RuleOrigin.SEED)
+
+
+class TestRequiredSamples:
+    def test_far_from_threshold_needs_few(self):
+        assert required_samples(0.3, 0.1, 0.9) <= 2
+
+    def test_close_to_threshold_needs_many(self):
+        assert required_samples(0.01, 0.2, 0.9) > 100
+
+    def test_zero_distance_effectively_infinite(self):
+        assert required_samples(0.0, 0.2, 0.9) >= 1e8
+
+    def test_zero_std_needs_one(self):
+        assert required_samples(0.1, 0.0, 0.9) == 1
+
+    def test_monotone_in_confidence(self):
+        assert required_samples(0.1, 0.2, 0.99) >= required_samples(0.1, 0.2, 0.8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            required_samples(-0.1, 0.2, 0.9)
+        with pytest.raises(EstimationError):
+            required_samples(0.1, 0.2, 0.4)
+
+
+class TestPlanRule:
+    def test_unsampled_rule_uses_prior(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.SEED)
+        plan = plan_rule(state, rule, crowd_size=50)
+        assert plan.collected == 0
+        assert plan.required >= state.test.min_samples
+
+    def test_clear_rule_small_plan(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.6, 0.9), (0.62, 0.92)])
+        plan = plan_rule(state, rule, crowd_size=50)
+        assert plan.remaining <= 3
+        assert not plan.practically_undecidable
+
+    def test_boundary_rule_large_plan(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.19, 0.49), (0.21, 0.51)])
+        plan = plan_rule(state, rule, crowd_size=10)
+        assert plan.required > 10
+        assert plan.practically_undecidable
+
+    def test_remaining_never_negative(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.6, 0.9)] * 2)  # still unresolved (min_samples)
+        plan = plan_rule(state, rule, crowd_size=50)
+        assert plan.remaining >= 0
+
+
+class TestForecast:
+    def test_covers_all_unresolved(self):
+        state = make_state()
+        r1, r2 = Rule(["a"], ["b"]), Rule(["c"], ["d"])
+        state.add_rule(r1, RuleOrigin.SEED)
+        state.add_rule(r2, RuleOrigin.SEED)
+        forecast = forecast_budget(state, crowd_size=30)
+        assert {p.rule for p in forecast.plans} == {r1, r2}
+        assert forecast.remaining_questions > 0
+
+    def test_resolved_rules_excluded(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.6, 0.9)] * 5)  # decided significant
+        forecast = forecast_budget(state, crowd_size=30)
+        assert forecast.plans == ()
+        assert forecast.remaining_questions == 0
+
+    def test_undecidable_not_counted_in_remaining(self):
+        state = make_state()
+        boundary = Rule(["a"], ["b"])
+        feed(state, boundary, [(0.19, 0.49), (0.21, 0.51)])
+        forecast = forecast_budget(state, crowd_size=5)
+        assert boundary in forecast.undecidable_rules
+        assert forecast.remaining_questions == 0
+
+    def test_summary_text(self):
+        state = make_state()
+        state.add_rule(Rule(["a"], ["b"]), RuleOrigin.SEED)
+        text = forecast_budget(state, crowd_size=30).summary()
+        assert "unresolved" in text and "questions" in text
+
+    def test_bad_crowd_size(self):
+        with pytest.raises(EstimationError):
+            forecast_budget(make_state(), crowd_size=0)

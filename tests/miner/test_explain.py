@@ -1,0 +1,93 @@
+"""Tests for rule-classification explanations."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import SignificanceTest, Thresholds
+from repro.miner import MiningState, RuleOrigin, explain_report, explain_rule
+
+
+def make_state():
+    test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+    return MiningState(test)
+
+
+def feed(state, rule, values):
+    for i, (s, c) in enumerate(values):
+        state.record_answer(rule, f"u{i}", RuleStats(s, c), RuleOrigin.SEED)
+
+
+class TestExplainRule:
+    def test_significant_rule(self):
+        state = make_state()
+        rule = Rule(["sore throat"], ["ginger tea"])
+        feed(state, rule, [(0.5, 0.8)] * 5)
+        text = explain_rule(state, rule)
+        assert "verdict: significant" in text
+        assert "5 member answer" in text
+        assert "support 0.500" in text
+
+    def test_insignificant_rule(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.0, 0.0), (0.01, 0.02), (0.0, 0.01), (0.02, 0.05)])
+        text = explain_rule(state, rule)
+        assert "verdict: insignificant" in text
+
+    def test_undecided_for_lack_of_samples(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 2)
+        text = explain_rule(state, rule)
+        assert "undecided" in text
+        assert "required" in text
+
+    def test_undecided_boundary(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.18, 0.48), (0.22, 0.52), (0.2, 0.5)])
+        text = explain_rule(state, rule)
+        assert "undecided" in text
+
+    def test_inferred_insignificance_names_ancestor(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.0, 0.0)] * 4)
+        text = explain_rule(state, specific)
+        assert "inferred without questions" in text
+        assert str(general) in text
+
+    def test_origin_is_reported(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.OPEN_ANSWER)
+        assert "volunteered" in explain_rule(state, rule)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            explain_rule(make_state(), Rule(["x"], ["y"]))
+
+    def test_no_evidence_phrasing(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.SEED)
+        assert "nothing counted yet" in explain_rule(state, rule)
+
+
+class TestExplainReport:
+    def test_reports_significant_set_by_default(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 5)
+        text = explain_report(state)
+        assert str(rule) in text
+
+    def test_explicit_rule_list(self):
+        state = make_state()
+        r1, r2 = Rule(["a"], ["b"]), Rule(["c"], ["d"])
+        state.add_rule(r1, RuleOrigin.SEED)
+        state.add_rule(r2, RuleOrigin.SEED)
+        text = explain_report(state, rules=[r1, r2])
+        assert text.count("origin:") == 2

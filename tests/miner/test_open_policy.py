@@ -1,0 +1,86 @@
+"""Tests for open/closed mix policies."""
+
+import numpy as np
+import pytest
+
+from repro.miner import AdaptiveOpenPolicy, FixedRatioPolicy, make_open_policy
+
+
+def rate(policy, n=2_000, has_closed=True, exhausted=False, seed=0):
+    rng = np.random.default_rng(seed)
+    hits = sum(
+        policy.choose_open(rng, has_closed, exhausted) for _ in range(n)
+    )
+    return hits / n
+
+
+class TestFixedRatio:
+    def test_respects_ratio(self):
+        assert rate(FixedRatioPolicy(0.25)) == pytest.approx(0.25, abs=0.03)
+
+    def test_zero_ratio_never_opens_with_candidates(self):
+        assert rate(FixedRatioPolicy(0.0)) == 0.0
+
+    def test_one_ratio_always_opens(self):
+        assert rate(FixedRatioPolicy(1.0)) == 1.0
+
+    def test_exhausted_supply_forces_closed(self):
+        assert rate(FixedRatioPolicy(0.9), exhausted=True) == 0.0
+
+    def test_fallback_when_no_closed_candidate(self):
+        policy = FixedRatioPolicy(0.0, fallback_to_open=True)
+        assert rate(policy, has_closed=False) == 1.0
+
+    def test_strict_zero_never_opens(self):
+        policy = FixedRatioPolicy(0.0, fallback_to_open=False)
+        assert rate(policy, has_closed=False) == 0.0
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(Exception):
+            FixedRatioPolicy(1.5)
+
+
+class TestAdaptive:
+    def test_starts_discovery_heavy(self):
+        policy = AdaptiveOpenPolicy()
+        assert rate(policy) == pytest.approx(policy.ceiling, abs=0.03)
+
+    def test_yield_decay_reduces_rate(self):
+        policy = AdaptiveOpenPolicy()
+        for _ in range(60):
+            policy.observe_open_outcome(False)
+        assert rate(policy) <= policy.floor + 0.02
+
+    def test_yield_recovers(self):
+        policy = AdaptiveOpenPolicy()
+        for _ in range(60):
+            policy.observe_open_outcome(False)
+        for _ in range(60):
+            policy.observe_open_outcome(True)
+        assert rate(policy) == pytest.approx(policy.ceiling, abs=0.03)
+
+    def test_no_closed_candidate_forces_open(self):
+        policy = AdaptiveOpenPolicy()
+        assert rate(policy, has_closed=False) == 1.0
+
+    def test_exhausted_forces_closed(self):
+        policy = AdaptiveOpenPolicy()
+        assert rate(policy, exhausted=True) == 0.0
+
+    def test_floor_above_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveOpenPolicy(floor=0.5, ceiling=0.1)
+
+
+class TestFactory:
+    def test_float_builds_fixed(self):
+        policy = make_open_policy(0.3)
+        assert isinstance(policy, FixedRatioPolicy)
+        assert policy.p_open == 0.3
+
+    def test_adaptive_keyword(self):
+        assert isinstance(make_open_policy("adaptive"), AdaptiveOpenPolicy)
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError):
+            make_open_policy("mystery")

@@ -1,0 +1,103 @@
+"""Tests for the ground-truth oracle."""
+
+import pytest
+
+from repro.core import Rule, TransactionDB
+from repro.estimation import Thresholds
+from repro.miner import compute_ground_truth
+from repro.synth import Member, Population
+
+
+def tiny_population(domain_items=("a", "b", "c")):
+    from repro.core import ItemDomain
+
+    domain = ItemDomain(list(domain_items))
+    # Two members, equal-sized DBs, with a strong a→b habit for both.
+    db1 = TransactionDB([["a", "b"]] * 6 + [["a"]] * 2 + [["c"]] * 2)
+    db2 = TransactionDB([["a", "b"]] * 4 + [["b"]] * 4 + [["c"]] * 2)
+    return Population(
+        domain=domain,
+        members=(Member("u1", db1), Member("u2", db2)),
+    )
+
+
+class TestExactness:
+    def test_strong_rule_found(self):
+        pop = tiny_population()
+        truth = compute_ground_truth(pop, Thresholds(0.3, 0.6))
+        assert Rule(["a"], ["b"]) in truth
+        # supp: u1 0.6, u2 0.4 → 0.5. conf: u1 0.75, u2 1.0 → 0.875.
+        stats = truth.stats[Rule(["a"], ["b"])]
+        assert stats.support == pytest.approx(0.5)
+        assert stats.confidence == pytest.approx(0.875)
+
+    def test_reverse_direction_scored_separately(self):
+        pop = tiny_population()
+        truth = compute_ground_truth(pop, Thresholds(0.3, 0.6))
+        # conf(b→a): u1 6/6 = 1.0, u2 4/8 = 0.5 → 0.75.
+        assert Rule(["b"], ["a"]) in truth
+        assert truth.stats[Rule(["b"], ["a"])].confidence == pytest.approx(0.75)
+
+    def test_support_threshold_excludes(self):
+        pop = tiny_population()
+        truth = compute_ground_truth(pop, Thresholds(0.6, 0.5))
+        assert Rule(["a"], ["b"]) not in truth  # mean support 0.5 < 0.6
+
+    def test_confidence_threshold_excludes(self):
+        pop = tiny_population()
+        truth = compute_ground_truth(pop, Thresholds(0.3, 0.9))
+        assert Rule(["a"], ["b"]) not in truth  # mean conf 0.875 < 0.9
+
+    def test_itemset_rules_optional(self):
+        pop = tiny_population()
+        without = compute_ground_truth(pop, Thresholds(0.3, 0.3))
+        with_them = compute_ground_truth(
+            pop, Thresholds(0.3, 0.3), include_itemset_rules=True
+        )
+        assert not any(r.is_itemset_rule for r in without.significant)
+        assert any(r.is_itemset_rule for r in with_them.significant)
+
+    def test_max_body_size_respected(self, folk_population):
+        truth = compute_ground_truth(
+            folk_population, Thresholds(0.05, 0.3), max_body_size=2
+        )
+        assert all(len(rule.body) <= 2 for rule in truth.significant)
+
+
+class TestAgainstBruteForce:
+    def test_matches_exhaustive_enumeration(self):
+        pop = tiny_population()
+        thresholds = Thresholds(0.25, 0.5)
+        truth = compute_ground_truth(pop, thresholds)
+
+        # Brute force: every split of every subset of {a, b, c}.
+        from itertools import combinations
+
+        items = ["a", "b", "c"]
+        expected = set()
+        for size in (2, 3):
+            for body in combinations(items, size):
+                for a_size in range(1, size):
+                    for antecedent in combinations(body, a_size):
+                        consequent = tuple(i for i in body if i not in antecedent)
+                        rule = Rule(antecedent, consequent)
+                        s, c = pop.mean_rule_stats(rule)
+                        if s >= thresholds.support and c >= thresholds.confidence:
+                            expected.add(rule)
+        assert truth.significant == expected
+
+
+class TestUnequalSizes:
+    def test_margin_handles_unequal_dbs(self):
+        from repro.core import ItemDomain
+
+        domain = ItemDomain(["a", "b"])
+        db1 = TransactionDB([["a", "b"]] * 9 + [["a"]])  # 10 rows
+        db2 = TransactionDB([["a"]] * 2)  # 2 rows, rule absent
+        pop = Population(
+            domain=domain, members=(Member("u1", db1), Member("u2", db2))
+        )
+        assert not pop.equal_sized
+        truth = compute_ground_truth(pop, Thresholds(0.4, 0.4))
+        # Mean supp of {a,b}: (0.9 + 0) / 2 = 0.45 ≥ 0.4.
+        assert Rule(["a"], ["b"]) in truth

@@ -1,0 +1,156 @@
+"""Tests for answer caching and threshold replay."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.crowd import ExactAnswerModel, SimulatedCrowd
+from repro.estimation import Thresholds
+from repro.miner import (
+    AnswerCache,
+    CachingCrowd,
+    CrowdMiner,
+    CrowdMinerConfig,
+    reevaluate,
+)
+
+R = Rule(["sore throat"], ["ginger tea"])
+
+
+class TestAnswerCache:
+    def test_record_and_lookup(self):
+        cache = AnswerCache()
+        cache.record_closed("u1", R, RuleStats(0.2, 0.6))
+        assert cache.lookup("u1", R) == RuleStats(0.2, 0.6)
+        assert cache.lookup("u2", R) is None
+        assert len(cache) == 1
+
+    def test_revision_overwrites(self):
+        cache = AnswerCache()
+        cache.record_closed("u1", R, RuleStats(0.2, 0.6))
+        cache.record_closed("u1", R, RuleStats(0.4, 0.8))
+        assert cache.lookup("u1", R) == RuleStats(0.4, 0.8)
+        assert len(cache) == 1
+
+    def test_open_records_both_tables(self):
+        cache = AnswerCache()
+        cache.record_open("u1", R, RuleStats(0.3, 0.7))
+        assert R in cache.volunteered["u1"]
+        assert cache.lookup("u1", R) == RuleStats(0.3, 0.7)
+
+    def test_known_rules(self):
+        cache = AnswerCache()
+        other = Rule(["a"], ["b"])
+        cache.record_closed("u1", R, RuleStats(0.2, 0.6))
+        cache.record_open("u2", other, RuleStats(0.3, 0.7))
+        assert cache.known_rules() == {R, other}
+
+    def test_answers_for(self):
+        cache = AnswerCache()
+        cache.record_closed("u1", R, RuleStats(0.2, 0.6))
+        cache.record_closed("u2", R, RuleStats(0.4, 0.8))
+        cache.record_closed("u1", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        assert cache.answers_for(R) == {
+            "u1": RuleStats(0.2, 0.6),
+            "u2": RuleStats(0.4, 0.8),
+        }
+
+
+class TestCachingCrowd:
+    def make(self, population, cache, seed=3):
+        inner = SimulatedCrowd.from_population(
+            population, answer_model=ExactAnswerModel(), seed=seed
+        )
+        return inner, CachingCrowd(inner, cache)
+
+    def test_miss_then_hit(self, folk_population):
+        cache = AnswerCache()
+        inner, crowd = self.make(folk_population, cache)
+        first = crowd.ask_closed("u0000", R)
+        second = crowd.ask_closed("u0000", R)
+        assert first.stats == second.stats
+        assert crowd.cache_stats.hits == 1
+        assert crowd.cache_stats.misses == 1
+        # The hit never reached the inner crowd.
+        assert inner.stats.closed_questions == 1
+
+    def test_open_answers_recorded(self, folk_population):
+        cache = AnswerCache()
+        _, crowd = self.make(folk_population, cache)
+        answer = crowd.ask_open("u0000")
+        if not answer.is_empty:
+            assert answer.rule in cache.volunteered["u0000"]
+
+    def test_cached_volunteered_excluded_on_rerun(self, folk_population):
+        cache = AnswerCache()
+        _, crowd = self.make(folk_population, cache)
+        first = crowd.ask_open("u0000")
+        assert not first.is_empty
+        # A new session over the same cache: the member must not
+        # volunteer the same rule again.
+        _, crowd2 = self.make(folk_population, cache, seed=9)
+        second = crowd2.ask_open("u0000")
+        if not second.is_empty:
+            assert second.rule != first.rule
+
+    def test_protocol_passthrough(self, folk_population):
+        cache = AnswerCache()
+        inner, crowd = self.make(folk_population, cache)
+        assert len(crowd) == len(inner)
+        assert crowd.member_ids == inner.member_ids
+        assert crowd.next_member() == inner.member_ids[0]
+
+    def test_miner_runs_against_caching_crowd(self, folk_population):
+        cache = AnswerCache()
+        _, crowd = self.make(folk_population, cache)
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(thresholds=Thresholds(0.1, 0.5), budget=100, seed=4),
+        )
+        miner.run()
+        assert len(cache) > 0
+
+
+class TestReevaluate:
+    def populate_cache(self, folk_population, budget=600):
+        cache = AnswerCache()
+        inner = SimulatedCrowd.from_population(
+            folk_population, answer_model=ExactAnswerModel(), seed=3
+        )
+        crowd = CachingCrowd(inner, cache)
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(thresholds=Thresholds(0.08, 0.4), budget=budget, seed=4),
+        )
+        result = miner.run()
+        return cache, result
+
+    def test_tighter_thresholds_shrink_result(self, folk_population):
+        cache, result = self.populate_cache(folk_population)
+        loose = reevaluate(cache, Thresholds(0.08, 0.4))
+        tight = reevaluate(cache, Thresholds(0.2, 0.7))
+        assert set(tight) <= set(loose)
+
+    def test_replay_consistent_with_session(self, folk_population):
+        cache, result = self.populate_cache(folk_population)
+        replayed = reevaluate(cache, Thresholds(0.08, 0.4))
+        # The replay sees exactly the session's counted evidence plus
+        # the volunteered (discovery) answers, so every rule the session
+        # reported must replay as significant or better.
+        missing = set(result.significant) - set(replayed)
+        assert len(missing) <= len(result.significant) * 0.2
+
+    def test_replay_asks_no_questions(self, folk_population):
+        cache, _ = self.populate_cache(folk_population)
+        before = len(cache)
+        reevaluate(cache, Thresholds(0.15, 0.6))
+        assert len(cache) == before
+
+    def test_volunteer_bias_exclusion_is_more_conservative(self, folk_population):
+        cache, _ = self.populate_cache(folk_population)
+        inclusive = reevaluate(cache, Thresholds(0.08, 0.4))
+        strict = reevaluate(
+            cache, Thresholds(0.08, 0.4), exclude_volunteer_bias=True
+        )
+        # Dropping upward-biased volunteer answers can only remove
+        # evidence, so the strict report is (weakly) smaller.
+        assert len(strict) <= len(inclusive)

@@ -1,0 +1,159 @@
+"""Tests for the mining knowledge base."""
+
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import Decision, SignificanceTest, Thresholds
+from repro.miner import MiningState, RuleOrigin
+
+
+def make_state(**kwargs):
+    test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+    return MiningState(test, **kwargs)
+
+
+def feed(state, rule, values, origin=RuleOrigin.SEED):
+    for i, (s, c) in enumerate(values):
+        state.record_answer(rule, f"u{i}", RuleStats(s, c), origin)
+
+
+class TestBookkeeping:
+    def test_add_rule_idempotent(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        k1 = state.add_rule(rule, RuleOrigin.SEED)
+        k2 = state.add_rule(rule, RuleOrigin.OPEN_ANSWER)
+        assert k1 is k2
+        assert k1.origin is RuleOrigin.SEED
+        assert len(state) == 1
+
+    def test_prior_promise_keeps_maximum(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.LATTICE, prior_promise=0.45)
+        state.add_rule(rule, RuleOrigin.OPEN_ANSWER, prior_promise=0.7)
+        assert state.knowledge(rule).prior_promise == 0.7
+
+    def test_unresolved_initially(self):
+        state = make_state()
+        state.add_rule(Rule(["a"], ["b"]), RuleOrigin.SEED)
+        assert len(state.unresolved()) == 1
+
+    def test_known_rule_set(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.SEED)
+        assert state.known_rule_set() == {rule}
+
+
+class TestClassification:
+    def test_strong_evidence_decides_significant(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8), (0.55, 0.9), (0.6, 0.85), (0.5, 0.8)])
+        assert state.knowledge(rule).decision is Decision.SIGNIFICANT
+
+    def test_weak_evidence_decides_insignificant(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.0, 0.0), (0.01, 0.02), (0.0, 0.01), (0.02, 0.04)])
+        assert state.knowledge(rule).decision is Decision.INSIGNIFICANT
+
+    def test_uncertainty_zero_once_resolved(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 5)
+        assert state.knowledge(rule).uncertainty == 0.0
+
+    def test_uncertainty_half_with_no_evidence(self):
+        state = make_state()
+        k = state.add_rule(Rule(["a"], ["b"]), RuleOrigin.SEED)
+        assert k.uncertainty == 0.5
+
+
+class TestLatticePropagation:
+    def test_support_dead_general_condemns_specializations(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.0, 0.0)] * 4)
+        k = state.knowledge(specific)
+        assert k.decision is Decision.INSIGNIFICANT
+        assert k.inferred
+        assert state.inferred_classifications == 1
+
+    def test_new_rule_inherits_insignificance(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        feed(state, general, [(0.0, 0.0)] * 4)
+        k = state.add_rule(Rule(["a", "c"], ["b"]), RuleOrigin.LATTICE)
+        assert k.decision is Decision.INSIGNIFICANT
+        assert k.inferred
+
+    def test_confidence_insignificance_does_not_propagate(self):
+        # High support, low confidence: the rule is insignificant but
+        # NOT support-dead, so specializations stay open.
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.4, 0.41), (0.45, 0.45), (0.4, 0.42), (0.42, 0.44)])
+        assert state.knowledge(general).decision is Decision.INSIGNIFICANT
+        assert state.knowledge(specific).decision is Decision.UNDECIDED
+
+    def test_pruning_can_be_disabled(self):
+        state = make_state(lattice_pruning=False)
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.0, 0.0)] * 4)
+        assert state.knowledge(specific).decision is Decision.UNDECIDED
+
+    def test_direct_evidence_overrides_inferred(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.0, 0.0)] * 4)
+        assert state.knowledge(specific).inferred
+        # Strong direct evidence contradicts the inference (odd but
+        # possible with noisy crowds) and wins.
+        feed(state, specific, [(0.6, 0.9)] * 5)
+        k = state.knowledge(specific)
+        assert k.decision is Decision.SIGNIFICANT
+        assert not k.inferred
+
+
+class TestReporting:
+    def test_decided_mode_only_settled(self):
+        state = make_state()
+        decided = Rule(["a"], ["b"])
+        pending = Rule(["x"], ["y"])
+        feed(state, decided, [(0.5, 0.8)] * 4)
+        feed(state, pending, [(0.5, 0.8)] * 2)  # below min_samples
+        reported = state.significant_rules(mode="decided")
+        assert decided in reported
+        assert pending not in reported
+
+    def test_point_mode_requires_min_samples(self):
+        state = make_state()
+        pending = Rule(["x"], ["y"])
+        feed(state, pending, [(0.5, 0.8)] * 2)
+        assert pending not in state.significant_rules(mode="point")
+        # Two more *distinct* members (the feed helper restarts ids).
+        state.record_answer(pending, "u10", RuleStats(0.3, 0.55), RuleOrigin.SEED)
+        state.record_answer(pending, "u11", RuleStats(0.3, 0.55), RuleOrigin.SEED)
+        point = state.significant_rules(mode="point")
+        assert pending in point
+
+    def test_reported_stats_are_estimates(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.4, 0.8), (0.6, 0.9), (0.5, 0.85), (0.5, 0.85)])
+        stats = state.significant_rules()[rule]
+        assert stats.support == pytest.approx(0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            make_state().significant_rules(mode="wild")

@@ -1,0 +1,140 @@
+"""Tests for question-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import SignificanceTest, Thresholds
+from repro.miner import (
+    MaxUncertaintyStrategy,
+    MiningState,
+    RandomStrategy,
+    RoundRobinStrategy,
+    RuleOrigin,
+    make_strategy,
+)
+
+
+@pytest.fixture
+def state():
+    test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+    return MiningState(test)
+
+
+def feed(state, rule, member_values, origin=RuleOrigin.SEED):
+    for member, (s, c) in member_values:
+        state.record_answer(rule, member, RuleStats(s, c), origin)
+
+
+class TestEligibility:
+    def test_resolved_rules_excluded(self, state, rng):
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(f"u{i}", (0.6, 0.9)) for i in range(5)])
+        for strategy in (RandomStrategy(), RoundRobinStrategy(), MaxUncertaintyStrategy()):
+            assert strategy.select(state, "u99", rng) is None
+
+    def test_member_never_asked_twice(self, state, rng):
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [("u1", (0.3, 0.55))])
+        strategy = RandomStrategy()
+        assert strategy.select(state, "u1", rng) is None
+        assert strategy.select(state, "u2", rng) == rule
+
+    def test_empty_state(self, state, rng):
+        assert RandomStrategy().select(state, "u1", rng) is None
+
+
+class TestRoundRobin:
+    def test_prefers_fewest_samples(self, state, rng):
+        r1, r2 = Rule(["a"], ["b"]), Rule(["x"], ["y"])
+        state.add_rule(r2, RuleOrigin.SEED)
+        feed(state, r1, [("u1", (0.3, 0.55))])
+        assert RoundRobinStrategy().select(state, "u9", rng) == r2
+
+
+class TestMaxUncertainty:
+    def test_prefers_promising_new_rule_over_hopeless(self, state, rng):
+        promising = Rule(["a"], ["b"])
+        hopeless = Rule(["x"], ["y"])
+        feed(state, promising, [("u1", (0.5, 0.8))])
+        feed(state, hopeless, [("u1", (0.0, 0.0))])
+        assert MaxUncertaintyStrategy().select(state, "u2", rng) == promising
+
+    def test_prior_promise_orders_fresh_rules(self, state, rng):
+        volunteered = Rule(["a"], ["b"])
+        speculative = Rule(["x"], ["y"])
+        state.add_rule(volunteered, RuleOrigin.OPEN_ANSWER, prior_promise=0.7)
+        state.add_rule(speculative, RuleOrigin.LATTICE, prior_promise=0.45)
+        assert MaxUncertaintyStrategy().select(state, "u1", rng) == volunteered
+
+    def test_boundary_rule_beats_settledish(self, state, rng):
+        # Both rules have min_samples; the boundary one is more uncertain.
+        boundary = Rule(["a"], ["b"])
+        clear = Rule(["x"], ["y"])
+        feed(state, boundary, [(f"u{i}", (0.2, 0.5)) for i in range(3)])
+        feed(state, clear, [(f"u{i}", (0.45, 0.9)) for i in range(3)])
+        kb = state.knowledge(boundary)
+        kc = state.knowledge(clear)
+        if kc.is_resolved:
+            # clear may already be settled; then boundary is the only option
+            assert MaxUncertaintyStrategy().select(state, "u9", rng) == boundary
+        else:
+            assert kb.uncertainty > kc.uncertainty
+            assert MaxUncertaintyStrategy().select(state, "u9", rng) == boundary
+
+
+class TestHorizontal:
+    def test_prefers_general_rules_first(self, state, rng):
+        from repro.miner import HorizontalStrategy
+
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        state.add_rule(general, RuleOrigin.SEED)
+        assert HorizontalStrategy().select(state, "u1", rng) == general
+
+    def test_specialization_blocked_until_parent_confirmed(self, state, rng):
+        from repro.miner import HorizontalStrategy
+
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(general, RuleOrigin.SEED)
+        state.add_rule(specific, RuleOrigin.SEED)
+        strategy = HorizontalStrategy()
+        # Resolve the general rule for member u1 only; the specific rule
+        # stays blocked while the general is undecided.
+        feed(state, general, [("u1", (0.3, 0.55))])
+        assert strategy.select(state, "u2", rng) == general
+        # Confirm the general rule fully → the specific one unblocks.
+        feed(state, general, [(f"v{i}", (0.6, 0.9)) for i in range(4)])
+        assert strategy.select(state, "u9", rng) == specific
+
+    def test_all_blocked_falls_back(self, state, rng):
+        from repro.miner import HorizontalStrategy
+
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(general, RuleOrigin.SEED)
+        state.add_rule(specific, RuleOrigin.SEED)
+        # u1 already answered the general rule → only the (blocked)
+        # specific rule is eligible for u1; fallback must still pick it.
+        feed(state, general, [("u1", (0.3, 0.55))])
+        assert HorizontalStrategy().select(state, "u1", rng) == specific
+
+
+class TestRegistry:
+    def test_known_names(self):
+        from repro.miner import HorizontalStrategy
+
+        assert isinstance(make_strategy("crowdminer"), MaxUncertaintyStrategy)
+        assert isinstance(make_strategy("RANDOM"), RandomStrategy)
+        assert isinstance(make_strategy("roundrobin"), RoundRobinStrategy)
+        assert isinstance(make_strategy("horizontal"), HorizontalStrategy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("quantum")
+
+    def test_strategy_names(self):
+        assert MaxUncertaintyStrategy().name == "maxuncertainty"
+        assert RandomStrategy().name == "random"

@@ -1,0 +1,98 @@
+"""Tests for early-termination rules."""
+
+import pytest
+
+from repro.crowd import ExactAnswerModel, SimulatedCrowd
+from repro.estimation import Thresholds
+from repro.miner import (
+    CrowdMiner,
+    CrowdMinerConfig,
+    all_of,
+    any_of,
+    discovery_stalled,
+    found_k_significant,
+    nothing_settleable,
+)
+
+
+def make_miner(population, budget=2_000, **overrides):
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=ExactAnswerModel(), seed=5
+    )
+    config = CrowdMinerConfig(
+        thresholds=Thresholds(0.1, 0.5), budget=budget, seed=6, **overrides
+    )
+    return CrowdMiner(crowd, config)
+
+
+class TestFoundKSignificant:
+    def test_stops_at_k(self, folk_population):
+        miner = make_miner(folk_population)
+        result = miner.run(stop_when=found_k_significant(3))
+        decided = miner.state.significant_rules(mode="decided")
+        assert len(decided) >= 3
+        # It stopped well before the budget.
+        assert result.questions_asked < miner.config.budget
+
+    def test_uses_fewer_questions_than_full_run(self, folk_population):
+        early = make_miner(folk_population).run(stop_when=found_k_significant(2))
+        full = make_miner(folk_population).run()
+        assert early.questions_asked < full.questions_asked
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            found_k_significant(0)
+
+
+class TestNothingSettleable:
+    def test_does_not_fire_early(self, folk_population):
+        miner = make_miner(folk_population, budget=100)
+        rule = nothing_settleable(check_every=50)
+        result = miner.run(stop_when=rule)
+        # A fresh folk session has plenty of settleable rules; the
+        # session should spend its whole (small) budget.
+        assert result.questions_asked == 100
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            nothing_settleable(check_every=0)
+
+
+class TestDiscoveryStalled:
+    def test_fires_when_discovery_rate_drops(self, folk_population):
+        # Demand an unsustainable discovery rate (10 new rules per 60
+        # questions): early bursts satisfy it, the verification-heavy
+        # middle of the session cannot, so the rule must fire.
+        miner = make_miner(folk_population, budget=1_500)
+        result = miner.run(stop_when=discovery_stalled(window=60, min_new_rules=10))
+        assert result.questions_asked < 1_500
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            discovery_stalled(window=0)
+
+
+class TestCombinators:
+    def test_any_of(self, folk_population):
+        miner = make_miner(folk_population)
+        stop = any_of(found_k_significant(1), discovery_stalled(window=500))
+        result = miner.run(stop_when=stop)
+        assert result.questions_asked < miner.config.budget
+
+    def test_all_of_requires_both(self, folk_population):
+        never = lambda miner: False
+        never.__name__ = "never"
+        miner = make_miner(folk_population, budget=120)
+        stop = all_of(found_k_significant(1), never)
+        result = miner.run(stop_when=stop)
+        assert result.questions_asked == 120  # never fired
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            any_of()
+        with pytest.raises(ValueError):
+            all_of()
+
+    def test_names_compose(self):
+        stop = any_of(found_k_significant(2), nothing_settleable())
+        assert "found_2_significant" in stop.__name__

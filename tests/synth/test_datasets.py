@@ -1,0 +1,96 @@
+"""Tests for dataset file I/O."""
+
+import pytest
+
+from repro.core import TransactionDB
+from repro.synth import (
+    DatasetFormatError,
+    domain_from_db,
+    load_basket_file,
+    load_csv_baskets,
+    parse_basket_lines,
+    save_basket_file,
+)
+
+
+class TestParseBasketLines:
+    def test_whitespace_separated(self):
+        rows = list(parse_basket_lines(["1 2 3", "2 4"]))
+        assert rows == [frozenset({"1", "2", "3"}), frozenset({"2", "4"})]
+
+    def test_empty_lines_skipped(self):
+        rows = list(parse_basket_lines(["a b", "", "   ", "c"]))
+        assert len(rows) == 2
+
+    def test_custom_separator(self):
+        rows = list(parse_basket_lines(["tea, honey , lemon"], separator=","))
+        assert rows == [frozenset({"tea", "honey", "lemon"})]
+
+    def test_duplicate_items_collapse(self):
+        rows = list(parse_basket_lines(["a a b"]))
+        assert rows == [frozenset({"a", "b"})]
+
+
+class TestFiles:
+    def test_basket_roundtrip(self, tmp_path, tiny_db):
+        path = tmp_path / "data.basket"
+        save_basket_file(tiny_db, path)
+        loaded = load_basket_file(path)
+        # Items with spaces in names break whitespace format: tiny_db
+        # has none? it does ("cough" etc. are single words) — compare.
+        assert sorted(map(sorted, loaded)) == sorted(map(sorted, tiny_db))
+
+    def test_basket_separator_conflict_rejected(self, tmp_path):
+        db = TransactionDB([["sore throat", "tea"]])
+        with pytest.raises(DatasetFormatError, match="separator"):
+            save_basket_file(db, tmp_path / "x.basket", separator=" ")
+
+    def test_multiword_items_via_csv_separator(self, tmp_path):
+        db = TransactionDB([["sore throat", "ginger tea"]])
+        path = tmp_path / "x.csv"
+        save_basket_file(db, path, separator=",")
+        loaded = load_csv_baskets(path)
+        assert list(loaded) == list(db)
+
+    def test_max_transactions_cap(self, tmp_path, tiny_db):
+        path = tmp_path / "data.basket"
+        save_basket_file(tiny_db, path)
+        loaded = load_basket_file(path, max_transactions=2)
+        assert len(loaded) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.basket"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetFormatError, match="no transactions"):
+            load_basket_file(path)
+
+    def test_csv_header_skipped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("item_a,item_b\ntea,honey\ncoffee\n")
+        loaded = load_csv_baskets(path, skip_header=True)
+        assert len(loaded) == 2
+
+    def test_fimi_style_numeric_tokens(self, tmp_path):
+        path = tmp_path / "retail.dat"
+        path.write_text("1 3 7\n1 9\n3 7 11 12\n")
+        db = load_basket_file(path)
+        assert len(db) == 3
+        assert db.support(frozenset({"3", "7"})) == pytest.approx(2 / 3)
+
+
+class TestDomainFromDB:
+    def test_covers_all_items(self, tiny_db):
+        domain = domain_from_db(tiny_db)
+        assert set(domain.items) == set(tiny_db.items)
+        assert domain.category_of("tea") == "item"
+
+    def test_pipeline_to_crowd(self, tmp_path):
+        # End-to-end: file → db → domain → partitioned crowd.
+        from repro.synth import partition_global_db
+
+        path = tmp_path / "retail.dat"
+        path.write_text("\n".join("1 2 3" for _ in range(30)))
+        db = load_basket_file(path)
+        domain = domain_from_db(db)
+        population = partition_global_db(db, domain, 3, seed=1)
+        assert len(population) == 3

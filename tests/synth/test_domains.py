@@ -1,0 +1,56 @@
+"""Tests for the named example domains."""
+
+import pytest
+
+from repro.estimation import Thresholds
+from repro.miner import compute_ground_truth
+from repro.synth import (
+    NAMED_MODELS,
+    build_population,
+    culinary_model,
+    folk_remedies_model,
+    travel_model,
+)
+
+
+@pytest.mark.parametrize("name", sorted(NAMED_MODELS))
+class TestAllNamedModels:
+    def test_builds(self, name):
+        model = NAMED_MODELS[name](seed=1)
+        assert len(model.patterns) >= 8
+        assert len(model.domain) >= 15
+
+    def test_rules_within_domain(self, name):
+        model = NAMED_MODELS[name](seed=1)
+        for rule in model.rules:
+            model.domain.validate_items(rule.body)
+
+    def test_population_generates(self, name):
+        model = NAMED_MODELS[name](seed=1)
+        pop = build_population(model, 5, 40, seed=2)
+        assert len(pop) == 5
+
+    def test_planted_rules_recoverable(self, name):
+        # At least some planted habits must actually be significant in a
+        # sampled population at the canonical thresholds — otherwise the
+        # preset is useless for experiments.
+        model = NAMED_MODELS[name](seed=1)
+        pop = build_population(model, 20, 150, seed=3)
+        truth = compute_ground_truth(pop, Thresholds(0.08, 0.45))
+        planted_found = sum(1 for rule in model.rules if rule in truth.significant)
+        assert planted_found >= len(model.rules) // 3
+
+
+class TestCategories:
+    def test_folk_categories(self):
+        model = folk_remedies_model(seed=0)
+        assert "symptom" in model.domain.categories
+        assert "remedy" in model.domain.categories
+
+    def test_travel_categories(self):
+        model = travel_model(seed=0)
+        assert set(model.domain.categories) == {"place", "activity", "restaurant"}
+
+    def test_culinary_categories(self):
+        model = culinary_model(seed=0)
+        assert set(model.domain.categories) == {"dish", "drink"}

@@ -1,0 +1,79 @@
+"""Tests for the random-model factories."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synth import random_domain, random_habit_model
+
+
+class TestRandomDomain:
+    def test_size_and_categories(self):
+        d = random_domain(10, categories=("x", "y"))
+        assert len(d) == 10
+        assert len(d.items_in_category("x")) == 5
+        assert len(d.items_in_category("y")) == 5
+
+    def test_single_category(self):
+        d = random_domain(4, categories=("only",))
+        assert all(d.category_of(i) == "only" for i in d)
+
+    def test_no_categories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_domain(4, categories=())
+
+
+class TestRandomHabitModel:
+    def test_pattern_count(self):
+        d = random_domain(100)
+        m = random_habit_model(d, 12, seed=1)
+        assert len(m.patterns) == 12
+
+    def test_rules_disjoint_by_default(self):
+        d = random_domain(100)
+        m = random_habit_model(d, 15, seed=2)
+        seen: set[str] = set()
+        for rule in m.rules:
+            body = set(rule.body)
+            assert not body & seen
+            seen |= body
+
+    def test_too_small_domain_rejected(self):
+        d = random_domain(5)
+        with pytest.raises(ConfigurationError, match="disjoint"):
+            random_habit_model(d, 10, seed=3)
+
+    def test_overlap_allowed_when_requested(self):
+        d = random_domain(6)
+        m = random_habit_model(
+            d, 5, seed=4, allow_overlap=True,
+            antecedent_size=(1, 1), consequent_size=(1, 1),
+        )
+        assert 1 <= len(m.patterns) <= 5  # duplicates may collapse
+
+    def test_parameters_within_ranges(self):
+        d = random_domain(100)
+        m = random_habit_model(
+            d, 10, seed=5,
+            prevalence_range=(0.7, 0.9),
+            antecedent_rate_range=(0.2, 0.3),
+            conditional_rate_range=(0.6, 0.7),
+        )
+        for pattern in m.patterns:
+            assert 0.7 <= pattern.prevalence <= 0.9
+            assert 0.2 <= pattern.antecedent_rate <= 0.3
+            assert 0.6 <= pattern.conditional_rate <= 0.7
+
+    def test_body_sizes_respect_ranges(self):
+        d = random_domain(200)
+        m = random_habit_model(
+            d, 10, seed=6, antecedent_size=(2, 2), consequent_size=(1, 2)
+        )
+        for rule in m.rules:
+            assert len(rule.antecedent) == 2
+            assert 1 <= len(rule.consequent) <= 2
+
+    def test_deterministic(self):
+        d = random_domain(80)
+        a = random_habit_model(d, 8, seed=7)
+        b = random_habit_model(d, 8, seed=7)
+        assert a.rules == b.rules

@@ -1,0 +1,129 @@
+"""Tests for the latent habit model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ItemDomain, Rule
+from repro.errors import ConfigurationError, InvalidItemError
+from repro.synth import HabitPattern, LatentHabitModel
+
+
+@pytest.fixture
+def domain():
+    return ItemDomain(["s1", "s2", "r1", "r2"])
+
+
+@pytest.fixture
+def model(domain):
+    patterns = [
+        HabitPattern(Rule(["s1"], ["r1"]), prevalence=1.0,
+                     antecedent_rate=0.4, conditional_rate=0.8, rate_std=0.0),
+        HabitPattern(Rule(["s2"], ["r2"]), prevalence=0.0,
+                     antecedent_rate=0.4, conditional_rate=0.8, rate_std=0.0),
+    ]
+    return LatentHabitModel(domain, patterns, background_rate=0.0, seed=7)
+
+
+class TestHabitPattern:
+    def test_expected_support(self):
+        p = HabitPattern(Rule(["a"], ["b"]), 0.5, 0.4, 0.8)
+        assert p.expected_support == pytest.approx(0.32)
+        assert p.population_support == pytest.approx(0.16)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(Exception):
+            HabitPattern(Rule(["a"], ["b"]), 1.5, 0.4, 0.8)
+
+
+class TestModelValidation:
+    def test_rule_items_must_be_in_domain(self, domain):
+        with pytest.raises(InvalidItemError):
+            LatentHabitModel(
+                domain,
+                [HabitPattern(Rule(["nope"], ["r1"]), 0.5, 0.3, 0.7)],
+            )
+
+    def test_duplicate_rules_rejected(self, domain):
+        p = HabitPattern(Rule(["s1"], ["r1"]), 0.5, 0.3, 0.7)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            LatentHabitModel(domain, [p, p])
+
+    def test_rules_property(self, model):
+        assert model.rules == [Rule(["s1"], ["r1"]), Rule(["s2"], ["r2"])]
+
+
+class TestRealization:
+    def test_prevalence_one_always_held(self, model, rng):
+        for _ in range(10):
+            profile = model.realize_user(rng)
+            assert profile.has_rule(Rule(["s1"], ["r1"]))
+
+    def test_prevalence_zero_never_held(self, model, rng):
+        for _ in range(10):
+            profile = model.realize_user(rng)
+            assert not profile.has_rule(Rule(["s2"], ["r2"]))
+
+    def test_zero_std_keeps_exact_rates(self, model, rng):
+        profile = model.realize_user(rng)
+        habit = profile.habits[0]
+        assert habit.antecedent_rate == 0.4
+        assert habit.conditional_rate == 0.8
+
+    def test_rates_clipped_to_unit_interval(self, domain, rng):
+        model = LatentHabitModel(
+            domain,
+            [HabitPattern(Rule(["s1"], ["r1"]), 1.0, 0.99, 0.99, rate_std=1.0)],
+            seed=3,
+        )
+        for _ in range(20):
+            habit = model.realize_user(rng).habits[0]
+            assert 0.0 <= habit.antecedent_rate <= 1.0
+            assert 0.0 <= habit.conditional_rate <= 1.0
+
+
+class TestGeneration:
+    def test_personal_db_size(self, model, rng):
+        profile = model.realize_user(rng)
+        db = model.generate_personal_db(profile, 50, rng)
+        assert len(db) == 50
+
+    def test_antecedent_present_whenever_consequent(self, model, rng):
+        # With no background noise, r1 only ever appears via the habit,
+        # i.e. together with s1.
+        profile = model.realize_user(rng)
+        db = model.generate_personal_db(profile, 300, rng)
+        for row in db:
+            if "r1" in row:
+                assert "s1" in row
+
+    def test_supports_near_latent_rates(self, model, rng):
+        profile = model.realize_user(rng)
+        db = model.generate_personal_db(profile, 3_000, rng)
+        stats = db.rule_stats(Rule(["s1"], ["r1"]))
+        assert stats.support == pytest.approx(0.32, abs=0.05)
+        assert stats.confidence == pytest.approx(0.8, abs=0.05)
+
+    def test_background_noise_adds_unrelated_items(self, domain, rng):
+        model = LatentHabitModel(domain, [], background_rate=0.5, seed=5)
+        profile = model.realize_user(rng)
+        db = model.generate_personal_db(profile, 200, rng)
+        assert db.support(frozenset(["r2"])) > 0.2
+
+    def test_itemset_rule_generation(self, domain, rng):
+        pattern = HabitPattern(
+            Rule.itemset_rule(["r1", "r2"]), 1.0, 0.5, 0.8, rate_std=0.0
+        )
+        model = LatentHabitModel(domain, [pattern], background_rate=0.0, seed=6)
+        profile = model.realize_user(rng)
+        db = model.generate_personal_db(profile, 2_000, rng)
+        support = db.support(frozenset(["r1", "r2"]))
+        assert support == pytest.approx(0.4, abs=0.05)
+
+    def test_expected_crowd_stats_for_planted_rule(self, model):
+        support, confidence = model.expected_crowd_stats(Rule(["s1"], ["r1"]))
+        assert support == pytest.approx(0.32)
+        assert confidence == pytest.approx(0.8)
+
+    def test_expected_crowd_stats_for_unknown_rule(self, model):
+        support, confidence = model.expected_crowd_stats(Rule(["s1"], ["r2"]))
+        assert support == 0.0  # background_rate = 0

@@ -1,0 +1,95 @@
+"""Tests for the Quest-style generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synth import QuestConfig, QuestGenerator
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        QuestConfig()
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(Exception):
+            QuestConfig(n_items=0)
+
+    def test_bad_correlation_rejected(self):
+        with pytest.raises(Exception):
+            QuestConfig(correlation=1.5)
+
+    def test_bad_avg_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuestConfig(avg_transaction_size=0)
+
+
+class TestGeneration:
+    def test_db_size(self):
+        gen = QuestGenerator(QuestConfig(n_items=40, n_transactions=123), seed=1)
+        assert len(gen.generate()) == 123
+
+    def test_override_size(self):
+        gen = QuestGenerator(QuestConfig(n_items=40, n_transactions=10), seed=1)
+        assert len(gen.generate(55)) == 55
+
+    def test_items_within_domain(self):
+        gen = QuestGenerator(QuestConfig(n_items=30, n_transactions=200), seed=2)
+        db = gen.generate()
+        domain_items = set(gen.domain.items)
+        for row in db:
+            assert row <= domain_items
+
+    def test_transactions_nonempty(self):
+        gen = QuestGenerator(QuestConfig(n_items=30, n_transactions=200), seed=3)
+        assert all(len(row) >= 1 for row in gen.generate())
+
+    def test_avg_size_roughly_matches(self):
+        cfg = QuestConfig(n_items=200, n_transactions=2_000, avg_transaction_size=8.0)
+        gen = QuestGenerator(cfg, seed=4)
+        db = gen.generate()
+        avg = sum(len(row) for row in db) / len(db)
+        assert 4.0 < avg < 12.0
+
+    def test_determinism(self):
+        a = QuestGenerator(QuestConfig(n_items=30, n_transactions=50), seed=7).generate()
+        b = QuestGenerator(QuestConfig(n_items=30, n_transactions=50), seed=7).generate()
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = QuestGenerator(QuestConfig(n_items=30, n_transactions=50), seed=7).generate()
+        b = QuestGenerator(QuestConfig(n_items=30, n_transactions=50), seed=8).generate()
+        assert list(a) != list(b)
+
+
+class TestPatterns:
+    def test_pattern_weights_normalized(self):
+        gen = QuestGenerator(QuestConfig(n_items=50), seed=5)
+        weights = [w for _, w in gen.patterns]
+        assert np.isclose(sum(weights), 1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_pattern_count(self):
+        gen = QuestGenerator(QuestConfig(n_items=50, n_patterns=17), seed=6)
+        assert len(gen.patterns) == 17
+
+    def test_patterns_create_correlations(self):
+        # Items of a heavy pattern should co-occur far above independence.
+        cfg = QuestConfig(
+            n_items=100, n_transactions=3_000, n_patterns=10, corruption_mean=0.1
+        )
+        gen = QuestGenerator(cfg, seed=9)
+        db = gen.generate()
+        patterns = sorted(gen.patterns, key=lambda pw: -pw[1])
+        found_lift = False
+        for items, _ in patterns[:8]:
+            if len(items) >= 2:
+                a, b = items[0], items[1]
+                joint = db.support(frozenset([a, b]))
+                indep = db.support(frozenset([a])) * db.support(frozenset([b]))
+                # Heavily-weighted patterns push items towards support
+                # 1 where lift saturates, so a modest factor suffices.
+                if joint > 1.5 * indep > 0:
+                    found_lift = True
+                    break
+        assert found_lift

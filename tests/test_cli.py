@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine"])
+        assert args.domain == "folk_remedies"
+        assert args.budget == 1_000
+
+    def test_mine_rejects_unknown_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--domain", "sports"])
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e99"])
+
+    def test_classic_options(self):
+        args = build_parser().parse_args(
+            ["classic", "--items", "50", "--support", "0.1"]
+        )
+        assert args.items == 50
+        assert args.support == 0.1
+
+
+class TestExecution:
+    def test_mine_runs(self, capsys):
+        code = main(
+            [
+                "mine",
+                "--members", "8",
+                "--budget", "80",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "questions asked" in out
+        assert "ground truth" in out
+
+    def test_classic_runs(self, capsys):
+        code = main(
+            [
+                "classic",
+                "--items", "40",
+                "--transactions", "300",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequent itemsets" in out
+
+    def test_mine_save_cache_then_replay(self, capsys, tmp_path):
+        cache_path = tmp_path / "answers.json"
+        code = main(
+            [
+                "mine",
+                "--members", "8",
+                "--budget", "80",
+                "--seed", "5",
+                "--save-cache", str(cache_path),
+            ]
+        )
+        assert code == 0
+        assert cache_path.exists()
+        capsys.readouterr()
+        code = main(["replay", str(cache_path), "--support", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cached answers" in out
+
+    def test_replay_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", str(tmp_path / "nope.json")])
+
+    @pytest.mark.slow
+    def test_experiment_smoke_runs(self, capsys):
+        code = main(["experiment", "e1", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crowdminer" in out
+        assert "vs questions" in out  # the ascii chart header

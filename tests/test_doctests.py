@@ -1,0 +1,29 @@
+"""Run the library's doctests as part of the suite.
+
+Docstring examples are part of the public documentation; this keeps
+them honest.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro.core.items",
+    "repro.core.itemset",
+    "repro.core.rule",
+    "repro.core.transactions",
+    "repro.crowd.stream",
+    "repro.estimation.welford",
+    "repro.estimation.samples",
+    "repro.synth.quest",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"no doctests found in {module_name}"

@@ -1,0 +1,126 @@
+"""Tests for JSON persistence."""
+
+import pytest
+
+from repro.core import Rule, RuleStats, TransactionDB
+from repro.io import (
+    PersistenceError,
+    cache_from_json,
+    cache_to_json,
+    db_from_json,
+    db_to_json,
+    load_json,
+    result_from_json,
+    result_to_json,
+    rule_from_json,
+    rule_to_json,
+    save_json,
+    stats_from_json,
+    stats_to_json,
+)
+from repro.miner import AnswerCache, MiningResult
+
+
+class TestPrimitives:
+    def test_rule_roundtrip(self):
+        rule = Rule(["sore throat", "cough"], ["ginger tea"])
+        assert rule_from_json(rule_to_json(rule)) == rule
+
+    def test_itemset_rule_roundtrip(self):
+        rule = Rule.itemset_rule(["honey"])
+        assert rule_from_json(rule_to_json(rule)) == rule
+
+    def test_rule_with_punctuation_items(self):
+        rule = Rule(["a -> b; weird, item"], ["x"])
+        assert rule_from_json(rule_to_json(rule)) == rule
+
+    def test_stats_roundtrip(self):
+        stats = RuleStats(0.25, 0.75)
+        assert stats_from_json(stats_to_json(stats)) == stats
+
+    def test_malformed_rule(self):
+        with pytest.raises(PersistenceError):
+            rule_from_json({"antecedent": ["a"]})
+
+    def test_malformed_stats(self):
+        with pytest.raises(PersistenceError):
+            stats_from_json({"support": "lots"})
+
+
+class TestCache:
+    def make_cache(self):
+        cache = AnswerCache()
+        cache.record_closed("u1", Rule(["a"], ["b"]), RuleStats(0.2, 0.6))
+        cache.record_open("u2", Rule(["c"], ["d"]), RuleStats(0.3, 0.7))
+        return cache
+
+    def test_roundtrip(self):
+        cache = self.make_cache()
+        restored = cache_from_json(cache_to_json(cache))
+        assert restored.closed == cache.closed
+        assert restored.volunteered == cache.volunteered
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(PersistenceError, match="answer-cache"):
+            cache_from_json({"format": "something-else", "version": 1})
+
+    def test_wrong_version(self):
+        doc = cache_to_json(self.make_cache())
+        doc["version"] = 99
+        with pytest.raises(PersistenceError, match="version"):
+            cache_from_json(doc)
+
+
+class TestResult:
+    def make_result(self):
+        return MiningResult(
+            significant={Rule(["a"], ["b"]): RuleStats(0.3, 0.7)},
+            questions_asked=42,
+            closed_questions=30,
+            open_questions=12,
+            rules_discovered=9,
+            inferred_classifications=2,
+        )
+
+    def test_roundtrip(self):
+        result = self.make_result()
+        restored = result_from_json(result_to_json(result))
+        assert restored.significant == result.significant
+        assert restored.questions_asked == 42
+        assert restored.open_questions == 12
+
+    def test_log_not_serialized(self):
+        restored = result_from_json(result_to_json(self.make_result()))
+        assert restored.log == []
+
+    def test_malformed(self):
+        doc = result_to_json(self.make_result())
+        del doc["questions_asked"]
+        with pytest.raises(PersistenceError):
+            result_from_json(doc)
+
+
+class TestDB:
+    def test_roundtrip(self, tiny_db):
+        restored = db_from_json(db_to_json(tiny_db))
+        assert list(restored) == list(tiny_db)
+
+    def test_empty_db(self):
+        restored = db_from_json(db_to_json(TransactionDB([])))
+        assert len(restored) == 0
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        cache = AnswerCache()
+        cache.record_closed("u1", Rule(["a"], ["b"]), RuleStats(0.2, 0.6))
+        path = tmp_path / "cache.json"
+        save_json(cache_to_json(cache), path)
+        restored = cache_from_json(load_json(path))
+        assert restored.closed == cache.closed
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="invalid JSON"):
+            load_json(path)

@@ -1,0 +1,83 @@
+"""Public-API surface tests.
+
+Guards the contract a downstream user relies on: everything advertised
+in ``__all__`` exists, is importable from the top level, and carries a
+docstring; the package layering stays acyclic and strict.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.classic",
+    "repro.synth",
+    "repro.crowd",
+    "repro.estimation",
+    "repro.miner",
+    "repro.eval",
+]
+
+#: Layering order — a package may import only from itself, earlier
+#: entries, and the shared top-level helpers (errors, _util).
+LAYERS = {name: index for index, name in enumerate(SUBPACKAGES)}
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("package", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a docstring"
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+    @pytest.mark.parametrize("package", SUBPACKAGES)
+    def test_public_objects_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{package}.{name}")
+        assert not undocumented, undocumented
+
+
+class TestLayering:
+    @pytest.mark.parametrize("package", SUBPACKAGES)
+    def test_no_upward_imports(self, package):
+        """Source files must not import from higher layers."""
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        sub = root / package.split(".")[1]
+        own_layer = LAYERS[package]
+        violations = []
+        for path in sub.rglob("*.py"):
+            text = path.read_text()
+            for other, layer in LAYERS.items():
+                if layer <= own_layer:
+                    continue
+                if f"from {other}" in text or f"import {other}" in text:
+                    violations.append(f"{path.name} imports {other}")
+        assert not violations, violations
+
+    def test_core_is_dependency_free(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent / "core"
+        for path in root.rglob("*.py"):
+            text = path.read_text()
+            for other in SUBPACKAGES[1:]:
+                assert f"from {other}" not in text, f"{path.name} imports {other}"
