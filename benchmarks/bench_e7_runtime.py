@@ -5,15 +5,32 @@ as the knowledge base grows? Selection is the per-question inner loop
 (rank every unresolved rule), so its latency must stay in the
 low-millisecond range even with thousands of known rules — crowd
 latency, not CPU, must dominate a session.
+
+Two measurements:
+
+- the full-session latency table (per-question cost bucketed by
+  knowledge-base size, open-question simulation included);
+- a closed-only throughput benchmark against a *pre-seeded* knowledge
+  base at the largest configured size, which isolates the knowledge-base
+  data structures (index, cached summaries, maintained views) from the
+  cost of simulating members' memories. This one asserts a throughput
+  floor, so an accidental O(n²) regression in the inner loop fails CI
+  instead of surfacing as benchmark drift months later.
+
+Both print the session's own instrumentation (``repro.obs``), so the
+numbers come with their per-phase breakdown attached.
 """
 
 import time
 
+import numpy as np
+
+from repro.core import Rule
 from repro.crowd import SimulatedCrowd, standard_answer_model
 from repro.estimation import Thresholds
 from repro.eval import format_rows
 from repro.eval.runner import ExperimentConfig, build_world
-from repro.miner import CrowdMiner, CrowdMinerConfig
+from repro.miner import CrowdMiner, CrowdMinerConfig, FixedRatioPolicy
 
 from conftest import run_once
 
@@ -21,6 +38,21 @@ SETTINGS = {
     "full": dict(n_items=300, n_patterns=30, n_members=60, budget=3_000),
     "smoke": dict(n_items=80, n_patterns=10, n_members=15, budget=400),
 }
+
+#: The KB-scale benchmark: how many rules are pre-seeded (the largest
+#: knowledge-base size exercised) and how many closed questions are
+#: then pushed through it.
+KB_SETTINGS = {
+    "full": dict(seed_rules=5_000, budget=1_500, floor_qps=400.0),
+    "smoke": dict(seed_rules=1_000, budget=300, floor_qps=600.0),
+}
+
+
+def _print_obs(miner, title):
+    snapshot = miner.obs.snapshot()
+    print()
+    print(f"--- instrumentation ({title}) ---")
+    print(snapshot.format())
 
 
 def test_e7_selection_latency(benchmark, scale):
@@ -68,9 +100,91 @@ def test_e7_selection_latency(benchmark, scale):
     print()
     print(f"=== E7: per-question latency vs knowledge-base size ({scale}) ===")
     print(format_rows(("KB size (rules)", "questions", "mean ms/q", "max ms/q"), rows))
+    _print_obs(miner, f"e7 session, {scale}")
 
     # The claim: selection stays interactive (well under the seconds a
     # human needs to answer) even at the largest knowledge-base size.
     largest = max(buckets)
     mean_ms = 1_000 * sum(buckets[largest]) / len(buckets[largest])
     assert mean_ms < 200.0
+
+
+def _random_seed_rules(items, count, rng):
+    """``count`` distinct random rules over ``items`` (2–4 item bodies)."""
+    rules = set()
+    while len(rules) < count:
+        size = int(rng.integers(2, 5))
+        chosen = [items[k] for k in rng.choice(len(items), size=size, replace=False)]
+        cut = int(rng.integers(1, size))
+        rules.add(Rule(chosen[:cut], chosen[cut:]))
+    return tuple(rules)
+
+
+def test_e7_kb_scale_closed_throughput(benchmark, scale):
+    """Closed-question throughput with thousands of rules pre-seeded.
+
+    Every question here is a closed question against an already-large
+    knowledge base, so the measured cost is the knowledge base itself:
+    strategy ranking over the unresolved view, evidence recording,
+    summary (re)computation and lattice maintenance. The full-scale
+    floor is set far below the measured throughput of the incremental
+    implementation but above what a per-question full-scan rebuild can
+    reach at 5 000 rules — it guards the complexity class, not the
+    constant. (The smoke floor is necessarily looser: a 1 000-rule KB
+    doesn't separate the complexity classes as sharply.)
+    """
+    cfg = KB_SETTINGS[scale]
+    world = ExperimentConfig(
+        name="e7-kb",
+        n_items=SETTINGS[scale]["n_items"],
+        n_patterns=SETTINGS[scale]["n_patterns"],
+        n_members=SETTINGS[scale]["n_members"],
+        budget=cfg["budget"],
+        checkpoints=(cfg["budget"],),
+        repetitions=1,
+        seed=91,
+    )
+    model, population, _ = build_world(world, seed=91)
+    rng = np.random.default_rng(92)
+    seed_rules = _random_seed_rules(model.domain.items, cfg["seed_rules"], rng)
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=93
+    )
+    miner = CrowdMiner(
+        crowd,
+        CrowdMinerConfig(
+            thresholds=Thresholds(0.10, 0.5),
+            budget=cfg["budget"],
+            seed_rules=seed_rules,
+            open_policy=FixedRatioPolicy(0.0, fallback_to_open=False),
+            expand_generalizations=False,
+            expand_splits=False,
+            seed=94,
+        ),
+    )
+
+    def run():
+        started = time.perf_counter()
+        asked = 0
+        while asked < cfg["budget"] and not miner.is_done:
+            if miner.step() is None:
+                break
+            asked += 1
+        return asked, time.perf_counter() - started
+
+    asked, elapsed = run_once(benchmark, run)
+
+    qps = asked / elapsed if elapsed > 0 else float("inf")
+    print()
+    print(f"=== E7: closed-question throughput at {len(seed_rules)} seeded rules ({scale}) ===")
+    print(
+        f"{asked} questions in {elapsed:.3f}s — {qps:.0f} q/s "
+        f"({1_000 * elapsed / max(1, asked):.2f} ms/q)"
+    )
+    _print_obs(miner, f"kb-scale session, {scale}")
+
+    assert asked > 0
+    assert qps >= cfg["floor_qps"], (
+        f"closed-question throughput {qps:.0f} q/s fell below the "
+        f"{cfg['floor_qps']} q/s floor at {len(seed_rules)} rules"
+    )

@@ -19,6 +19,8 @@ the subpackages hold the full API:
 - :mod:`repro.estimation` — streaming estimates, the significance test
   and aggregation;
 - :mod:`repro.miner` — the CrowdMiner algorithm and ground-truth oracle;
+- :mod:`repro.obs` — session instrumentation: hot-path counters,
+  wall-clock timers and trace events;
 - :mod:`repro.eval` — the experiment harness reproducing the paper's
   evaluation.
 
@@ -55,6 +57,7 @@ from repro.miner import (
     compute_ground_truth,
     mine_crowd,
 )
+from repro.obs import Instrumentation, ObsSnapshot
 from repro.synth import (
     LatentHabitModel,
     Population,
@@ -72,10 +75,12 @@ __all__ = [
     "CrowdMinerConfig",
     "Decision",
     "GroundTruth",
+    "Instrumentation",
     "ItemDomain",
     "Itemset",
     "LatentHabitModel",
     "MiningResult",
+    "ObsSnapshot",
     "OpenAnswerPolicy",
     "Population",
     "ReproError",

@@ -84,6 +84,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     print(format_experiment(f"{args.name} ({args.scale})", results))
     print()
     print(ascii_chart({label: r.curve for label, r in results.items()}))
+    print()
+    print("per-phase timings (first repetition of each variant):")
+    for label, result in results.items():
+        obs = result.repetitions[0].obs
+        if obs is None:
+            continue
+        phases = ", ".join(
+            f"{name.split('.', 1)[1]} {stats.total_seconds:.2f}s"
+            for name, stats in sorted(obs.timers.items())
+            if name.startswith("runner.")
+        )
+        hits = obs.counters.get("kb.summary_hits", 0)
+        misses = obs.counters.get("kb.summary_misses", 0)
+        print(
+            f"  {label}: {phases} | summary cache {hits} hits / {misses} misses"
+        )
     if args.export:
         from repro.eval import save_results
 

@@ -59,7 +59,15 @@ def parse_stats(text: str) -> RuleStats:
             support, confidence = float(parts[0]), float(parts[1])
         except ValueError:
             raise ValueError(f"cannot parse stats from {text!r}") from None
-        return RuleStats(support, max(support, confidence))
+        if confidence < support:
+            # supp(A∪B) ≤ supp(A) forces confidence ≥ support; a line
+            # violating that is a typo to surface, not noise to absorb.
+            raise ValueError(
+                f"incoherent stats {text!r}: confidence ({confidence}) cannot "
+                f"be below support ({support}) — no personal database "
+                f"produces such a pair"
+            )
+        return RuleStats(support, confidence)
     raise ValueError(
         f"cannot parse stats from {text!r}; expected a frequency word "
         f"({', '.join(WORD_TO_VALUE)}) or two numbers"

@@ -31,6 +31,19 @@ class Aggregator:
         """Compute the estimate snapshot for ``samples``."""
         raise NotImplementedError
 
+    @property
+    def version(self) -> int:
+        """Monotonic cache token for the policy's *own* state.
+
+        A summary computed for a sample store is reusable while both
+        the store's version and this version are unchanged. Policies
+        that are pure functions of the samples (the default) never
+        change, hence the constant 0; policies reading live external
+        state (:class:`DynamicTrustAggregator`) must bump this whenever
+        that state may have moved.
+        """
+        return 0
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -112,6 +125,22 @@ class DynamicTrustAggregator(Aggregator):
         if not callable(getattr(trust_source, "trust", None)):
             raise TypeError("trust_source must expose trust(member_id) -> float")
         self.trust_source = trust_source
+        self._fallback_version = 0
+
+    @property
+    def version(self) -> int:
+        """Tracks the trust source so cached summaries invalidate.
+
+        A trust source without a ``version`` attribute (any object with
+        just ``trust()``) gives no change signal, so every read reports
+        a fresh version — caching is disabled rather than risking stale
+        trust weights.
+        """
+        source_version = getattr(self.trust_source, "version", None)
+        if source_version is None:
+            self._fallback_version += 1
+            return self._fallback_version
+        return int(source_version)
 
     def summarize(self, samples: RuleSamples) -> EstimateSummary:
         weights = {

@@ -68,6 +68,10 @@ class ConsistencyChecker:
         self.tolerance = float(tolerance)
         self.severity = float(severity)
         self._members: dict[str, MemberRecord] = {}
+        #: Monotonic change counter: any recorded answer may move some
+        #: member's mean violation, hence their trust weight — consumers
+        #: caching trust-weighted aggregates key on this.
+        self.version = 0
 
     def record(self, member_id: str, rule: Rule, stats: RuleStats) -> None:
         """Record one answer and update the member's violation tally.
@@ -76,6 +80,7 @@ class ConsistencyChecker:
         member answered before: for ``general ⪯ specific``, reported
         ``supp(specific) − supp(general)`` above zero is a violation.
         """
+        self.version += 1
         record = self._members.setdefault(member_id, MemberRecord())
         body = rule.body
         for other_rule, other_stats in record.answers.items():

@@ -49,12 +49,13 @@ class RuleSamples:
     2
     """
 
-    __slots__ = ("rule", "_by_member", "_estimator")
+    __slots__ = ("rule", "_by_member", "_estimator", "_version")
 
     def __init__(self, rule: Rule | None) -> None:
         self.rule = rule
         self._by_member: dict[str, RuleStats] = {}
         self._estimator = StreamingMeanCov()
+        self._version = 0
 
     def add(self, member_id: str, stats: RuleStats) -> None:
         """Record (or revise) ``member_id``'s observation."""
@@ -63,6 +64,17 @@ class RuleSamples:
             self._estimator.remove(previous.as_tuple())
         self._by_member[member_id] = stats
         self._estimator.add(stats.as_tuple())
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter; bumps on every :meth:`add`.
+
+        Cache token for derived aggregates: a summary computed at
+        version ``v`` stays valid while ``version == v`` (and the
+        aggregation policy itself reports no change).
+        """
+        return self._version
 
     @property
     def n(self) -> int:

@@ -34,6 +34,7 @@ from repro.miner.crowdminer import CrowdMiner, CrowdMinerConfig
 from repro.miner.open_policy import make_open_policy
 from repro.miner.oracle import GroundTruth, compute_ground_truth
 from repro.miner.strategy import make_strategy
+from repro.obs import Instrumentation, ObsSnapshot
 from repro.synth.factories import random_domain, random_habit_model
 from repro.synth.latent import LatentHabitModel
 from repro.synth.population import Population, build_population
@@ -109,7 +110,13 @@ class ExperimentConfig:
 
 @dataclass(frozen=True, slots=True)
 class RepetitionOutcome:
-    """Everything measured in a single repetition."""
+    """Everything measured in a single repetition.
+
+    ``obs`` carries the session's instrumentation snapshot — the
+    knowledge-base and main-loop counters/timers plus the runner's own
+    per-phase timers (``runner.mine``, ``runner.score``) — so harness
+    runs expose where the wall-clock went.
+    """
 
     curve: QualityCurve
     truth_size: int
@@ -117,6 +124,7 @@ class RepetitionOutcome:
     inferred_classifications: int
     open_questions: int
     wall_seconds: float
+    obs: ObsSnapshot | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,9 +175,16 @@ def run_session(
     population: Population,
     truth: GroundTruth,
     seed: int,
+    obs: Instrumentation | None = None,
 ) -> RepetitionOutcome:
-    """Run one mining session and measure it at every checkpoint."""
+    """Run one mining session and measure it at every checkpoint.
+
+    ``obs`` (a fresh instance when not given) is shared with the miner
+    and knowledge base, and additionally times the runner's own phases:
+    mining steps vs. checkpoint scoring.
+    """
     rng = as_rng(seed)
+    obs = obs or Instrumentation()
     crowd = SimulatedCrowd.from_population(
         population,
         answer_model=config.answer_model(),
@@ -190,16 +205,18 @@ def run_session(
         expand_splits=config.expand_splits,
         seed=rng,
     )
-    miner = CrowdMiner(crowd, miner_config)
+    miner = CrowdMiner(crowd, miner_config, obs=obs)
 
     points = []
     started = time.perf_counter()
     for checkpoint in config.checkpoints:
-        while miner.questions_asked < checkpoint and not miner.is_done:
-            if miner.step() is None:
-                break
-        reported = miner.state.significant_rules(mode="point")
-        points.append(score_report(reported, truth, miner.questions_asked))
+        with obs.timer("runner.mine"):
+            while miner.questions_asked < checkpoint and not miner.is_done:
+                if miner.step() is None:
+                    break
+        with obs.timer("runner.score"):
+            reported = miner.state.significant_rules(mode="point")
+            points.append(score_report(reported, truth, miner.questions_asked))
     elapsed = time.perf_counter() - started
 
     # Normalize the checkpoint grid (sessions that ended early repeat
@@ -218,6 +235,7 @@ def run_session(
         inferred_classifications=result.inferred_classifications,
         open_questions=result.open_questions,
         wall_seconds=elapsed,
+        obs=result.obs,
     )
 
 

@@ -18,7 +18,7 @@ from repro.miner.open_policy import (
 from repro.miner.oracle import GroundTruth, compute_ground_truth
 from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
 from repro.miner.session import AnswerCache, CacheStats, CachingCrowd, reevaluate
-from repro.miner.state import MiningState, RuleKnowledge, RuleOrigin
+from repro.miner.state import MiningState, RuleIndex, RuleKnowledge, RuleOrigin
 from repro.miner.termination import (
     StoppingRule,
     all_of,
@@ -60,6 +60,7 @@ __all__ = [
     "QuestionStrategy",
     "RandomStrategy",
     "RoundRobinStrategy",
+    "RuleIndex",
     "RuleKnowledge",
     "RulePlan",
     "RuleOrigin",

@@ -43,6 +43,7 @@ from repro.miner.open_policy import AdaptiveOpenPolicy, OpenClosedPolicy
 from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
 from repro.miner.state import MiningState, RuleOrigin
 from repro.miner.strategy import MaxUncertaintyStrategy, QuestionStrategy
+from repro.obs import Instrumentation
 
 
 @dataclass(slots=True)
@@ -158,10 +159,17 @@ class CrowdMiner:
     questions. :meth:`run` is the run-to-completion convenience.
     """
 
-    def __init__(self, crowd: SimulatedCrowd, config: CrowdMinerConfig) -> None:
+    def __init__(
+        self,
+        crowd: SimulatedCrowd,
+        config: CrowdMinerConfig,
+        obs: Instrumentation | None = None,
+    ) -> None:
         self.crowd = crowd
         self.config = config
         self._rng = as_rng(config.seed)
+        #: Session instrumentation, shared with the knowledge base.
+        self.obs = obs or Instrumentation()
         self.consistency: ConsistencyChecker | None = None
         aggregator = config.aggregator
         if config.screen_spammers:
@@ -171,6 +179,7 @@ class CrowdMiner:
             test=config.build_test(),
             aggregator=aggregator,
             lattice_pruning=config.lattice_pruning,
+            obs=self.obs,
         )
         for rule in config.seed_rules:
             self.state.add_rule(rule, RuleOrigin.SEED)
@@ -193,8 +202,15 @@ class CrowdMiner:
 
     @property
     def open_supply_exhausted(self) -> bool:
-        """True when a full crowd round of open questions came back dry."""
-        return self._consecutive_dry_opens >= len(self.crowd)
+        """True when a full crowd round of open questions came back dry.
+
+        The round is measured against the members still *available* —
+        comparing against the total member count (including departures)
+        would keep burning budget on dry open questions long after the
+        remaining crowd proved empty-handed.
+        """
+        available = len(self.crowd.available_members())
+        return self._consecutive_dry_opens >= max(1, available)
 
     @property
     def is_done(self) -> bool:
@@ -224,20 +240,22 @@ class CrowdMiner:
         # A member may turn out to have left mid-question (their answer
         # stream ran dry, their patience expired between scheduling and
         # asking); retry with the next member, up to one full round.
-        for _ in range(max(1, len(self.crowd))):
-            try:
-                member_id = self.crowd.next_member()
-            except CrowdExhaustedError:
-                return None
-            try:
-                return self._dispatch(member_id)
-            except CrowdExhaustedError:
-                continue
-        return None
+        with self.obs.timer("miner.step"):
+            for _ in range(max(1, len(self.crowd))):
+                try:
+                    member_id = self.crowd.next_member()
+                except CrowdExhaustedError:
+                    return None
+                try:
+                    return self._dispatch(member_id)
+                except CrowdExhaustedError:
+                    continue
+            return None
 
     def _dispatch(self, member_id: str) -> QuestionEvent | None:
         """Choose and pose one question to ``member_id``."""
-        closed_rule = self.config.strategy.select(self.state, member_id, self._rng)
+        with self.obs.timer("miner.select"):
+            closed_rule = self.config.strategy.select(self.state, member_id, self._rng)
         ask_open = self.config.open_policy.choose_open(
             self._rng,
             has_closed_candidate=closed_rule is not None,
@@ -257,12 +275,17 @@ class CrowdMiner:
         return None
 
     def _ask_closed(self, member_id: str, rule: Rule) -> QuestionEvent:
+        # Closed questions are only ever asked about rules the strategy
+        # read out of the state, so the rule's origin is already on
+        # record — recording under a fabricated origin would misreport
+        # how the rule was discovered.
+        assert rule in self.state, "strategy selected a rule unknown to the state"
+        origin = self.state.knowledge(rule).origin
         answer = self.crowd.ask_closed(member_id, rule)
         if self.consistency is not None:
             self.consistency.record(member_id, rule, answer.stats)
-        self.state.record_answer(
-            rule, member_id, answer.stats, RuleOrigin.SEED
-        )
+        self.state.record_answer(rule, member_id, answer.stats, origin)
+        self.obs.count("miner.closed")
         self._expand_confirmed()
         event = QuestionEvent(
             index=self._questions,
@@ -300,12 +323,14 @@ class CrowdMiner:
         answer = self.crowd.ask_open(
             member_id, exclude=self.state.known_rule_set(), context=context
         )
+        self.obs.count("miner.open")
         if answer.is_empty:
             # Only *blind* open questions coming back empty signal that
             # the crowd's memory is exhausted; a missed contextual probe
             # just means nobody refines that particular habit.
             if context is None:
                 self._consecutive_dry_opens += 1
+            self.obs.count("miner.dry_opens")
             self.config.open_policy.observe_open_outcome(False)
             event = QuestionEvent(
                 index=self._questions,
@@ -332,7 +357,7 @@ class CrowdMiner:
         prior = self._volunteer_prior(stats)
         if self.config.count_open_evidence:
             self.state.record_answer(rule, member_id, stats, RuleOrigin.OPEN_ANSWER)
-            self.state.knowledge(rule).prior_promise = prior
+            self.state.set_prior_promise(rule, prior)
         else:
             self.state.add_rule(rule, RuleOrigin.OPEN_ANSWER, prior_promise=prior)
         self._expand_confirmed()
@@ -374,12 +399,14 @@ class CrowdMiner:
         become SIGNIFICANT since its last expansion gets its immediate
         generalizations and alternative body splits registered as
         candidates. Confirmation-triggered expansion keeps the
-        candidate pool anchored to rules that earned it.
+        candidate pool anchored to rules that earned it. The state
+        queues confirmations as they happen, so this is a drain of the
+        (almost always empty) queue, not a scan of every known rule.
         """
         if not (self.config.expand_generalizations or self.config.expand_splits):
             return
-        for knowledge in self.state.rules():
-            rule = knowledge.rule
+        for rule in self.state.take_newly_significant():
+            knowledge = self.state.knowledge(rule)
             if knowledge.decision is not Decision.SIGNIFICANT or rule in self._expanded:
                 continue
             self._expanded.add(rule)
@@ -401,6 +428,16 @@ class CrowdMiner:
     def _finish_step(self, event: QuestionEvent) -> None:
         self._questions += 1
         self.log.append(event)
+        self.obs.count("miner.questions")
+        if self.obs.tracing:
+            self.obs.emit(
+                "question",
+                index=event.index,
+                kind=event.kind.value,
+                member_id=event.member_id,
+                rule=None if event.rule is None else str(event.rule),
+                kb_size=len(self.state),
+            )
 
     # -- running to completion -------------------------------------------------------
 
@@ -436,6 +473,7 @@ class CrowdMiner:
             rules_discovered=len(self.state),
             inferred_classifications=self.state.inferred_classifications,
             log=list(self.log),
+            obs=self.obs.snapshot(),
         )
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.measures import RuleStats
 from repro.core.order import maximal_rules
 from repro.core.rule import Rule
+from repro.obs import ObsSnapshot
 
 
 class QuestionKind(enum.Enum):
@@ -61,6 +62,9 @@ class MiningResult:
         Rules settled for free by lattice propagation.
     log:
         The full event log, in question order.
+    obs:
+        Snapshot of the session's instrumentation (hot-path counters
+        and timers), when the miner collected one.
     """
 
     significant: dict[Rule, RuleStats]
@@ -70,6 +74,7 @@ class MiningResult:
     rules_discovered: int
     inferred_classifications: int
     log: list[QuestionEvent] = field(default_factory=list)
+    obs: ObsSnapshot | None = None
 
     @property
     def maximal_significant(self) -> dict[Rule, RuleStats]:
@@ -119,4 +124,7 @@ class MiningResult:
         for rule in sorted(self.maximal_significant, key=Rule.sort_key):
             stats = self.significant[rule]
             lines.append(f"  {rule}  {stats}")
+        if self.obs is not None and (self.obs.counters or self.obs.timers):
+            lines.append("session instrumentation:")
+            lines.append(self.obs.format())
         return "\n".join(lines)

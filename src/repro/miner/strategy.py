@@ -119,28 +119,14 @@ class MaxUncertaintyStrategy(QuestionStrategy):
     concentrating budget until something actually gets decided.
     """
 
-    def _score(self, state: MiningState, knowledge: RuleKnowledge) -> float:
-        assessment = knowledge.last_assessment
-        p = 0.5 if assessment is None else assessment.probability_significant
-        n = knowledge.samples.n
-        min_samples = state.test.min_samples
-        if n < min_samples:
-            # Blend evidence with one pseudo-sample of prior promise.
-            return (n * p + knowledge.prior_promise) / (n + 1)
-        # Diminishing returns: the value of the (n+1)-th sample decays.
-        return min(p, 1.0 - p) * (min_samples / n)
-
     def select(
         self, state: MiningState, member_id: str, rng: np.random.Generator
     ) -> Rule | None:
-        eligible = self.eligible(state, member_id)
-        if not eligible:
-            return None
-        best = max(
-            eligible,
-            key=lambda k: (self._score(state, k), k.samples.n),
-        )
-        return best.rule
+        # The scoring formula lives in ``MiningState.question_value``;
+        # the state maintains a priority view over it, so selection is
+        # a few heap pops instead of a scan of every unresolved rule.
+        knowledge = state.best_candidate(member_id)
+        return None if knowledge is None else knowledge.rule
 
 
 class HorizontalStrategy(QuestionStrategy):
@@ -157,13 +143,11 @@ class HorizontalStrategy(QuestionStrategy):
     """
 
     def _blocked(self, state: MiningState, knowledge: RuleKnowledge) -> bool:
-        rule = knowledge.rule
-        for other in state.rules():
-            if other.rule == rule:
-                continue
-            if other.rule.generalizes(rule) and not (
-                other.is_resolved and other.decision is Decision.SIGNIFICANT
-            ):
+        # The generalization index narrows the scan to candidate rules
+        # sharing items with this one, so the frontier computation is
+        # no longer quadratic in the knowledge-base size.
+        for other in state.known_generalizations(knowledge.rule):
+            if not (other.is_resolved and other.decision is Decision.SIGNIFICANT):
                 return True
         return False
 

@@ -1,0 +1,25 @@
+"""Session observability: counters, wall-clock timers, trace events.
+
+The miner's per-question hot paths are instrumented through this
+package so their cost is measurable in every run — benchmarks, the
+evaluation harness and the CLI all read the same counters (see
+:mod:`repro.obs.instrumentation` for the canonical names).
+"""
+
+from repro.obs.instrumentation import (
+    Instrumentation,
+    ObsSnapshot,
+    RecordingSink,
+    TimerStats,
+    TraceEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "Instrumentation",
+    "ObsSnapshot",
+    "RecordingSink",
+    "TimerStats",
+    "TraceEvent",
+    "TraceSink",
+]

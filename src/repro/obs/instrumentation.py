@@ -1,0 +1,180 @@
+"""Counters, timers and trace events for the mining hot paths.
+
+The knowledge base and the main loop are the per-question inner loop of
+the whole system; regressions there are invisible in unit tests and
+only show up as benchmark drift months later. :class:`Instrumentation`
+makes them measurable *in production*: named monotonic counters, named
+accumulating wall-clock timers, and (optionally) a per-event trace fed
+to a pluggable sink.
+
+The overhead budget is a dict update per counted event and two
+``perf_counter`` calls per timed block, so the layer can stay on
+unconditionally. Trace events are the only potentially expensive part;
+they are skipped entirely unless a sink is installed.
+
+Canonical names used by the miner (see ``docs/design_notes.md``):
+
+- counters ``miner.questions``, ``miner.closed``, ``miner.open``,
+  ``miner.dry_opens``, ``kb.rules_added``, ``kb.reassessments``,
+  ``kb.inferred``, ``kb.summary_hits``, ``kb.summary_misses``;
+- timers ``miner.step``, ``miner.select``, ``kb.record``,
+  ``kb.propagate``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traced occurrence: a name plus arbitrary payload fields."""
+
+    name: str
+    fields: Mapping[str, object]
+
+
+#: A trace sink is any callable consuming :class:`TraceEvent`.
+TraceSink = Callable[[TraceEvent], None]
+
+
+@dataclass(frozen=True, slots=True)
+class TimerStats:
+    """Accumulated wall-clock time of one named code region."""
+
+    calls: int
+    total_seconds: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean milliseconds per call (0 when never entered)."""
+        if self.calls == 0:
+            return 0.0
+        return 1_000.0 * self.total_seconds / self.calls
+
+
+@dataclass(frozen=True, slots=True)
+class ObsSnapshot:
+    """An immutable copy of all counters and timers at one instant."""
+
+    counters: dict[str, int]
+    timers: dict[str, TimerStats]
+
+    def format(self) -> str:
+        """A compact human-readable rendering (one line per entry)."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<24} {self.counters[name]}")
+        for name in sorted(self.timers):
+            stats = self.timers[name]
+            lines.append(
+                f"  {name:<24} {stats.calls} calls, "
+                f"{stats.total_seconds:.3f}s total, {stats.mean_ms:.3f} ms/call"
+            )
+        return "\n".join(lines)
+
+
+class _Timer:
+    """A reusable context manager accumulating one region's wall time.
+
+    Not re-entrant: nested entry of the *same* timer would double-count
+    the inner span. The miner's timed regions never self-nest.
+    """
+
+    __slots__ = ("calls", "total_seconds", "_started")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.total_seconds += time.perf_counter() - self._started
+        self.calls += 1
+
+
+class Instrumentation:
+    """One session's observability state.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable receiving every :class:`TraceEvent`. With no
+        sink, :meth:`emit` is a near-free early return, so per-question
+        tracing costs nothing unless someone is listening.
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, _Timer] = {}
+        self._sink = sink
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the named counter (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        """Current value of the named counter (0 when never counted)."""
+        return self._counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------------
+
+    def timer(self, name: str) -> _Timer:
+        """The accumulating timer for ``name`` (use as context manager)."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = _Timer()
+        return timer
+
+    # -- trace events --------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when a trace sink is installed."""
+        return self._sink is not None
+
+    def emit(self, name: str, **fields: object) -> None:
+        """Send one trace event to the sink (no-op without a sink)."""
+        if self._sink is None:
+            return
+        self._sink(TraceEvent(name, fields))
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> ObsSnapshot:
+        """An immutable copy of every counter and timer right now."""
+        return ObsSnapshot(
+            counters=dict(self._counters),
+            timers={
+                name: TimerStats(timer.calls, timer.total_seconds)
+                for name, timer in self._timers.items()
+            },
+        )
+
+
+class RecordingSink:
+    """A list-backed trace sink for tests and offline analysis.
+
+    >>> sink = RecordingSink()
+    >>> obs = Instrumentation(sink=sink)
+    >>> obs.emit("question", index=0, kind="closed")
+    >>> sink.events[0].name
+    'question'
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)

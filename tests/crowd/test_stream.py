@@ -25,9 +25,14 @@ class TestParsing:
     def test_two_numbers(self):
         assert parse_stats("0.2 0.6") == RuleStats(0.2, 0.6)
 
-    def test_numbers_coherced(self):
-        # support > confidence input is repaired, not rejected.
-        assert parse_stats("0.7 0.3") == RuleStats(0.7, 0.7)
+    def test_incoherent_numbers_rejected(self):
+        # supp(A∪B) ≤ supp(A) forces confidence ≥ support; a member's
+        # typo must surface as an error, not be silently rewritten.
+        with pytest.raises(ValueError, match="incoherent"):
+            parse_stats("0.7 0.3")
+
+    def test_equal_numbers_accepted(self):
+        assert parse_stats("0.5 0.5") == RuleStats(0.5, 0.5)
 
     def test_garbage_rejected(self):
         with pytest.raises(ValueError):

@@ -86,3 +86,33 @@ class TestWeighted:
     def test_empty_store(self):
         summary = WeightedAggregator({}).summarize(store_with([]))
         assert summary.n == 0
+
+
+class TestVersionTokens:
+    def test_pure_policies_report_constant_version(self):
+        assert MeanAggregator().version == 0
+        assert TrimmedMeanAggregator(0.1).version == 0
+        assert WeightedAggregator({"u0": 2.0}).version == 0
+
+    def test_dynamic_trust_follows_its_source(self):
+        from repro.estimation import ConsistencyChecker, DynamicTrustAggregator
+
+        checker = ConsistencyChecker()
+        agg = DynamicTrustAggregator(checker)
+        assert agg.version == 0
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.4, 0.6))
+        assert agg.version == 1
+        # Reading the version must not consume it.
+        assert agg.version == 1
+
+    def test_versionless_source_never_reports_stable(self):
+        from repro.estimation import DynamicTrustAggregator
+
+        class BareTrust:
+            def trust(self, member_id):
+                return 1.0
+
+        agg = DynamicTrustAggregator(BareTrust())
+        # No change signal → every read is a fresh version, so cached
+        # summaries keyed on it can never be (wrongly) reused.
+        assert agg.version != agg.version

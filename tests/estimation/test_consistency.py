@@ -102,3 +102,20 @@ class TestTrustAndFlagging:
             ConsistencyChecker(tolerance=-1)
         with pytest.raises(ValueError):
             ConsistencyChecker(severity=-1)
+
+
+class TestVersionToken:
+    def test_version_counts_recorded_answers(self):
+        checker = ConsistencyChecker()
+        assert checker.version == 0
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.4, 0.6))
+        assert checker.version == 1
+        checker.record("u", Rule(["a", "c"], ["b"]), RuleStats(0.2, 0.5))
+        assert checker.version == 2
+
+    def test_trust_reads_do_not_bump(self):
+        checker = ConsistencyChecker()
+        checker.record("u", Rule(["a"], ["b"]), RuleStats(0.4, 0.6))
+        checker.trust("u")
+        checker.violation_score("u")
+        assert checker.version == 1

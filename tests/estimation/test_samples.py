@@ -63,3 +63,21 @@ class TestSummaries:
         assert store.as_array().shape == (0, 2)
         store.add("u1", RuleStats(0.3, 0.6))
         assert store.as_array().shape == (1, 2)
+
+
+class TestVersion:
+    def test_starts_at_zero(self, store):
+        assert store.version == 0
+
+    def test_bumps_on_every_add(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        assert store.version == 1
+        # A revision is a change too — cached aggregates must expire.
+        store.add("u1", RuleStats(0.4, 0.6))
+        assert store.version == 2
+
+    def test_reads_do_not_bump(self, store):
+        store.add("u1", RuleStats(0.2, 0.5))
+        store.summary()
+        store.as_array()
+        assert store.version == 1

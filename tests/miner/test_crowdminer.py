@@ -204,6 +204,91 @@ class TestClosedOnly:
             assert miner.state.knowledge(rule).is_resolved
 
 
+class TestOpenSupplyExhaustion:
+    def test_round_measured_against_available_members(self, folk_population, thresholds):
+        # Regression: the dry-open round used to be measured against the
+        # *total* member count, departures included, so a mostly-departed
+        # crowd kept burning budget on open questions the few remaining
+        # members had already answered dry.
+        crowd = SimulatedCrowd.from_population(
+            folk_population, answer_model=ExactAnswerModel(), patience=2, seed=5
+        )
+        probe = Rule(["sore throat"], ["ginger tea"])
+        for member_id in crowd.member_ids[:-3]:
+            for _ in range(2):
+                crowd.ask_closed(member_id, probe)
+        assert len(crowd.available_members()) == 3
+        config = CrowdMinerConfig(thresholds=thresholds, budget=100, seed=6)
+        miner = CrowdMiner(crowd, config)
+        miner._consecutive_dry_opens = 3
+        assert miner.open_supply_exhausted
+        miner._consecutive_dry_opens = 2
+        assert not miner.open_supply_exhausted
+
+    def test_full_crowd_needs_a_full_round(self, folk_population, thresholds):
+        miner = make_miner(folk_population, thresholds, budget=100)
+        miner._consecutive_dry_opens = len(folk_population) - 1
+        assert not miner.open_supply_exhausted
+        miner._consecutive_dry_opens = len(folk_population)
+        assert miner.open_supply_exhausted
+
+
+class TestClosedQuestionRecording:
+    def test_closed_answers_keep_discovery_origin(self, folk_population, thresholds):
+        # Regression: closed answers used to be recorded under a
+        # fabricated SEED origin. Without seed rules, every rule a
+        # closed question targets was discovered some other way, and
+        # its origin must survive the answer.
+        miner = make_miner(folk_population, thresholds, budget=150)
+        miner.run()
+        closed_rules = {
+            e.rule for e in miner.log if e.kind is QuestionKind.CLOSED
+        }
+        assert closed_rules
+        origins = {miner.state.knowledge(r).origin for r in closed_rules}
+        assert RuleOrigin.SEED not in origins
+
+    def test_closed_question_requires_known_rule(self, folk_population, thresholds):
+        miner = make_miner(folk_population, thresholds, budget=10)
+        member_id = miner.crowd.available_members()[0]
+        with pytest.raises(AssertionError, match="unknown to the state"):
+            miner._ask_closed(member_id, Rule(["never"], ["registered"]))
+
+
+class TestInstrumentation:
+    def test_counters_match_the_log(self, folk_population, thresholds):
+        miner = make_miner(folk_population, thresholds, budget=60)
+        result = miner.run()
+        obs = result.obs
+        assert obs is not None
+        assert obs.counters["miner.questions"] == result.questions_asked
+        assert obs.counters.get("miner.closed", 0) == result.closed_questions
+        assert obs.counters.get("miner.open", 0) == result.open_questions
+        assert obs.timers["miner.step"].calls == result.questions_asked
+
+    def test_trace_events_fire_per_question(self, folk_population, thresholds):
+        from repro.obs import Instrumentation, RecordingSink
+
+        sink = RecordingSink()
+        crowd = SimulatedCrowd.from_population(
+            folk_population, answer_model=ExactAnswerModel(), seed=5
+        )
+        config = CrowdMinerConfig(thresholds=thresholds, budget=30, seed=6)
+        miner = CrowdMiner(crowd, config, obs=Instrumentation(sink=sink))
+        result = miner.run()
+        questions = [e for e in sink.events if e.name == "question"]
+        assert len(questions) == result.questions_asked
+        assert [e.fields["index"] for e in questions] == list(
+            range(result.questions_asked)
+        )
+
+    def test_summary_mentions_instrumentation(self, folk_population, thresholds):
+        miner = make_miner(folk_population, thresholds, budget=20)
+        text = miner.run().summary()
+        assert "session instrumentation:" in text
+        assert "miner.questions" in text
+
+
 class TestPatience:
     def test_members_leaving_ends_session(self, folk_population, thresholds):
         crowd = SimulatedCrowd.from_population(

@@ -1,0 +1,214 @@
+"""Property tests: the indexed knowledge base equals the naive one.
+
+The inverted index, the cached summaries and the maintained views are
+*pure optimizations* — they must never change what the knowledge base
+believes. :class:`ReferenceState` below is the obviously-correct
+version of the same contract: full scans over every known rule, a fresh
+aggregate computed on every read, derived views rebuilt from scratch.
+Randomized sessions (fixed seeds) are replayed through both
+implementations and every observable — decisions, inferred flags,
+inferred-classification counts, the unresolved view, the reported
+significant rules — must match at every checkpoint.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, RuleStats
+from repro.estimation import (
+    Assessment,
+    Decision,
+    MeanAggregator,
+    RuleSamples,
+    SignificanceTest,
+    Thresholds,
+)
+from repro.miner import MiningState, RuleOrigin
+
+
+@dataclass
+class _Record:
+    rule: Rule
+    origin: RuleOrigin
+    samples: RuleSamples
+    decision: Decision = Decision.UNDECIDED
+    inferred: bool = False
+    last_assessment: Assessment | None = None
+    prior_promise: float = 0.5
+    propagated: bool = False
+
+
+class ReferenceState:
+    """Straight-line reimplementation of the knowledge-base semantics.
+
+    No index, no caching, no incremental views — every query is a scan,
+    every summary a recomputation. Deliberately dumb, thus trustworthy.
+    """
+
+    def __init__(self, test, aggregator=None, lattice_pruning=True):
+        self.test = test
+        self.aggregator = aggregator or MeanAggregator()
+        self.lattice_pruning = lattice_pruning
+        self.records: dict[Rule, _Record] = {}
+        self.inferred_classifications = 0
+
+    def add_rule(self, rule, origin, prior_promise=0.5):
+        existing = self.records.get(rule)
+        if existing is not None:
+            existing.prior_promise = max(existing.prior_promise, prior_promise)
+            return existing
+        record = _Record(rule, origin, RuleSamples(rule), prior_promise=prior_promise)
+        self.records[rule] = record
+        if self.lattice_pruning:
+            for other in self.records.values():
+                if (
+                    other.rule != rule
+                    and other.rule.generalizes(rule)
+                    and other.decision is Decision.INSIGNIFICANT
+                    and self._support_dead(other)
+                ):
+                    record.decision = Decision.INSIGNIFICANT
+                    record.inferred = True
+                    self.inferred_classifications += 1
+                    break
+        return record
+
+    def _summary(self, record):
+        return self.aggregator.summarize(record.samples)
+
+    def _support_dead(self, record):
+        summary = self._summary(record)
+        if summary.n < self.test.min_samples:
+            return False
+        p = self.test.probability_support_exceeds(summary)
+        return p <= 1.0 - self.test.decision_confidence
+
+    def _set(self, record, decision, inferred):
+        previous = record.decision
+        record.decision = decision
+        record.inferred = inferred
+        if decision is not previous and decision is not Decision.INSIGNIFICANT:
+            record.propagated = False
+
+    def record_answer(self, rule, member_id, stats, origin):
+        record = self.add_rule(rule, origin)
+        record.samples.add(member_id, stats)
+        assessment = self.test.assess(self._summary(record))
+        record.last_assessment = assessment
+        if assessment.decision.is_final or not record.inferred:
+            self._set(record, assessment.decision, inferred=False)
+        if (
+            self.lattice_pruning
+            and record.decision is Decision.INSIGNIFICANT
+            and not record.inferred
+            and not record.propagated
+            and self._support_dead(record)
+        ):
+            record.propagated = True
+            for other in self.records.values():
+                if (
+                    other.rule != rule
+                    and rule.generalizes(other.rule)
+                    and not other.decision.is_final
+                ):
+                    self._set(other, Decision.INSIGNIFICANT, inferred=True)
+                    self.inferred_classifications += 1
+        return record
+
+    def unresolved(self):
+        return [r.rule for r in self.records.values() if not r.decision.is_final]
+
+    def significant_rules(self, mode="point"):
+        reported = {}
+        for record in self.records.values():
+            if record.decision is Decision.SIGNIFICANT:
+                include = True
+            elif mode == "point" and record.decision is Decision.UNDECIDED:
+                summary = self._summary(record)
+                include = (
+                    summary.n >= self.test.min_samples
+                    and self.test.point_decision(summary) is Decision.SIGNIFICANT
+                )
+            else:
+                include = False
+            if include:
+                mean = self._summary(record).mean
+                support = float(min(1.0, max(0.0, mean[0])))
+                confidence = float(min(1.0, max(0.0, mean[1])))
+                reported[record.rule] = RuleStats(support, max(support, confidence))
+        return reported
+
+
+def random_rule(rng, items):
+    size = int(rng.integers(2, 5))
+    chosen = [items[k] for k in rng.choice(len(items), size=size, replace=False)]
+    cut = int(rng.integers(1, size))
+    return Rule(chosen[:cut], chosen[cut:])
+
+
+def random_stats(rng):
+    # Mix regimes so sessions actually exercise support-death,
+    # confirmation and the undecided middle ground.
+    regime = rng.random()
+    if regime < 0.35:
+        support = float(rng.uniform(0.0, 0.05))
+    elif regime < 0.65:
+        support = float(rng.uniform(0.35, 0.7))
+    else:
+        support = float(rng.uniform(0.0, 0.9))
+    confidence = float(rng.uniform(support, 1.0))
+    return RuleStats(support, confidence)
+
+
+def replay_session(seed, steps, lattice_pruning):
+    rng = np.random.default_rng(seed)
+    items = [f"i{k}" for k in range(6)]
+    members = [f"m{k}" for k in range(8)]
+    origins = list(RuleOrigin)
+    test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+    optimized = MiningState(
+        SignificanceTest(Thresholds(0.2, 0.5), min_samples=3),
+        lattice_pruning=lattice_pruning,
+    )
+    reference = ReferenceState(test, lattice_pruning=lattice_pruning)
+    pool = [random_rule(rng, items) for _ in range(25)]
+    for step in range(steps):
+        rule = pool[int(rng.integers(len(pool)))]
+        origin = origins[int(rng.integers(len(origins)))]
+        if rng.random() < 0.25:
+            promise = float(rng.uniform(0.3, 0.9))
+            optimized.add_rule(rule, origin, prior_promise=promise)
+            reference.add_rule(rule, origin, prior_promise=promise)
+        else:
+            member = members[int(rng.integers(len(members)))]
+            stats = random_stats(rng)
+            optimized.record_answer(rule, member, stats, origin)
+            reference.record_answer(rule, member, stats, origin)
+        if step % 25 == 24 or step == steps - 1:
+            assert_equivalent(optimized, reference)
+
+
+def assert_equivalent(optimized, reference):
+    assert {k.rule for k in optimized.rules()} == set(reference.records)
+    for record in reference.records.values():
+        knowledge = optimized.knowledge(record.rule)
+        assert knowledge.decision is record.decision, record.rule
+        assert knowledge.inferred == record.inferred, record.rule
+        assert knowledge.origin is record.origin
+        assert knowledge.prior_promise == record.prior_promise
+    assert optimized.inferred_classifications == reference.inferred_classifications
+    assert [k.rule for k in optimized.unresolved()] == reference.unresolved()
+    for mode in ("decided", "point"):
+        assert optimized.significant_rules(mode) == reference.significant_rules(mode)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_sessions_match_reference(seed):
+    replay_session(seed, steps=150, lattice_pruning=True)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_randomized_sessions_match_without_pruning(seed):
+    replay_session(seed + 100, steps=100, lattice_pruning=False)

@@ -1,10 +1,17 @@
 """Tests for the mining knowledge base."""
 
+import numpy as np
 import pytest
 
 from repro.core import Rule, RuleStats
-from repro.estimation import Decision, SignificanceTest, Thresholds
-from repro.miner import MiningState, RuleOrigin
+from repro.estimation import (
+    ConsistencyChecker,
+    Decision,
+    DynamicTrustAggregator,
+    SignificanceTest,
+    Thresholds,
+)
+from repro.miner import MiningState, RuleIndex, RuleOrigin
 
 
 def make_state(**kwargs):
@@ -157,3 +164,356 @@ class TestReporting:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="mode"):
             make_state().significant_rules(mode="wild")
+
+
+class TestRuleIndex:
+    def test_generalization_candidates_by_body_subset(self):
+        index = RuleIndex()
+        rules = [
+            Rule(["a"], ["b"]),
+            Rule(["b"], ["a"]),  # same body, different split
+            Rule(["a", "c"], ["b"]),
+            Rule(["x"], ["y"]),
+        ]
+        for rule in rules:
+            index.add(rule)
+        probe = Rule(["a", "c"], ["b"])
+        found = set(index.generalization_candidates(probe))
+        # Candidates are filtered on bodies only: both splits of {a, b}
+        # qualify, the probe itself qualifies, the unrelated rule not.
+        assert found == {rules[0], rules[1], rules[2]}
+
+    def test_specialization_candidates_by_body_superset(self):
+        index = RuleIndex()
+        rules = [
+            Rule(["a"], ["b"]),
+            Rule(["a", "c"], ["b"]),
+            Rule(["a"], ["b", "d"]),
+            Rule(["x"], ["y"]),
+        ]
+        for rule in rules:
+            index.add(rule)
+        found = set(index.specialization_candidates(Rule(["a"], ["b"])))
+        assert found == {rules[0], rules[1], rules[2]}
+
+    def test_missing_item_short_circuits(self):
+        index = RuleIndex()
+        index.add(Rule(["a"], ["b"]))
+        assert list(index.specialization_candidates(Rule(["a"], ["z"]))) == []
+
+    def test_large_body_falls_back_to_postings(self):
+        # Bodies past the subset-enumeration limit take the posting-scan
+        # path; both paths must agree with a brute-force subset check.
+        index = RuleIndex()
+        wide = Rule([f"i{k}" for k in range(11)], ["t"])  # body size 12
+        narrow = Rule(["i0", "i1"], ["t"])
+        other = Rule(["i0"], ["z"])
+        for rule in (wide, narrow, other):
+            index.add(rule)
+        assert set(index.generalization_candidates(wide)) == {wide, narrow}
+        assert set(index.specialization_candidates(narrow)) == {wide, narrow}
+
+
+class TestIndexedLatticeQueries:
+    def test_known_generalizations_respect_split_order(self):
+        state = make_state()
+        target = Rule(["a", "c"], ["b"])
+        comparable = Rule(["a"], ["b"])
+        incomparable = Rule(["b"], ["a"])  # same body as comparable
+        for rule in (target, comparable, incomparable):
+            state.add_rule(rule, RuleOrigin.SEED)
+        found = {k.rule for k in state.known_generalizations(target)}
+        assert found == {comparable}
+
+    def test_known_specializations_exclude_self(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b", "d"])
+        state.add_rule(general, RuleOrigin.SEED)
+        state.add_rule(specific, RuleOrigin.SEED)
+        assert {k.rule for k in state.known_specializations(general)} == {specific}
+        assert list(state.known_specializations(specific)) == []
+
+    def test_index_matches_brute_force_on_random_rules(self):
+        rng = np.random.default_rng(7)
+        items = [f"i{k}" for k in range(6)]
+        state = make_state()
+        rules = []
+        while len(rules) < 40:
+            size = int(rng.integers(2, 5))
+            chosen = list(rng.choice(items, size=size, replace=False))
+            cut = int(rng.integers(1, size))
+            rule = Rule(chosen[:cut], chosen[cut:])
+            if rule not in state:
+                rules.append(rule)
+                state.add_rule(rule, RuleOrigin.SEED)
+        for probe in rules:
+            expected_gen = {
+                r for r in rules if r != probe and r.generalizes(probe)
+            }
+            expected_spec = {
+                r for r in rules if r != probe and probe.generalizes(r)
+            }
+            assert {k.rule for k in state.known_generalizations(probe)} == expected_gen
+            assert {k.rule for k in state.known_specializations(probe)} == expected_spec
+
+
+class TestIncrementalViews:
+    def test_unresolved_shrinks_as_rules_settle(self):
+        state = make_state()
+        settled = Rule(["a"], ["b"])
+        open_rule = Rule(["x"], ["y"])
+        state.add_rule(open_rule, RuleOrigin.SEED)
+        feed(state, settled, [(0.5, 0.8)] * 4)
+        assert [k.rule for k in state.unresolved()] == [open_rule]
+
+    def test_unresolved_keeps_discovery_order(self):
+        state = make_state()
+        first = Rule(["a"], ["b"])
+        second = Rule(["x"], ["y"])
+        third = Rule(["p"], ["q"])
+        state.add_rule(first, RuleOrigin.SEED)
+        state.add_rule(second, RuleOrigin.SEED)
+        state.add_rule(third, RuleOrigin.SEED)
+        assert [k.rule for k in state.unresolved()] == [first, second, third]
+
+    def test_reopened_rule_returns_to_discovery_position(self):
+        state = make_state()
+        first = Rule(["a"], ["b"])
+        second = Rule(["x"], ["y"])
+        state.add_rule(first, RuleOrigin.SEED)
+        state.add_rule(second, RuleOrigin.SEED)
+        feed(state, first, [(0.5, 0.8)] * 3)
+        assert state.knowledge(first).decision is Decision.SIGNIFICANT
+        # Contradicting answers blow up the variance and reopen it.
+        state.record_answer(first, "u10", RuleStats(0.0, 0.0), RuleOrigin.SEED)
+        state.record_answer(first, "u11", RuleStats(0.0, 0.0), RuleOrigin.SEED)
+        assert state.knowledge(first).decision is Decision.UNDECIDED
+        assert [k.rule for k in state.unresolved()] == [first, second]
+
+    def test_known_rule_set_is_live(self):
+        state = make_state()
+        known = state.known_rule_set()
+        rule = Rule(["a"], ["b"])
+        state.add_rule(rule, RuleOrigin.SEED)
+        assert rule in known
+
+    def test_take_newly_significant_drains_once(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 4)
+        assert state.take_newly_significant() == [rule]
+        assert state.take_newly_significant() == []
+
+
+class TestSummaryCache:
+    def test_repeated_reads_hit_the_cache(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 3)
+        knowledge = state.knowledge(rule)
+        misses = state.obs.counter("kb.summary_misses")
+        first = state.summary_for(knowledge)
+        second = state.summary_for(knowledge)
+        assert first is second
+        assert state.obs.counter("kb.summary_misses") == misses
+        assert state.obs.counter("kb.summary_hits") >= 2
+
+    def test_new_answer_invalidates(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.4, 0.8)] * 3)
+        knowledge = state.knowledge(rule)
+        before = state.summary_for(knowledge)
+        state.record_answer(rule, "u10", RuleStats(0.8, 0.9), RuleOrigin.SEED)
+        after = state.summary_for(knowledge)
+        assert after is not before
+        assert after.n == 4
+
+    def test_trust_weight_change_invalidates(self):
+        # The spammer-screening path: a consistency update must reach
+        # cached summaries even when the rule's own samples are untouched.
+        checker = ConsistencyChecker()
+        test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+        state = MiningState(test, aggregator=DynamicTrustAggregator(checker))
+        rule = Rule(["a"], ["b"])
+        state.record_answer(rule, "honest", RuleStats(0.2, 0.5), RuleOrigin.SEED)
+        state.record_answer(rule, "spammer", RuleStats(0.8, 0.9), RuleOrigin.SEED)
+        knowledge = state.knowledge(rule)
+        before = state.summary_for(knowledge)
+        assert state.summary_for(knowledge) is before  # cached while quiet
+        # The spammer violates support monotonicity on another rule;
+        # their trust drops, dragging the weighted mean toward "honest".
+        checker.record("spammer", Rule(["a"], ["b"]), RuleStats(0.1, 0.3))
+        checker.record("spammer", Rule(["a", "c"], ["b"]), RuleStats(0.9, 0.95))
+        after = state.summary_for(knowledge)
+        assert after is not before
+        assert after.mean[0] < before.mean[0]
+
+    def test_versionless_trust_source_disables_caching(self):
+        class BareTrust:
+            def trust(self, member_id):
+                return 1.0
+
+        test = SignificanceTest(Thresholds(0.2, 0.5), min_samples=3)
+        state = MiningState(test, aggregator=DynamicTrustAggregator(BareTrust()))
+        rule = Rule(["a"], ["b"])
+        state.record_answer(rule, "u0", RuleStats(0.4, 0.8), RuleOrigin.SEED)
+        knowledge = state.knowledge(rule)
+        misses = state.obs.counter("kb.summary_misses")
+        state.summary_for(knowledge)
+        state.summary_for(knowledge)
+        assert state.obs.counter("kb.summary_misses") == misses + 2
+
+
+class TestPropagationAfterInferredToDirect:
+    def test_direct_support_death_propagates_despite_unchanged_decision(self):
+        # Regression: propagation used to trigger only on decision
+        # *changes*, so a rule moving from inferred insignificance to
+        # directly-evidenced, support-dead insignificance (same label,
+        # new grounds) never condemned its specializations.
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        middle = Rule(["a", "c"], ["b"])
+        state.add_rule(middle, RuleOrigin.SEED)
+        # Step 1: the general rule dies on support and condemns middle.
+        feed(state, general, [(0.0, 0.0)] * 4)
+        assert state.knowledge(middle).inferred
+        # Step 2: further answers lift the general rule's support while
+        # keeping its confidence dead: still INSIGNIFICANT, but no
+        # longer support-dead — it can no longer condemn anyone.
+        for i in range(8):
+            state.record_answer(
+                general, f"g{i}", RuleStats(0.5, 0.5), RuleOrigin.SEED
+            )
+        assert state.knowledge(general).decision is Decision.INSIGNIFICANT
+        # Step 3: a specialization arrives; nothing condemns it now.
+        specific = Rule(["a", "c", "d"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        assert state.knowledge(specific).decision is Decision.UNDECIDED
+        # Step 4: direct evidence makes middle support-dead. Its
+        # decision stays INSIGNIFICANT (inferred → direct), yet the
+        # support-death is new knowledge and must propagate.
+        for i in range(4):
+            state.record_answer(
+                middle, f"m{i}", RuleStats(0.0, 0.0), RuleOrigin.SEED
+            )
+        middle_k = state.knowledge(middle)
+        assert middle_k.decision is Decision.INSIGNIFICANT
+        assert not middle_k.inferred
+        specific_k = state.knowledge(specific)
+        assert specific_k.decision is Decision.INSIGNIFICANT
+        assert specific_k.inferred
+        assert state.inferred_classifications == 2
+
+    def test_propagation_happens_once_per_support_death(self):
+        state = make_state()
+        general = Rule(["a"], ["b"])
+        specific = Rule(["a", "c"], ["b"])
+        state.add_rule(specific, RuleOrigin.SEED)
+        feed(state, general, [(0.0, 0.0)] * 4)
+        assert state.inferred_classifications == 1
+        # More confirming answers keep the rule support-dead but must
+        # not re-propagate (nothing new to condemn, no double counting).
+        for i in range(3):
+            state.record_answer(
+                general, f"x{i}", RuleStats(0.0, 0.0), RuleOrigin.SEED
+            )
+        assert state.knowledge(general).propagated
+        assert state.inferred_classifications == 1
+
+
+class TestPriorityView:
+    """``best_candidate`` must match the scan it replaces, exactly."""
+
+    @staticmethod
+    def naive_best(state, member_id):
+        eligible = [
+            k for k in state.unresolved()
+            if not k.samples.has_answer_from(member_id)
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda k: (state.question_value(k), k.samples.n))
+
+    def test_empty_state_has_no_candidate(self):
+        assert make_state().best_candidate("u0") is None
+
+    def test_skips_rules_the_member_answered(self):
+        state = make_state()
+        answered = Rule(["a"], ["b"])
+        fresh = Rule(["c"], ["d"])
+        state.record_answer(answered, "u0", RuleStats(0.5, 0.8), RuleOrigin.SEED)
+        state.add_rule(fresh, RuleOrigin.SEED)
+        assert state.best_candidate("u0").rule == fresh
+        # A member who hasn't answered anything sees the higher-value rule.
+        assert state.best_candidate("u9").rule == answered
+
+    def test_resolved_rules_never_returned(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 5)
+        assert state.knowledge(rule).is_resolved
+        assert state.best_candidate("u9") is None
+
+    def test_prior_promise_update_reorders(self):
+        state = make_state()
+        plain = Rule(["a"], ["b"])
+        boosted = Rule(["c"], ["d"])
+        state.add_rule(plain, RuleOrigin.SEED)
+        state.add_rule(boosted, RuleOrigin.SEED)
+        assert state.best_candidate("u0").rule == plain  # tie → discovery order
+        state.set_prior_promise(boosted, 0.9)
+        assert state.best_candidate("u0").rule == boosted
+
+    def test_reopened_rule_becomes_selectable_again(self):
+        state = make_state()
+        rule = Rule(["a"], ["b"])
+        feed(state, rule, [(0.5, 0.8)] * 4)
+        assert state.best_candidate("u9") is None
+        # Contradicting answers drag the rule back to undecided.
+        for i in range(4):
+            state.record_answer(rule, f"v{i}", RuleStats(0.15, 0.3), RuleOrigin.SEED)
+        assert not state.knowledge(rule).is_resolved
+        assert state.best_candidate("u9").rule == rule
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_naive_scan_on_random_sessions(self, seed):
+        rng = np.random.default_rng(seed)
+        state = make_state()
+        items = [f"i{k}" for k in range(8)]
+        members = [f"m{k}" for k in range(6)]
+        rules = []
+        for step in range(120):
+            roll = rng.random()
+            if roll < 0.3 or not rules:
+                size = int(rng.integers(2, 5))
+                body = [items[k] for k in rng.choice(8, size=size, replace=False)]
+                cut = int(rng.integers(1, size))
+                rule = Rule(body[:cut], body[cut:])
+                rules.append(rule)
+                state.add_rule(
+                    rule, RuleOrigin.OPEN_ANSWER,
+                    prior_promise=float(rng.uniform(0.3, 0.9)),
+                )
+            elif roll < 0.4:
+                state.set_prior_promise(
+                    rules[int(rng.integers(len(rules)))],
+                    float(rng.uniform(0.3, 0.9)),
+                )
+            else:
+                support = float(rng.uniform(0.0, 0.8))
+                confidence = float(rng.uniform(support, 1.0))
+                state.record_answer(
+                    rules[int(rng.integers(len(rules)))],
+                    members[int(rng.integers(len(members)))],
+                    RuleStats(support, confidence),
+                    RuleOrigin.SEED,
+                )
+            for member_id in members:
+                expected = self.naive_best(state, member_id)
+                got = state.best_candidate(member_id)
+                if expected is None:
+                    assert got is None
+                else:
+                    assert got is expected

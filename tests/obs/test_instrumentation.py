@@ -1,0 +1,93 @@
+"""Tests for the session instrumentation layer."""
+
+import time
+
+from repro.obs import Instrumentation, ObsSnapshot, RecordingSink, TimerStats
+
+
+class TestCounters:
+    def test_unknown_counter_reads_zero(self):
+        assert Instrumentation().counter("never.touched") == 0
+
+    def test_count_accumulates(self):
+        obs = Instrumentation()
+        obs.count("kb.rules_added")
+        obs.count("kb.rules_added", by=3)
+        assert obs.counter("kb.rules_added") == 4
+
+    def test_counters_are_independent(self):
+        obs = Instrumentation()
+        obs.count("a")
+        obs.count("b", by=2)
+        assert obs.counter("a") == 1
+        assert obs.counter("b") == 2
+
+
+class TestTimers:
+    def test_timer_accumulates_calls_and_time(self):
+        obs = Instrumentation()
+        for _ in range(3):
+            with obs.timer("miner.step"):
+                time.sleep(0.001)
+        stats = obs.snapshot().timers["miner.step"]
+        assert stats.calls == 3
+        assert stats.total_seconds > 0.0
+        assert stats.mean_ms > 0.0
+
+    def test_same_name_returns_same_timer(self):
+        obs = Instrumentation()
+        assert obs.timer("x") is obs.timer("x")
+
+    def test_mean_ms_zero_when_never_entered(self):
+        assert TimerStats(calls=0, total_seconds=0.0).mean_ms == 0.0
+
+    def test_timer_survives_exceptions(self):
+        obs = Instrumentation()
+        try:
+            with obs.timer("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs.snapshot().timers["x"].calls == 1
+
+
+class TestTracing:
+    def test_no_sink_means_not_tracing(self):
+        obs = Instrumentation()
+        assert not obs.tracing
+        obs.emit("question", index=0)  # must be a silent no-op
+
+    def test_events_reach_the_sink(self):
+        sink = RecordingSink()
+        obs = Instrumentation(sink=sink)
+        assert obs.tracing
+        obs.emit("question", index=0, kind="closed")
+        obs.emit("question", index=1, kind="open")
+        assert len(sink) == 2
+        assert sink.events[0].name == "question"
+        assert sink.events[0].fields["kind"] == "closed"
+        assert sink.events[1].fields["index"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_copy(self):
+        obs = Instrumentation()
+        obs.count("a")
+        snap = obs.snapshot()
+        obs.count("a")
+        assert snap.counters["a"] == 1
+        assert obs.counter("a") == 2
+
+    def test_empty_snapshot(self):
+        snap = Instrumentation().snapshot()
+        assert snap == ObsSnapshot(counters={}, timers={})
+        assert snap.format() == ""
+
+    def test_format_mentions_every_entry(self):
+        obs = Instrumentation()
+        obs.count("miner.questions", by=7)
+        with obs.timer("miner.step"):
+            pass
+        text = obs.snapshot().format()
+        assert "miner.questions" in text and "7" in text
+        assert "miner.step" in text and "ms/call" in text
