@@ -15,7 +15,13 @@ Two measurements:
   data structures (index, cached summaries, maintained views) from the
   cost of simulating members' memories. This one asserts a throughput
   floor, so an accidental O(n²) regression in the inner loop fails CI
-  instead of surfacing as benchmark drift months later.
+  instead of surfacing as benchmark drift months later;
+- an in-flight window sweep under the dispatch engine: the same
+  session at windows 1, 8 and 32, asserting that simulated makespan
+  improves monotonically as more questions overlap. Here the clock is
+  the *simulated* one — the sweep measures the dispatcher's batching
+  payoff, while pytest-benchmark still records the CPU cost of driving
+  the event loop.
 
 Both print the session's own instrumentation (``repro.obs``), so the
 numbers come with their per-phase breakdown attached.
@@ -27,6 +33,7 @@ import numpy as np
 
 from repro.core import Rule
 from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.dispatch import DispatchConfig, Dispatcher, LognormalLatency
 from repro.estimation import Thresholds
 from repro.eval import format_rows
 from repro.eval.runner import ExperimentConfig, build_world
@@ -38,6 +45,16 @@ SETTINGS = {
     "full": dict(n_items=300, n_patterns=30, n_members=60, budget=3_000),
     "smoke": dict(n_items=80, n_patterns=10, n_members=15, budget=400),
 }
+
+#: The dispatch sweep: budget for the windowed sessions and the
+#: latency every member answers with (lognormal, median ~a minute).
+DISPATCH_SETTINGS = {
+    "full": dict(budget=1_500, median=60.0, sigma=1.0),
+    "smoke": dict(budget=250, median=60.0, sigma=1.0),
+}
+
+#: In-flight windows swept by the dispatch benchmark, small to large.
+DISPATCH_WINDOWS = (1, 8, 32)
 
 #: The KB-scale benchmark: how many rules are pre-seeded (the largest
 #: knowledge-base size exercised) and how many closed questions are
@@ -188,3 +205,88 @@ def test_e7_kb_scale_closed_throughput(benchmark, scale):
         f"closed-question throughput {qps:.0f} q/s fell below the "
         f"{cfg['floor_qps']} q/s floor at {len(seed_rules)} rules"
     )
+
+
+def test_e7_dispatch_window_sweep(benchmark, scale):
+    """Simulated makespan vs in-flight window under human-scale latency.
+
+    The crowd answers on a lognormal clock (median about a minute), so
+    with one question in flight the session's wall time is the sum of
+    every answer delay. Widening the window overlaps those waits; the
+    sweep asserts the payoff is monotone — each wider window finishes
+    the same budget in no more simulated time, and window 8 beats
+    window 1 outright.
+    """
+    cfg = DISPATCH_SETTINGS[scale]
+    world = ExperimentConfig(
+        name="e7-dispatch",
+        n_items=SETTINGS[scale]["n_items"],
+        n_patterns=SETTINGS[scale]["n_patterns"],
+        n_members=SETTINGS[scale]["n_members"],
+        budget=cfg["budget"],
+        checkpoints=(cfg["budget"],),
+        repetitions=1,
+        seed=85,
+    )
+    _, population, _ = build_world(world, seed=85)
+
+    def run():
+        makespans = {}
+        for window in DISPATCH_WINDOWS:
+            crowd = SimulatedCrowd.from_population(
+                population, answer_model=standard_answer_model(), seed=86
+            )
+            miner = CrowdMiner(
+                crowd,
+                CrowdMinerConfig(
+                    thresholds=Thresholds(0.10, 0.5),
+                    budget=cfg["budget"],
+                    seed=87,
+                ),
+            )
+            dispatcher = Dispatcher(
+                miner,
+                DispatchConfig(
+                    window=window,
+                    latency=LognormalLatency(
+                        median=cfg["median"], sigma=cfg["sigma"]
+                    ),
+                    seed=88,
+                ),
+            )
+            result = dispatcher.run()
+            makespans[window] = (result.dispatch, miner)
+        return makespans
+
+    makespans = run_once(benchmark, run)
+
+    rows = []
+    for window in DISPATCH_WINDOWS:
+        stats, _ = makespans[window]
+        rows.append(
+            (
+                window,
+                stats.issued,
+                stats.completed,
+                stats.in_flight_high_water,
+                f"{stats.makespan:,.0f}",
+            )
+        )
+    print()
+    print(f"=== E7: simulated makespan vs in-flight window ({scale}) ===")
+    print(
+        format_rows(
+            ("window", "issued", "completed", "high water", "makespan (sim s)"),
+            rows,
+        )
+    )
+    _print_obs(makespans[DISPATCH_WINDOWS[-1]][1], f"window {DISPATCH_WINDOWS[-1]}, {scale}")
+
+    # Monotone payoff: a wider window never loses, and overlapping
+    # even eight questions wins outright over the serial session.
+    for narrow, wide in zip(DISPATCH_WINDOWS, DISPATCH_WINDOWS[1:]):
+        assert makespans[wide][0].makespan <= makespans[narrow][0].makespan, (
+            f"window {wide} took {makespans[wide][0].makespan:.0f}s, "
+            f"more than window {narrow} at {makespans[narrow][0].makespan:.0f}s"
+        )
+    assert makespans[8][0].makespan < makespans[1][0].makespan

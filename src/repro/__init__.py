@@ -19,6 +19,9 @@ the subpackages hold the full API:
 - :mod:`repro.estimation` — streaming estimates, the significance test
   and aggregation;
 - :mod:`repro.miner` — the CrowdMiner algorithm and ground-truth oracle;
+- :mod:`repro.dispatch` — the asynchronous question dispatcher:
+  simulated-time event clock, latency models, in-flight batching with
+  timeout/retry;
 - :mod:`repro.obs` — session instrumentation: hot-path counters,
   wall-clock timers and trace events;
 - :mod:`repro.eval` — the experiment harness reproducing the paper's
@@ -57,6 +60,17 @@ from repro.miner import (
     compute_ground_truth,
     mine_crowd,
 )
+
+# The dispatch package builds on the miner, so it must import after it.
+from repro.dispatch import (
+    DispatchConfig,
+    Dispatcher,
+    DispatchStats,
+    EventClock,
+    LatencyProfile,
+    heavy_tail_latency,
+    parse_latency,
+)
 from repro.obs import Instrumentation, ObsSnapshot
 from repro.synth import (
     LatentHabitModel,
@@ -74,10 +88,15 @@ __all__ = [
     "CrowdMiner",
     "CrowdMinerConfig",
     "Decision",
+    "DispatchConfig",
+    "DispatchStats",
+    "Dispatcher",
+    "EventClock",
     "GroundTruth",
     "Instrumentation",
     "ItemDomain",
     "Itemset",
+    "LatencyProfile",
     "LatentHabitModel",
     "MiningResult",
     "ObsSnapshot",
@@ -96,7 +115,9 @@ __all__ = [
     "compute_ground_truth",
     "culinary_model",
     "folk_remedies_model",
+    "heavy_tail_latency",
     "mine_crowd",
+    "parse_latency",
     "mine_rules",
     "partition_global_db",
     "standard_answer_model",

@@ -41,9 +41,36 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         cache = AnswerCache()
         crowd = CachingCrowd(crowd, cache)
     thresholds = Thresholds(args.support, args.confidence)
-    result = mine_crowd(
-        crowd, thresholds, budget=args.budget, seed=args.seed + 3
+    use_dispatch = (
+        args.in_flight > 1 or args.latency != "0" or args.timeout is not None
     )
+    if use_dispatch:
+        import math
+
+        from repro.dispatch import DispatchConfig, Dispatcher, parse_latency
+        from repro.miner import CrowdMiner, CrowdMinerConfig
+
+        miner = CrowdMiner(
+            crowd,
+            CrowdMinerConfig(
+                thresholds=thresholds, budget=args.budget, seed=args.seed + 3
+            ),
+        )
+        dispatcher = Dispatcher(
+            miner,
+            DispatchConfig(
+                window=args.in_flight,
+                latency=parse_latency(args.latency),
+                timeout=math.inf if args.timeout is None else args.timeout,
+                max_retries=args.retries,
+                seed=args.seed + 4,
+            ),
+        )
+        result = dispatcher.run()
+    else:
+        result = mine_crowd(
+            crowd, thresholds, budget=args.budget, seed=args.seed + 3
+        )
     print(result.summary())
     if cache is not None:
         from repro.io import cache_to_json, save_json
@@ -147,6 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--save-cache", metavar="PATH", default=None,
         help="persist collected answers to a JSON cache file",
+    )
+    mine.add_argument(
+        "--in-flight", type=int, default=1, metavar="N",
+        help="questions kept in flight at once (>1 enables the "
+        "asynchronous dispatcher; default 1 = synchronous)",
+    )
+    mine.add_argument(
+        "--latency", default="0", metavar="SPEC",
+        help="simulated answer latency, e.g. 0, const:30, "
+        "lognormal:60:1.0, pareto:30:1.5, heavytail:60:0.8:1.3; "
+        "append :drop=P for mid-flight dropout",
+    )
+    mine.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="simulated seconds to wait for an answer before "
+        "reassigning it (default: wait forever)",
+    )
+    mine.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="reissues of a timed-out question before dropping it",
     )
     mine.set_defaults(func=_cmd_mine)
 

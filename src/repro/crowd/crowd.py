@@ -17,8 +17,9 @@ which are exactly the cost measures the paper's evaluation reports.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Collection, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,9 +29,18 @@ from repro.core.rule import Rule
 from repro.crowd.answer_models import AnswerModel, ExactAnswerModel
 from repro.crowd.member import SimulatedMember
 from repro.crowd.open_behavior import OpenAnswerPolicy
-from repro.crowd.questions import ClosedAnswer, ClosedQuestion, OpenAnswer, OpenQuestion
+from repro.crowd.questions import (
+    ClosedAnswer,
+    ClosedQuestion,
+    InFlightAnswer,
+    OpenAnswer,
+    OpenQuestion,
+)
 from repro.errors import CrowdExhaustedError
 from repro.synth.population import Population
+
+if TYPE_CHECKING:  # avoids a circular import: repro.dispatch builds on the miner
+    from repro.dispatch.latency import LatencyModel
 
 
 @dataclass(slots=True)
@@ -134,18 +144,31 @@ class SimulatedCrowd:
         """Ids of members still willing to answer."""
         return [mid for mid in self._order if self._members[mid].is_available]
 
-    def next_member(self) -> str:
+    def next_member(self, exclude: Collection[str] = ()) -> str | None:
         """Round-robin scheduling over available members.
 
         Mirrors the multi-user setting: members take turns being
         "active in the system" and the miner serves whoever is next.
         Raises :class:`~repro.errors.CrowdExhaustedError` when everyone
         has left.
+
+        ``exclude`` skips members without ending their turn rotation —
+        the dispatcher passes the set of members already holding an
+        in-flight question. When every available member is excluded the
+        answer is ``None`` ("nobody free right now"), distinct from the
+        everyone-left exhaustion above; with an empty ``exclude`` the
+        return value is never ``None``.
         """
         available = self.available_members()
         if not available:
             raise CrowdExhaustedError("every crowd member has left the session")
-        member_id = available[self._rr_cursor % len(available)]
+        if exclude:
+            candidates = [mid for mid in available if mid not in exclude]
+            if not candidates:
+                return None
+        else:
+            candidates = available
+        member_id = candidates[self._rr_cursor % len(candidates)]
         self._rr_cursor += 1
         return member_id
 
@@ -180,3 +203,48 @@ class SimulatedCrowd:
         if answer.is_empty:
             self.stats.empty_open_answers += 1
         return answer
+
+    # -- the asynchronous question protocol ---------------------------------------
+
+    def ask_closed_async(
+        self,
+        member_id: str,
+        rule: Rule,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ) -> InFlightAnswer:
+        """Pose a closed question whose answer lands after simulated latency.
+
+        The reply's *content* is resolved immediately (what a member
+        would say does not depend on when the dispatcher reads it);
+        only its visibility is delayed, by a draw from ``latency`` on
+        the caller's ``rng``. ``now`` is the event clock's current
+        time. An infinite draw means the answer is lost in flight.
+        """
+        answer = self.ask_closed(member_id, rule)
+        return InFlightAnswer(
+            answer=answer, issued_at=now, arrives_at=now + latency.sample(rng)
+        )
+
+    def ask_open_async(
+        self,
+        member_id: str,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+        exclude: set[Rule] | None = None,
+        context: Itemset | None = None,
+    ) -> InFlightAnswer:
+        """Pose an open question whose answer lands after simulated latency.
+
+        Same contract as :meth:`ask_closed_async`; ``exclude`` and
+        ``context`` are snapshotted at issue time, exactly as a real
+        question form would be rendered once and sent.
+        """
+        answer = self.ask_open(member_id, exclude=exclude, context=context)
+        return InFlightAnswer(
+            answer=answer, issued_at=now, arrives_at=now + latency.sample(rng)
+        )

@@ -17,6 +17,7 @@ group samples per member, and so per-member consistency checks
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.itemset import Itemset
@@ -97,3 +98,29 @@ class OpenAnswer:
 
 #: Union type for anything a member can hand back.
 Answer = ClosedAnswer | OpenAnswer
+
+
+@dataclass(frozen=True, slots=True)
+class InFlightAnswer:
+    """An answer travelling through simulated time.
+
+    The asynchronous crowd interface resolves the answer's *content*
+    immediately (the member's reply does not depend on when it is
+    read) but stamps it with the simulated instant it becomes visible
+    to the miner. ``arrives_at`` of ``inf`` models mid-flight loss —
+    the member closed the tab and the answer never lands.
+    """
+
+    answer: Answer
+    issued_at: float
+    arrives_at: float
+
+    @property
+    def delay(self) -> float:
+        """Simulated seconds between asking and the answer landing."""
+        return self.arrives_at - self.issued_at
+
+    @property
+    def is_lost(self) -> bool:
+        """True when the answer will never arrive (mid-flight dropout)."""
+        return math.isinf(self.arrives_at)

@@ -1,0 +1,131 @@
+"""A deterministic discrete-event simulation clock.
+
+The dispatch engine never reads the wall clock: all latencies, timeouts
+and makespans live on this simulated timeline, so a session replayed
+with the same seeds produces byte-identical results regardless of host
+speed. The clock is a plain priority queue of ``(time, seq, action)``
+events:
+
+- **time** is simulated seconds (any unit works; the latency models and
+  timeouts just have to agree);
+- **seq** is a monotonically increasing schedule counter, so events at
+  the same instant fire in the order they were scheduled — the only
+  tie-break, and a deterministic one;
+- **action** is an arbitrary zero-argument callable.
+
+Events can be cancelled (a timeout whose answer arrived, an arrival
+whose question was abandoned); cancelled events are skipped on pop
+without advancing time past live ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ScheduledEvent:
+    """A handle to one scheduled action; ``cancel()`` to disarm it."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(repr=False)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Disarm the event; it will be skipped when its turn comes."""
+        self.cancelled = True
+
+
+class EventClock:
+    """Simulated time plus the queue of things scheduled to happen.
+
+    >>> clock = EventClock()
+    >>> fired = []
+    >>> _ = clock.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = clock.schedule(1.0, lambda: fired.append("a"))
+    >>> clock.pop(), clock.pop(), clock.pop()
+    (True, True, False)
+    >>> fired, clock.now
+    (['a', 'b'], 2.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return sum(1 for _, _, event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` to fire ``delay`` simulated seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` at an absolute simulated time (≥ now)."""
+        if math.isnan(time) or time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time!r}: the clock is already at {self._now}"
+            )
+        if math.isinf(time):
+            raise ValueError(
+                "cannot schedule at infinity; skip scheduling a lost event instead"
+            )
+        event = ScheduledEvent(time=time, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return event
+
+    def peek_time(self) -> float | None:
+        """The time of the next live event, or ``None`` when idle."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def pop(self) -> bool:
+        """Advance to and fire the next live event.
+
+        Returns ``False`` (leaving time untouched) when nothing live
+        remains scheduled.
+        """
+        while self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            return True
+        return False
+
+    def run_until(self, time: float) -> int:
+        """Fire every live event at or before ``time``; returns the count.
+
+        The clock ends exactly at ``time`` even when the last event
+        fired earlier (or none did), so callers can sample state on a
+        fixed simulated-time grid.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run backwards to {time!r} from {self._now}")
+        fired = 0
+        while True:
+            upcoming = self.peek_time()
+            if upcoming is None or upcoming > time:
+                break
+            self.pop()
+            fired += 1
+        self._now = time
+        return fired

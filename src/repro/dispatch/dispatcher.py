@@ -1,0 +1,396 @@
+"""The asynchronous question dispatcher.
+
+The synchronous miner is a ping-pong loop: ask one member, wait for
+the answer, fold it in, ask the next. Real crowds do not work that way
+— answers take seconds to days (see :mod:`repro.dispatch.latency`),
+and a miner that waits on every answer spends almost all of its
+wall-clock time idle. The dispatcher closes that gap:
+
+- it keeps up to ``window`` questions **in flight** at once, one per
+  member, choosing each with the miner's own
+  :meth:`~repro.miner.crowdminer.CrowdMiner.propose_question`;
+- answers land in **completion order** on the simulated
+  :class:`~repro.dispatch.clock.EventClock` and are folded in with
+  :meth:`~repro.miner.crowdminer.CrowdMiner.ingest_answer`, which
+  revalidates each against the knowledge base it left behind — an
+  answer whose rule was settled while in flight is discarded as stale,
+  never double-counted;
+- a per-question **timeout** (growing by ``backoff`` per attempt)
+  recovers questions whose answers are slow or lost mid-flight, by
+  reassigning them to a different member up to ``max_retries`` times.
+
+Determinism: every latency draw comes from the dispatcher's seeded
+generator, every tie on the clock breaks by schedule order, and a
+question's answer content is resolved at issue time — so one seed
+tuple (crowd, miner, dispatch) replays byte-identically. With
+``window=1`` and zero latency the dispatcher reduces *exactly* to the
+synchronous loop: same questions, same order, same knowledge base
+(``tests/dispatch/test_equivalence.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+from repro.crowd.questions import InFlightAnswer
+from repro.dispatch.clock import EventClock, ScheduledEvent
+from repro.dispatch.latency import ConstantLatency, LatencyModel, LatencyProfile
+from repro.errors import ConfigurationError, CrowdExhaustedError
+from repro.miner.crowdminer import CrowdMiner, QuestionProposal
+from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
+
+
+@dataclass(slots=True)
+class DispatchConfig:
+    """Configuration of the asynchronous dispatch engine.
+
+    Attributes
+    ----------
+    window:
+        Maximum questions in flight at once (1 = synchronous
+        ping-pong). Each member holds at most one in-flight question,
+        so the effective window is also capped by crowd size.
+    timeout:
+        Simulated seconds to wait for an answer before giving up on it
+        (``inf`` = wait forever; then mid-flight dropout in the latency
+        model would deadlock, which the dispatcher rejects at issue
+        time).
+    max_retries:
+        How many times a timed-out question is reissued before being
+        dropped for good.
+    backoff:
+        Timeout multiplier per retry attempt (attempt ``k`` waits
+        ``timeout * backoff**k``).
+    latency:
+        A :class:`~repro.dispatch.latency.LatencyModel` applied to all
+        members, or a :class:`~repro.dispatch.latency.LatencyProfile`
+        for heterogeneous crowds. Default: zero latency.
+    seed:
+        Randomness for latency draws — a stream of its own, so latency
+        noise never perturbs the miner's question choices.
+    """
+
+    window: int = 1
+    timeout: float = math.inf
+    max_retries: int = 2
+    backoff: float = 2.0
+    latency: LatencyModel | LatencyProfile = field(
+        default_factory=lambda: ConstantLatency(0.0)
+    )
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.window, "window")
+        if not self.timeout > 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout!r}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be at least 1, got {self.backoff!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchStats:
+    """Outcome counters of one dispatched session.
+
+    ``issued`` counts every question put to the crowd, retries
+    included — it is the session's true crowd cost, and what the
+    budget is charged for. ``completed`` counts answers folded into
+    the knowledge base; the difference is accounted for by timeouts,
+    stale discards and drops. ``makespan`` is the simulated time at
+    which the session finished.
+    """
+
+    issued: int
+    completed: int
+    timeouts: int
+    retries: int
+    stale_discarded: int
+    late_discarded: int
+    dropped: int
+    in_flight_high_water: int
+    makespan: float
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report block (used by ``MiningResult.summary``)."""
+        return [
+            f"dispatch: {self.issued} issued, {self.completed} completed, "
+            f"in-flight high water {self.in_flight_high_water}",
+            f"dispatch: {self.timeouts} timeouts, {self.retries} retries, "
+            f"{self.stale_discarded} stale discarded, "
+            f"{self.late_discarded} late discarded, {self.dropped} dropped",
+            f"dispatch: makespan {self.makespan:.1f} simulated seconds",
+        ]
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """Book-keeping for one question currently travelling."""
+
+    proposal: QuestionProposal
+    answer: InFlightAnswer
+    attempt: int
+    arrival_event: ScheduledEvent | None = None
+    timeout_event: ScheduledEvent | None = None
+
+
+class Dispatcher:
+    """Drives a :class:`~repro.miner.crowdminer.CrowdMiner` asynchronously.
+
+    The dispatcher owns the event clock and the latency randomness;
+    the miner keeps owning question choice and the knowledge base.
+    Use :meth:`run` to drain the session, or :meth:`advance_to` to
+    step simulated time on a grid (quality-vs-time curves).
+    """
+
+    def __init__(
+        self,
+        miner: CrowdMiner,
+        config: DispatchConfig | None = None,
+        clock: EventClock | None = None,
+    ) -> None:
+        self.miner = miner
+        self.config = config or DispatchConfig()
+        self.clock = clock or EventClock()
+        self.obs = miner.obs
+        self._rng = as_rng(self.config.seed)
+        latency = self.config.latency
+        self._profile = (
+            latency
+            if isinstance(latency, LatencyProfile)
+            else LatencyProfile(default=latency)
+        )
+        self._in_flight: dict[str, _InFlight] = {}
+        #: (simulated time, event) for every ingested answer, in
+        #: completion order — the raw material of quality-vs-time curves.
+        self.timeline: list[tuple[float, QuestionEvent]] = []
+        self._issued = 0
+        self._completed = 0
+        self._timeouts = 0
+        self._retries = 0
+        self._stale = 0
+        self._late = 0
+        self._dropped = 0
+        # The miner proposed nothing askable; cleared when an ingest
+        # changes the knowledge base (an open answer may create new
+        # closed candidates), so supply can recover mid-session.
+        self._stalled = False
+
+    # -- progress -----------------------------------------------------------------
+
+    @property
+    def in_flight_count(self) -> int:
+        """Questions currently travelling."""
+        return len(self._in_flight)
+
+    @property
+    def questions_issued(self) -> int:
+        """Questions put to the crowd so far (retries included)."""
+        return self._issued
+
+    @property
+    def budget_left(self) -> int:
+        """Issues remaining before the miner's budget is spent."""
+        return self.miner.config.budget - self._issued
+
+    def is_idle(self) -> bool:
+        """True when nothing is in flight and nothing more can be issued."""
+        self._fill_window()
+        return not self._in_flight
+
+    # -- issuing ------------------------------------------------------------------
+
+    def _fill_window(self) -> None:
+        """Issue questions until the window, budget, or crowd runs out."""
+        while (
+            len(self._in_flight) < self.config.window
+            and self.budget_left > 0
+            and not self._stalled
+        ):
+            try:
+                member_id = self.miner.crowd.next_member(
+                    exclude=self._in_flight.keys()
+                )
+            except CrowdExhaustedError:
+                return
+            if member_id is None:  # everyone available is already busy
+                return
+            proposal = self.miner.propose_question(member_id)
+            if proposal is None:
+                self._stalled = True
+                return
+            try:
+                self._issue(proposal, attempt=0)
+            except CrowdExhaustedError:
+                # The member left between scheduling and asking; the
+                # available set shrank, so this loop terminates.
+                continue
+
+    def _issue(self, proposal: QuestionProposal, attempt: int) -> None:
+        member_id = proposal.member_id
+        model = self._profile.model_for(member_id)
+        in_flight = self.miner.pose_async(
+            proposal, latency=model, rng=self._rng, now=self.clock.now
+        )
+        timeout = self.config.timeout * self.config.backoff**attempt
+        if in_flight.is_lost and math.isinf(timeout):
+            raise ConfigurationError(
+                "an answer was lost mid-flight but the dispatcher has no "
+                "timeout to recover it; configure a finite timeout when the "
+                "latency model can drop answers"
+            )
+        entry = _InFlight(proposal=proposal, answer=in_flight, attempt=attempt)
+        if not in_flight.is_lost:
+            # Scheduled before the timeout, so an answer landing at the
+            # exact timeout instant still counts (ties break by
+            # schedule order).
+            entry.arrival_event = self.clock.schedule_at(
+                in_flight.arrives_at, lambda: self._deliver(member_id)
+            )
+        if not math.isinf(timeout):
+            entry.timeout_event = self.clock.schedule(
+                timeout, lambda: self._timeout(member_id)
+            )
+        self._in_flight[member_id] = entry
+        self._issued += 1
+        self.obs.count("dispatch.issued")
+        if attempt > 0:
+            self._retries += 1
+            self.obs.count("dispatch.retries")
+        self.obs.gauge("dispatch.in_flight", len(self._in_flight))
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _deliver(self, member_id: str) -> None:
+        entry = self._in_flight.pop(member_id)
+        if entry.timeout_event is not None:
+            entry.timeout_event.cancel()
+        self.obs.gauge("dispatch.in_flight", len(self._in_flight))
+        self.obs.observe("dispatch.latency", entry.answer.delay)
+        event = self.miner.ingest_answer(entry.proposal, entry.answer.answer)
+        self._stalled = False
+        if event is None:
+            self._stale += 1  # the miner counted obs "dispatch.stale"
+        else:
+            self._completed += 1
+            self.timeline.append((self.clock.now, event))
+
+    def _timeout(self, member_id: str) -> None:
+        entry = self._in_flight.pop(member_id)
+        self._timeouts += 1
+        self.obs.count("dispatch.timeouts")
+        if entry.arrival_event is not None:
+            # The answer was merely slow, not lost; when it does land,
+            # nobody will be listening.
+            entry.arrival_event.cancel()
+            self._late += 1
+            self.obs.count("dispatch.late")
+        self.obs.gauge("dispatch.in_flight", len(self._in_flight))
+        self._retry(entry)
+
+    def _retry(self, entry: _InFlight) -> None:
+        """Reissue a timed-out question to another member, or drop it."""
+        attempt = entry.attempt + 1
+        proposal = entry.proposal
+        if (
+            attempt > self.config.max_retries
+            or self.budget_left <= 0
+            or self.miner.proposal_is_stale(proposal)
+        ):
+            self._drop()
+            return
+        member_id = self._reassign_target(proposal)
+        if member_id is None:
+            self._drop()
+            return
+        reissued = dataclasses.replace(
+            proposal, member_id=member_id, kb_version=self.miner.state.version
+        )
+        try:
+            self._issue(reissued, attempt=attempt)
+        except CrowdExhaustedError:
+            self._drop()
+
+    def _reassign_target(self, proposal: QuestionProposal) -> str | None:
+        """A free member to retry with — preferably not the original one.
+
+        For closed questions, members whose answer about the rule is
+        already on record are ineligible (their retry answer would be
+        discarded as stale on arrival anyway).
+        """
+        free = [
+            mid
+            for mid in self.miner.crowd.available_members()
+            if mid not in self._in_flight
+        ]
+        if proposal.kind is QuestionKind.CLOSED:
+            assert proposal.rule is not None
+            samples = self.miner.state.knowledge(proposal.rule).samples
+            free = [mid for mid in free if not samples.has_answer_from(mid)]
+        for member_id in free:
+            if member_id != proposal.member_id:
+                return member_id
+        return free[0] if free else None
+
+    def _drop(self) -> None:
+        self._dropped += 1
+        self.obs.count("dispatch.dropped")
+
+    # -- driving ------------------------------------------------------------------
+
+    def run(self) -> MiningResult:
+        """Drain the session: issue, deliver, retry until nothing remains."""
+        self._fill_window()
+        while self._in_flight:
+            self.clock.pop()
+            self._fill_window()
+        return self.result()
+
+    def advance_to(self, time: float) -> None:
+        """Run the session up to an absolute simulated time.
+
+        Fires every event at or before ``time`` (refilling the window
+        as answers land) and leaves the clock exactly at ``time``, so
+        callers can sample quality on a fixed simulated-time grid.
+        """
+        self._fill_window()
+        while True:
+            upcoming = self.clock.peek_time()
+            if upcoming is None or upcoming > time:
+                break
+            self.clock.pop()
+            self._fill_window()
+        self.clock.run_until(time)
+
+    # -- results ------------------------------------------------------------------
+
+    def stats(self) -> DispatchStats:
+        """Counters of the session so far."""
+        return DispatchStats(
+            issued=self._issued,
+            completed=self._completed,
+            timeouts=self._timeouts,
+            retries=self._retries,
+            stale_discarded=self._stale,
+            late_discarded=self._late,
+            dropped=self._dropped,
+            in_flight_high_water=int(
+                self.obs.gauge_high_water("dispatch.in_flight")
+            ),
+            makespan=self.clock.now,
+        )
+
+    def result(self, mode: str = "point") -> MiningResult:
+        """The miner's result with this session's dispatch counters attached."""
+        result = self.miner.result(mode)
+        result.dispatch = self.stats()
+        return result

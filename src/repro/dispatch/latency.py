@@ -1,0 +1,276 @@
+"""Latency models: how long a crowd member takes to answer.
+
+A deployed crowd answers asynchronously — seconds to days, with heavy
+tails and outright losses (a member closes the tab mid-question). Each
+model is a distribution over simulated seconds; ``math.inf`` means the
+answer is *lost in flight* and will never arrive, which is what forces
+the dispatcher's timeout/retry machinery to exist at all.
+
+All sampling is driven by the caller's :class:`numpy.random.Generator`,
+so a seeded dispatcher replays byte-identically (see
+``docs/dispatch.md`` for the determinism guarantee). The catalogue:
+
+- :class:`ConstantLatency` — every answer takes exactly ``delay``
+  (0 reproduces the synchronous ping-pong loop);
+- :class:`LognormalLatency` — the standard human-response shape: a
+  median with multiplicative spread;
+- :class:`ParetoLatency` — a pure power-law straggler tail;
+- :class:`MixtureLatency` — weighted combination (e.g. mostly-lognormal
+  with a heavy Pareto tail, see :func:`heavy_tail_latency`);
+- :class:`DroppingLatency` — wraps any model with a per-question
+  probability of mid-flight dropout (``math.inf``);
+- :class:`LatencyProfile` — per-member assignment of models, for
+  heterogeneous crowds (fast regulars, slow stragglers).
+
+:func:`parse_latency` turns the CLI's compact ``--latency`` spec
+strings into models.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro._util import check_fraction, check_nonnegative
+from repro.errors import ConfigurationError
+
+
+class LatencyModel:
+    """Base class: a distribution over answer delays (simulated seconds)."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One delay draw; ``math.inf`` means the answer never arrives."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ConstantLatency(LatencyModel):
+    """Every answer takes exactly ``delay`` seconds (0 = synchronous).
+
+    Consumes no randomness, so a zero-latency dispatcher run leaves the
+    latency stream untouched — part of the window-1 equivalence
+    guarantee with the synchronous loop.
+    """
+
+    def __init__(self, delay: float = 0.0) -> None:
+        self.delay = check_nonnegative(delay, "delay")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class LognormalLatency(LatencyModel):
+    """Lognormal delays: ``median * exp(sigma * N(0, 1))``.
+
+    The usual fit for human response times: most answers cluster near
+    the median, spread is multiplicative, and the right tail is long
+    but not power-law heavy.
+    """
+
+    def __init__(self, median: float = 60.0, sigma: float = 1.0) -> None:
+        if median <= 0:
+            raise ConfigurationError(f"median must be positive, got {median!r}")
+        self.median = float(median)
+        self.sigma = check_nonnegative(sigma, "sigma")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.median * math.exp(self.sigma * rng.standard_normal()))
+
+    def __repr__(self) -> str:
+        return f"LognormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class ParetoLatency(LatencyModel):
+    """Pareto (power-law) delays: ``scale * (1 + Pareto(alpha))``.
+
+    The straggler model: infinite variance for ``alpha ≤ 2``, so a few
+    answers take arbitrarily long — exactly the regime where waiting on
+    every answer (window = 1) collapses throughput.
+    """
+
+    def __init__(self, scale: float = 30.0, alpha: float = 1.5) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale!r}")
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha!r}")
+        self.scale = float(scale)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * (1.0 + rng.pareto(self.alpha)))
+
+    def __repr__(self) -> str:
+        return f"ParetoLatency(scale={self.scale}, alpha={self.alpha})"
+
+
+class MixtureLatency(LatencyModel):
+    """Draw from one of several models with fixed probabilities."""
+
+    def __init__(
+        self, models: Sequence[LatencyModel], weights: Sequence[float]
+    ) -> None:
+        if len(models) != len(weights) or not models:
+            raise ConfigurationError(
+                "mixture needs equally many models and weights (at least one)"
+            )
+        total = float(sum(weights))
+        if total <= 0 or any(w < 0 for w in weights):
+            raise ConfigurationError("mixture weights must be non-negative, sum > 0")
+        self.models = tuple(models)
+        self.probabilities = tuple(float(w) / total for w in weights)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        choice = int(rng.choice(len(self.models), p=self.probabilities))
+        return self.models[choice].sample(rng)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{p:.2f}*{m!r}" for m, p in zip(self.models, self.probabilities)
+        )
+        return f"MixtureLatency({parts})"
+
+
+class DroppingLatency(LatencyModel):
+    """Mid-flight dropout: with probability ``p_drop`` the answer is lost.
+
+    A lost answer samples to ``math.inf`` — it never arrives, and only
+    the dispatcher's timeout can recover the question.
+    """
+
+    def __init__(self, base: LatencyModel, p_drop: float) -> None:
+        self.base = base
+        self.p_drop = check_fraction(p_drop, "p_drop")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.p_drop:
+            return math.inf
+        return self.base.sample(rng)
+
+    def __repr__(self) -> str:
+        return f"DroppingLatency({self.base!r}, p_drop={self.p_drop})"
+
+
+def heavy_tail_latency(
+    median: float = 60.0,
+    sigma: float = 0.8,
+    tail_scale: float | None = None,
+    tail_alpha: float = 1.3,
+    tail_weight: float = 0.1,
+) -> MixtureLatency:
+    """The standard heavy-tail crowd: lognormal body, Pareto stragglers.
+
+    ``tail_scale`` defaults to 5× the median — stragglers start where
+    the body ends.
+    """
+    if tail_scale is None:
+        tail_scale = 5.0 * median
+    return MixtureLatency(
+        [LognormalLatency(median, sigma), ParetoLatency(tail_scale, tail_alpha)],
+        [1.0 - check_fraction(tail_weight, "tail_weight"), tail_weight],
+    )
+
+
+class LatencyProfile:
+    """Per-member latency models (heterogeneous crowds).
+
+    ``default`` answers for every member without an explicit entry;
+    :meth:`from_factory` builds one model per member id upfront, which
+    is how experiments inject a known fraction of stragglers.
+    """
+
+    def __init__(
+        self,
+        default: LatencyModel,
+        per_member: dict[str, LatencyModel] | None = None,
+    ) -> None:
+        self.default = default
+        self.per_member = dict(per_member or {})
+
+    @classmethod
+    def from_factory(
+        cls,
+        member_ids: Sequence[str],
+        factory: Callable[[int, str], LatencyModel],
+        default: LatencyModel | None = None,
+    ) -> "LatencyProfile":
+        """One model per member, from ``factory(index, member_id)``."""
+        per_member = {
+            member_id: factory(index, member_id)
+            for index, member_id in enumerate(member_ids)
+        }
+        return cls(default=default or ConstantLatency(0.0), per_member=per_member)
+
+    def model_for(self, member_id: str) -> LatencyModel:
+        """The latency model governing ``member_id``'s answers."""
+        return self.per_member.get(member_id, self.default)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyProfile(default={self.default!r}, "
+            f"overrides={len(self.per_member)})"
+        )
+
+
+def parse_latency(spec: str) -> LatencyModel:
+    """Build a latency model from a compact CLI spec string.
+
+    Grammar (fields are ``:``-separated; a trailing ``drop=P`` field
+    wraps the model in mid-flight dropout)::
+
+        0  |  <seconds>          constant latency
+        const:<seconds>
+        lognormal:<median>:<sigma>
+        pareto:<scale>:<alpha>
+        heavytail:<median>:<sigma>:<alpha>
+
+    >>> parse_latency("0")
+    ConstantLatency(0.0)
+    >>> parse_latency("lognormal:30:0.8:drop=0.05")
+    DroppingLatency(LognormalLatency(median=30.0, sigma=0.8), p_drop=0.05)
+    """
+    fields = [f for f in str(spec).strip().split(":") if f != ""]
+    if not fields:
+        raise ConfigurationError(f"empty latency spec: {spec!r}")
+    p_drop = None
+    if fields[-1].startswith("drop="):
+        p_drop = float(fields.pop()[len("drop="):])
+    if not fields:
+        raise ConfigurationError(f"latency spec has only a drop field: {spec!r}")
+    name, args = fields[0].lower(), fields[1:]
+    try:
+        if name == "const" or (not args and _is_number(name)):
+            delay = float(args[0]) if args else float(name)
+            model: LatencyModel = ConstantLatency(delay)
+        elif name == "lognormal":
+            model = LognormalLatency(float(args[0]), float(args[1]))
+        elif name == "pareto":
+            model = ParetoLatency(float(args[0]), float(args[1]))
+        elif name == "heavytail":
+            model = heavy_tail_latency(
+                median=float(args[0]), sigma=float(args[1]), tail_alpha=float(args[2])
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown latency model {name!r} in spec {spec!r}; "
+                "known: const, lognormal, pareto, heavytail"
+            )
+    except (IndexError, ValueError) as exc:
+        raise ConfigurationError(f"malformed latency spec {spec!r}: {exc}") from exc
+    if p_drop is not None:
+        model = DroppingLatency(model, p_drop)
+    return model
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

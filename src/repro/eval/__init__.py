@@ -14,6 +14,8 @@ from repro.eval.export import results_to_csv, results_to_json, save_results
 from repro.eval.metrics import (
     PRPoint,
     QualityCurve,
+    TimedCurve,
+    TimedPoint,
     average_curves,
     precision_recall,
     score_report,
@@ -32,6 +34,7 @@ from repro.eval.runner import (
     build_world,
     run_experiment,
     run_session,
+    run_timed_session,
     run_variants,
 )
 
@@ -42,6 +45,8 @@ __all__ = [
     "PRPoint",
     "QualityCurve",
     "RepetitionOutcome",
+    "TimedCurve",
+    "TimedPoint",
     "ascii_chart",
     "average_curves",
     "build_world",
@@ -61,6 +66,7 @@ __all__ = [
     "results_to_json",
     "run_experiment",
     "run_session",
+    "run_timed_session",
     "run_variants",
     "save_results",
     "score_report",

@@ -92,6 +92,66 @@ class QualityCurve:
         return None
 
 
+@dataclass(frozen=True, slots=True)
+class TimedPoint:
+    """Quality at one *simulated-time* checkpoint of a dispatched session.
+
+    ``time`` is simulated seconds on the dispatcher's event clock;
+    ``questions`` counts the answers ingested by then.
+    """
+
+    time: float
+    questions: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass(frozen=True, slots=True)
+class TimedCurve:
+    """Quality over simulated time for one dispatched session.
+
+    The asynchronous analogue of :class:`QualityCurve`: same metrics,
+    but the x-axis is makespan, which is what in-flight batching
+    improves — the question count stays roughly fixed while the time
+    to reach a given quality collapses.
+    """
+
+    label: str
+    points: tuple[TimedPoint, ...]
+
+    def __post_init__(self) -> None:
+        times = [p.time for p in self.points]
+        if times != sorted(times):
+            raise ValueError("curve points must be ordered by time")
+
+    def final(self) -> TimedPoint:
+        """The last checkpoint (end-of-session quality)."""
+        if not self.points:
+            raise ValueError("empty curve")
+        return self.points[-1]
+
+    def time_to_f1(self, target: float) -> float | None:
+        """First checkpoint time reaching ``F1 ≥ target`` (None if never)."""
+        for point in self.points:
+            if point.f1 >= target:
+                return point.time
+        return None
+
+    def time_to_recall(self, target: float) -> float | None:
+        """First checkpoint time reaching ``recall ≥ target`` (None if never)."""
+        for point in self.points:
+            if point.recall >= target:
+                return point.time
+        return None
+
+
 def average_curves(label: str, curves: Sequence[QualityCurve]) -> QualityCurve:
     """Average several repetitions' curves checkpoint-by-checkpoint.
 

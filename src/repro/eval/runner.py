@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,7 +30,14 @@ from repro.crowd.crowd import SimulatedCrowd
 from repro.crowd.open_behavior import OpenAnswerPolicy
 from repro.errors import ConfigurationError
 from repro.estimation.significance import Thresholds
-from repro.eval.metrics import QualityCurve, average_curves, score_report
+from repro.eval.metrics import (
+    QualityCurve,
+    TimedCurve,
+    TimedPoint,
+    average_curves,
+    precision_recall,
+    score_report,
+)
 from repro.miner.crowdminer import CrowdMiner, CrowdMinerConfig
 from repro.miner.open_policy import make_open_policy
 from repro.miner.oracle import GroundTruth, compute_ground_truth
@@ -38,6 +46,9 @@ from repro.obs import Instrumentation, ObsSnapshot
 from repro.synth.factories import random_domain, random_habit_model
 from repro.synth.latent import LatentHabitModel
 from repro.synth.population import Population, build_population
+
+if TYPE_CHECKING:  # the dispatch package imports the miner, never the reverse
+    from repro.dispatch.dispatcher import DispatchConfig
 
 
 @dataclass(frozen=True, slots=True)
@@ -237,6 +248,80 @@ def run_session(
         wall_seconds=elapsed,
         obs=result.obs,
     )
+
+
+def run_timed_session(
+    config: ExperimentConfig,
+    population: Population,
+    truth: GroundTruth,
+    seed: int,
+    dispatch: "DispatchConfig | None" = None,
+    time_checkpoints: tuple[float, ...] | None = None,
+    obs: Instrumentation | None = None,
+) -> TimedCurve:
+    """Run one *dispatched* session, scored on a simulated-time grid.
+
+    The asynchronous counterpart of :func:`run_session`: the miner is
+    driven by a :class:`~repro.dispatch.dispatcher.Dispatcher`, and
+    quality is sampled at simulated-time checkpoints instead of
+    question counts — the makespan axis that in-flight batching
+    improves. When ``time_checkpoints`` is ``None`` the session is
+    drained and scored only at its own makespan, yielding a one-point
+    curve (useful for end-state and makespan comparisons).
+    """
+    from repro.dispatch.dispatcher import DispatchConfig, Dispatcher
+
+    rng = as_rng(seed)
+    obs = obs or Instrumentation()
+    crowd = SimulatedCrowd.from_population(
+        population,
+        answer_model=config.answer_model(),
+        open_policy=OpenAnswerPolicy(max_body_size=config.max_body_size),
+        patience=config.patience,
+        seed=rng,
+    )
+    miner_config = CrowdMinerConfig(
+        thresholds=config.thresholds(),
+        budget=config.budget,
+        strategy=make_strategy(config.strategy),
+        open_policy=make_open_policy(config.open_policy),
+        min_samples=config.min_samples,
+        decision_confidence=config.decision_confidence,
+        use_covariance=config.use_covariance,
+        lattice_pruning=config.lattice_pruning,
+        expand_generalizations=config.expand_generalizations,
+        expand_splits=config.expand_splits,
+        seed=rng,
+    )
+    miner = CrowdMiner(crowd, miner_config, obs=obs)
+    dispatcher = Dispatcher(miner, dispatch or DispatchConfig())
+
+    points: list[TimedPoint] = []
+
+    def sample(at: float) -> None:
+        with obs.timer("runner.score"):
+            reported = miner.state.significant_rules(mode="point")
+            precision, recall = precision_recall(reported, truth)
+        points.append(
+            TimedPoint(
+                time=at,
+                questions=miner.questions_asked,
+                precision=precision,
+                recall=recall,
+            )
+        )
+
+    with obs.timer("runner.mine"):
+        if time_checkpoints is None:
+            dispatcher.run()
+        else:
+            for checkpoint in time_checkpoints:
+                dispatcher.advance_to(checkpoint)
+                sample(checkpoint)
+            while not dispatcher.is_idle():
+                dispatcher.clock.pop()
+    sample(dispatcher.clock.now)
+    return TimedCurve(label=config.name, points=tuple(points))
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

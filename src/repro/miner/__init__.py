@@ -7,7 +7,12 @@ significance classification, and lattice-based inference.
 
 from repro.miner.analysis import MemberLoad, SessionAnalysis, analyze_log, analyze_result
 from repro.miner.budgeting import BudgetForecast, RulePlan, forecast_budget, plan_rule, required_samples
-from repro.miner.crowdminer import CrowdMiner, CrowdMinerConfig, mine_crowd
+from repro.miner.crowdminer import (
+    CrowdMiner,
+    CrowdMinerConfig,
+    QuestionProposal,
+    mine_crowd,
+)
 from repro.miner.explain import explain_report, explain_rule
 from repro.miner.open_policy import (
     AdaptiveOpenPolicy,
@@ -57,6 +62,7 @@ __all__ = [
     "OpenClosedPolicy",
     "QuestionEvent",
     "QuestionKind",
+    "QuestionProposal",
     "QuestionStrategy",
     "RandomStrategy",
     "RoundRobinStrategy",

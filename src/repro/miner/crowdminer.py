@@ -31,9 +31,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import as_rng, check_fraction, check_positive
+from repro.core.itemset import Itemset
 from repro.core.order import generalizations
 from repro.core.rule import Rule
 from repro.crowd.crowd import SimulatedCrowd
+from repro.crowd.questions import ClosedAnswer, OpenAnswer
 from repro.errors import BudgetExhaustedError, ConfigurationError, CrowdExhaustedError
 from repro.estimation.aggregate import Aggregator, DynamicTrustAggregator
 from repro.estimation.consistency import ConsistencyChecker
@@ -44,6 +46,34 @@ from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
 from repro.miner.state import MiningState, RuleOrigin
 from repro.miner.strategy import MaxUncertaintyStrategy, QuestionStrategy
 from repro.obs import Instrumentation
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionProposal:
+    """One question the miner wants asked, separated from its answer.
+
+    The miner's step used to be an atomic ask-and-record; the
+    asynchronous dispatcher needs the two halves apart, with arbitrary
+    time (and other members' answers) in between:
+
+    - :meth:`CrowdMiner.propose_question` chooses the question for a
+      member and stamps it with the knowledge-base version;
+    - :meth:`CrowdMiner.ingest_answer` folds the answer in *when it
+      arrives*, revalidating against the version stamp — the rule may
+      have been settled directly, or condemned by lattice propagation,
+      while the question was in flight, in which case the answer is
+      discarded as stale instead of double-counted.
+
+    ``rule`` is the closed-question target (``None`` for open
+    questions); ``context`` is the open question's specialization
+    context (``None`` for blind open questions and for closed ones).
+    """
+
+    member_id: str
+    kind: QuestionKind
+    rule: Rule | None
+    context: Itemset | None
+    kb_version: int
 
 
 @dataclass(slots=True)
@@ -246,14 +276,30 @@ class CrowdMiner:
                     member_id = self.crowd.next_member()
                 except CrowdExhaustedError:
                     return None
+                proposal = self.propose_question(member_id)
+                if proposal is None:
+                    # Nothing askable for this member *or anyone else*
+                    # (the proposal depends on the state, not the
+                    # member), so the session is over.
+                    return None
                 try:
-                    return self._dispatch(member_id)
+                    answer = self.pose(proposal)
                 except CrowdExhaustedError:
                     continue
+                return self.ingest_answer(proposal, answer)
             return None
 
-    def _dispatch(self, member_id: str) -> QuestionEvent | None:
-        """Choose and pose one question to ``member_id``."""
+    # -- propose / pose / ingest ------------------------------------------------
+
+    def propose_question(self, member_id: str) -> QuestionProposal | None:
+        """Choose the next question for ``member_id`` without asking it.
+
+        Returns ``None`` when nothing useful can be asked (strict
+        closed-only policies with an empty candidate pool end the
+        session here). The proposal is stamped with the current
+        knowledge-base version so :meth:`ingest_answer` can detect
+        answers made stale while in flight.
+        """
         with self.obs.timer("miner.select"):
             closed_rule = self.config.strategy.select(self.state, member_id, self._rng)
         ask_open = self.config.open_policy.choose_open(
@@ -261,27 +307,127 @@ class CrowdMiner:
             has_closed_candidate=closed_rule is not None,
             open_supply_exhausted=self.open_supply_exhausted,
         )
-        if ask_open:
-            if not self.open_supply_exhausted:
-                return self._ask_open(member_id)
-            # Open impossible after all: fall back to closed if any.
-            if closed_rule is not None:
-                return self._ask_closed(member_id, closed_rule)
-            return None
+        if ask_open and not self.open_supply_exhausted:
+            return QuestionProposal(
+                member_id=member_id,
+                kind=QuestionKind.OPEN,
+                rule=None,
+                context=self._pick_context(),
+                kb_version=self.state.version,
+            )
+        # Either the policy chose closed, or it chose open but the
+        # crowd's open-answer supply ran dry: fall back to closed.
         if closed_rule is not None:
-            return self._ask_closed(member_id, closed_rule)
-        # The policy chose closed but nothing is askable (strict
-        # closed-only policies end the session here).
+            # Closed questions are only ever asked about rules the
+            # strategy read out of the state, so the rule's origin is
+            # already on record — recording under a fabricated origin
+            # would misreport how the rule was discovered.
+            assert (
+                closed_rule in self.state
+            ), "strategy selected a rule unknown to the state"
+            return QuestionProposal(
+                member_id=member_id,
+                kind=QuestionKind.CLOSED,
+                rule=closed_rule,
+                context=None,
+                kb_version=self.state.version,
+            )
         return None
 
-    def _ask_closed(self, member_id: str, rule: Rule) -> QuestionEvent:
-        # Closed questions are only ever asked about rules the strategy
-        # read out of the state, so the rule's origin is already on
-        # record — recording under a fabricated origin would misreport
-        # how the rule was discovered.
-        assert rule in self.state, "strategy selected a rule unknown to the state"
+    def pose(self, proposal: QuestionProposal) -> ClosedAnswer | OpenAnswer:
+        """Put the proposed question to the crowd and return the raw answer.
+
+        Raises :class:`~repro.errors.CrowdExhaustedError` when the
+        member turns out to have left between scheduling and asking.
+        Callers that cannot ingest immediately (the dispatcher) hold on
+        to the answer and deliver it to :meth:`ingest_answer` later.
+        """
+        if proposal.kind is QuestionKind.CLOSED:
+            assert proposal.rule is not None
+            return self.crowd.ask_closed(proposal.member_id, proposal.rule)
+        return self.crowd.ask_open(
+            proposal.member_id,
+            exclude=self.state.known_rule_set(),
+            context=proposal.context,
+        )
+
+    def pose_async(
+        self,
+        proposal: QuestionProposal,
+        *,
+        latency,
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ):
+        """Put the question to the crowd's asynchronous interface.
+
+        Returns the crowd's
+        :class:`~repro.crowd.questions.InFlightAnswer` — content
+        resolved now, visibility delayed by a ``latency`` draw on
+        ``rng``. The dispatcher owns the event clock and hands the
+        wrapped answer back to :meth:`ingest_answer` when it lands.
+        """
+        if proposal.kind is QuestionKind.CLOSED:
+            assert proposal.rule is not None
+            return self.crowd.ask_closed_async(
+                proposal.member_id, proposal.rule, latency=latency, rng=rng, now=now
+            )
+        return self.crowd.ask_open_async(
+            proposal.member_id,
+            latency=latency,
+            rng=rng,
+            now=now,
+            exclude=self.state.known_rule_set(),
+            context=proposal.context,
+        )
+
+    def proposal_is_stale(self, proposal: QuestionProposal) -> bool:
+        """True when the in-flight question is no longer worth an answer.
+
+        Only meaningful for closed questions (an open answer can always
+        seed candidates): the rule was resolved — directly or by
+        lattice propagation — while the question was in flight, or the
+        member's answer for it was already counted (a timed-out
+        question reassigned to someone who answered meanwhile).
+        The knowledge-base version stamp makes the common case free:
+        an unchanged version proves nothing relevant happened.
+        """
+        if proposal.kind is not QuestionKind.CLOSED:
+            return False
+        if proposal.kb_version == self.state.version:
+            return False
+        assert proposal.rule is not None
+        knowledge = self.state.knowledge(proposal.rule)
+        return knowledge.is_resolved or knowledge.samples.has_answer_from(
+            proposal.member_id
+        )
+
+    def ingest_answer(
+        self, proposal: QuestionProposal, answer: ClosedAnswer | OpenAnswer
+    ) -> QuestionEvent | None:
+        """Fold one answer into the knowledge base, in completion order.
+
+        Returns the recorded event, or ``None`` when the answer arrived
+        stale (see :meth:`proposal_is_stale`) and was discarded — stale
+        answers must never be double-counted as evidence.
+        """
+        if proposal.kind is QuestionKind.CLOSED:
+            assert isinstance(answer, ClosedAnswer)
+            return self._ingest_closed(proposal, answer)
+        assert isinstance(answer, OpenAnswer)
+        return self._ingest_open(proposal, answer)
+
+    def _ingest_closed(
+        self, proposal: QuestionProposal, answer: ClosedAnswer
+    ) -> QuestionEvent | None:
+        rule, member_id = proposal.rule, proposal.member_id
+        assert rule is not None and rule in self.state, (
+            "closed answer about a rule unknown to the state"
+        )
+        if self.proposal_is_stale(proposal):
+            self.obs.count("dispatch.stale")
+            return None
         origin = self.state.knowledge(rule).origin
-        answer = self.crowd.ask_closed(member_id, rule)
         if self.consistency is not None:
             self.consistency.record(member_id, rule, answer.stats)
         self.state.record_answer(rule, member_id, answer.stats, origin)
@@ -318,11 +464,10 @@ class CrowdMiner:
         rule = confirmed[int(self._rng.integers(len(confirmed)))]
         return rule.antecedent | rule.consequent
 
-    def _ask_open(self, member_id: str) -> QuestionEvent:
-        context = self._pick_context()
-        answer = self.crowd.ask_open(
-            member_id, exclude=self.state.known_rule_set(), context=context
-        )
+    def _ingest_open(
+        self, proposal: QuestionProposal, answer: OpenAnswer
+    ) -> QuestionEvent:
+        member_id, context = proposal.member_id, proposal.context
         self.obs.count("miner.open")
         if answer.is_empty:
             # Only *blind* open questions coming back empty signal that

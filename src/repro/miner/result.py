@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.measures import RuleStats
 from repro.core.order import maximal_rules
 from repro.core.rule import Rule
 from repro.obs import ObsSnapshot
+
+if TYPE_CHECKING:  # the dispatch package imports the miner, never the reverse
+    from repro.dispatch.dispatcher import DispatchStats
 
 
 class QuestionKind(enum.Enum):
@@ -65,6 +69,11 @@ class MiningResult:
     obs:
         Snapshot of the session's instrumentation (hot-path counters
         and timers), when the miner collected one.
+    dispatch:
+        Counters of the asynchronous dispatch engine (in-flight high
+        water, timeouts, retries, stale discards, makespan), attached
+        by :class:`~repro.dispatch.dispatcher.Dispatcher`; ``None``
+        for plain synchronous sessions.
     """
 
     significant: dict[Rule, RuleStats]
@@ -75,6 +84,7 @@ class MiningResult:
     inferred_classifications: int
     log: list[QuestionEvent] = field(default_factory=list)
     obs: ObsSnapshot | None = None
+    dispatch: "DispatchStats | None" = None
 
     @property
     def maximal_significant(self) -> dict[Rule, RuleStats]:
@@ -124,6 +134,10 @@ class MiningResult:
         for rule in sorted(self.maximal_significant, key=Rule.sort_key):
             stats = self.significant[rule]
             lines.append(f"  {rule}  {stats}")
+        if self.dispatch is not None:
+            lines.extend(self.dispatch.summary_lines())
+        else:
+            lines.append("dispatch: synchronous session (no dispatcher attached)")
         if self.obs is not None and (self.obs.counters or self.obs.timers):
             lines.append("session instrumentation:")
             lines.append(self.obs.format())

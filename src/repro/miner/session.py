@@ -22,16 +22,23 @@ Three pieces:
 
 from __future__ import annotations
 
+from collections.abc import Collection
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.itemset import Itemset
 from repro.core.measures import RuleStats
 from repro.core.rule import Rule
 from repro.crowd.crowd import SimulatedCrowd
-from repro.crowd.questions import ClosedAnswer, ClosedQuestion, OpenAnswer
+from repro.crowd.questions import ClosedAnswer, ClosedQuestion, InFlightAnswer, OpenAnswer
 from repro.estimation.aggregate import Aggregator
 from repro.estimation.significance import SignificanceTest, Thresholds
 from repro.miner.state import MiningState, RuleOrigin
+
+if TYPE_CHECKING:  # avoids a circular import: repro.dispatch builds on the miner
+    from repro.dispatch.latency import LatencyModel
 
 
 @dataclass(slots=True)
@@ -126,8 +133,8 @@ class CachingCrowd:
     def available_members(self) -> list[str]:
         return self.inner.available_members()
 
-    def next_member(self) -> str:
-        return self.inner.next_member()
+    def next_member(self, exclude: Collection[str] = ()) -> str | None:
+        return self.inner.next_member(exclude)
 
     # -- cached protocol -----------------------------------------------------------
 
@@ -156,6 +163,60 @@ class CachingCrowd:
             assert answer.rule is not None and answer.stats is not None
             self.cache.record_open(member_id, answer.rule, answer.stats)
         return answer
+
+    # -- cached asynchronous protocol ----------------------------------------------
+
+    def ask_closed_async(
+        self,
+        member_id: str,
+        rule: Rule,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ) -> InFlightAnswer:
+        """Async closed question; cache hits land instantly.
+
+        A hit costs the member nothing, so it also costs no simulated
+        time — and it consumes no latency randomness, keeping replays
+        against warmer caches deterministic per miss sequence.
+        """
+        cached = self.cache.lookup(member_id, rule)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            answer = ClosedAnswer(member_id, ClosedQuestion(rule), cached)
+            return InFlightAnswer(answer=answer, issued_at=now, arrives_at=now)
+        self.cache_stats.misses += 1
+        in_flight = self.inner.ask_closed_async(
+            member_id, rule, latency=latency, rng=rng, now=now
+        )
+        assert isinstance(in_flight.answer, ClosedAnswer)
+        self.cache.record_closed(member_id, rule, in_flight.answer.stats)
+        return in_flight
+
+    def ask_open_async(
+        self,
+        member_id: str,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+        exclude: set[Rule] | None = None,
+        context: Itemset | None = None,
+    ) -> InFlightAnswer:
+        """Async open question (never served from cache, see ``ask_open``)."""
+        combined = set(exclude or set())
+        combined |= self.cache.volunteered.get(member_id, set())
+        in_flight = self.inner.ask_open_async(
+            member_id, latency=latency, rng=rng, now=now,
+            exclude=combined, context=context,
+        )
+        answer = in_flight.answer
+        assert isinstance(answer, OpenAnswer)
+        if not answer.is_empty:
+            assert answer.rule is not None and answer.stats is not None
+            self.cache.record_open(member_id, answer.rule, answer.stats)
+        return in_flight
 
 
 def reevaluate(

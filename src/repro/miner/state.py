@@ -212,8 +212,24 @@ class MiningState:
         # lazily discarding stale/resolved entries on pop.
         self._priority_heap: list[tuple] = []
         self._heap_pushes = 0
+        self._version = 0
         #: Counters the evaluation harness reads.
         self.inferred_classifications = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter over the whole knowledge base.
+
+        Bumped by every observable mutation — a rule added, an answer
+        recorded, a decision or prior changed. The asynchronous
+        dispatcher stamps each question proposal with the version at
+        issue time: an unchanged version at ingest proves nothing can
+        have invalidated the question while it was in flight, and a
+        changed version triggers stale revalidation (the rule may have
+        been settled directly, or condemned by lattice propagation,
+        while the member was typing).
+        """
+        return self._version
 
     # -- rule bookkeeping -------------------------------------------------------
 
@@ -348,6 +364,7 @@ class MiningState:
         knowledge = self._rules[rule]
         if knowledge.prior_promise != prior_promise:
             knowledge.prior_promise = prior_promise
+            self._version += 1
             self._push_priority(knowledge)
 
     def add_rule(
@@ -366,6 +383,7 @@ class MiningState:
         if existing is not None:
             if prior_promise > existing.prior_promise:
                 existing.prior_promise = prior_promise
+                self._version += 1
                 self._push_priority(existing)
             return existing
         knowledge = RuleKnowledge(
@@ -375,6 +393,7 @@ class MiningState:
             prior_promise=prior_promise,
         )
         knowledge.seq = len(self._rules)
+        self._version += 1
         self._rules[rule] = knowledge
         self._known.add(rule)
         self._unresolved[rule] = knowledge
@@ -440,6 +459,7 @@ class MiningState:
         with self.obs.timer("kb.record"):
             knowledge = self.add_rule(rule, origin)
             knowledge.samples.add(member_id, stats)
+            self._version += 1
             self._reassess(knowledge)
             self._push_priority(knowledge)
         return knowledge
@@ -453,6 +473,7 @@ class MiningState:
         knowledge.inferred = inferred
         if decision is previous:
             return
+        self._version += 1
         if decision is not Decision.INSIGNIFICANT:
             knowledge.propagated = False
         if decision is Decision.SIGNIFICANT:

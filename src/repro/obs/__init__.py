@@ -1,12 +1,17 @@
-"""Session observability: counters, wall-clock timers, trace events.
+"""Session observability: counters, timers, gauges, histograms, traces.
 
 The miner's per-question hot paths are instrumented through this
 package so their cost is measurable in every run — benchmarks, the
 evaluation harness and the CLI all read the same counters (see
-:mod:`repro.obs.instrumentation` for the canonical names).
+:mod:`repro.obs.instrumentation` for the canonical names). The
+asynchronous dispatch engine additionally reports in-flight gauges and
+latency histograms here.
 """
 
 from repro.obs.instrumentation import (
+    DEFAULT_BUCKETS,
+    GaugeStats,
+    HistogramStats,
     Instrumentation,
     ObsSnapshot,
     RecordingSink,
@@ -16,6 +21,9 @@ from repro.obs.instrumentation import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "GaugeStats",
+    "HistogramStats",
     "Instrumentation",
     "ObsSnapshot",
     "RecordingSink",

@@ -1,11 +1,12 @@
-"""Counters, timers and trace events for the mining hot paths.
+"""Counters, timers, gauges, histograms and trace events for hot paths.
 
 The knowledge base and the main loop are the per-question inner loop of
 the whole system; regressions there are invisible in unit tests and
 only show up as benchmark drift months later. :class:`Instrumentation`
 makes them measurable *in production*: named monotonic counters, named
-accumulating wall-clock timers, and (optionally) a per-event trace fed
-to a pluggable sink.
+accumulating wall-clock timers, named gauges (a level plus its
+high-water mark), named histograms (bucketed value distributions), and
+(optionally) a per-event trace fed to a pluggable sink.
 
 The overhead budget is a dict update per counted event and two
 ``perf_counter`` calls per timed block, so the layer can stay on
@@ -19,13 +20,20 @@ Canonical names used by the miner (see ``docs/design_notes.md``):
   ``kb.inferred``, ``kb.summary_hits``, ``kb.summary_misses``;
 - timers ``miner.step``, ``miner.select``, ``kb.record``,
   ``kb.propagate``.
+
+The asynchronous dispatch engine (``repro.dispatch``, see
+``docs/dispatch.md``) adds counters ``dispatch.issued``,
+``dispatch.timeouts``, ``dispatch.retries``, ``dispatch.stale``,
+``dispatch.late``, ``dispatch.dropped``, the gauge
+``dispatch.in_flight`` and the histogram ``dispatch.latency``
+(simulated seconds from issue to answer arrival).
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,17 +64,60 @@ class TimerStats:
 
 
 @dataclass(frozen=True, slots=True)
+class GaugeStats:
+    """A gauge's current level and the highest level it ever reached."""
+
+    value: float
+    high_water: float
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramStats:
+    """A bucketed distribution of observed values.
+
+    ``buckets`` pairs each upper bucket edge with the number of
+    observations at or below it (non-cumulative; the final
+    ``float('inf')`` bucket catches the overflow).
+    """
+
+    count: int
+    total: float
+    max_value: float
+    buckets: tuple[tuple[float, int], ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when nothing was observed)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+@dataclass(frozen=True, slots=True)
 class ObsSnapshot:
-    """An immutable copy of all counters and timers at one instant."""
+    """An immutable copy of every instrument's state at one instant."""
 
     counters: dict[str, int]
     timers: dict[str, TimerStats]
+    gauges: dict[str, GaugeStats] = field(default_factory=dict)
+    histograms: dict[str, HistogramStats] = field(default_factory=dict)
 
     def format(self) -> str:
         """A compact human-readable rendering (one line per entry)."""
         lines = []
         for name in sorted(self.counters):
             lines.append(f"  {name:<24} {self.counters[name]}")
+        for name in sorted(self.gauges):
+            stats = self.gauges[name]
+            lines.append(
+                f"  {name:<24} {stats.value:g} (high water {stats.high_water:g})"
+            )
+        for name in sorted(self.histograms):
+            stats = self.histograms[name]
+            lines.append(
+                f"  {name:<24} {stats.count} obs, "
+                f"mean {stats.mean:.3f}, max {stats.max_value:.3f}"
+            )
         for name in sorted(self.timers):
             stats = self.timers[name]
             lines.append(
@@ -99,6 +150,68 @@ class _Timer:
         self.calls += 1
 
 
+#: Default histogram bucket edges, tuned for simulated crowd latencies
+#: (seconds): sub-second UI-speed answers through multi-hour stragglers.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.05,
+    0.25,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+    600.0,
+    3600.0,
+)
+
+
+class _Gauge:
+    """A settable level that remembers its high-water mark."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class _Histogram:
+    """Fixed-bucket accumulator for one named value distribution."""
+
+    __slots__ = ("edges", "bucket_counts", "count", "total", "max_value")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        for idx, edge in enumerate(self.edges):
+            if value <= edge:
+                self.bucket_counts[idx] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def stats(self) -> HistogramStats:
+        upper = tuple(self.edges) + (float("inf"),)
+        return HistogramStats(
+            count=self.count,
+            total=self.total,
+            max_value=self.max_value,
+            buckets=tuple(zip(upper, self.bucket_counts)),
+        )
+
+
 class Instrumentation:
     """One session's observability state.
 
@@ -113,6 +226,8 @@ class Instrumentation:
     def __init__(self, sink: TraceSink | None = None) -> None:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, _Timer] = {}
+        self._gauges: dict[str, _Gauge] = {}
+        self._histograms: dict[str, _Histogram] = {}
         self._sink = sink
 
     # -- counters ------------------------------------------------------------
@@ -124,6 +239,40 @@ class Instrumentation:
     def counter(self, name: str) -> int:
         """Current value of the named counter (0 when never counted)."""
         return self._counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge's level (high-water mark kept)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = _Gauge()
+        gauge.set(value)
+
+    def gauge_value(self, name: str) -> float:
+        """Current level of the named gauge (0 when never set)."""
+        gauge = self._gauges.get(name)
+        return 0.0 if gauge is None else gauge.value
+
+    def gauge_high_water(self, name: str) -> float:
+        """High-water mark of the named gauge (0 when never set)."""
+        gauge = self._gauges.get(name)
+        return 0.0 if gauge is None else gauge.high_water
+
+    # -- histograms ----------------------------------------------------------
+
+    def observe(
+        self, name: str, value: float, edges: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        """Record one observation into the named histogram.
+
+        ``edges`` configures the bucket boundaries on the histogram's
+        *first* observation; later calls reuse the existing buckets.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = _Histogram(tuple(edges))
+        histogram.observe(value)
 
     # -- timers --------------------------------------------------------------
 
@@ -150,12 +299,20 @@ class Instrumentation:
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> ObsSnapshot:
-        """An immutable copy of every counter and timer right now."""
+        """An immutable copy of every instrument right now."""
         return ObsSnapshot(
             counters=dict(self._counters),
             timers={
                 name: TimerStats(timer.calls, timer.total_seconds)
                 for name, timer in self._timers.items()
+            },
+            gauges={
+                name: GaugeStats(gauge.value, gauge.high_water)
+                for name, gauge in self._gauges.items()
+            },
+            histograms={
+                name: histogram.stats()
+                for name, histogram in self._histograms.items()
             },
         )
 

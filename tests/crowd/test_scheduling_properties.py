@@ -1,0 +1,107 @@
+"""Property tests for crowd scheduling under departures and exclusion.
+
+The dispatcher leans on two round-robin guarantees that must hold for
+*any* pattern of member departures and busy-exclusion:
+
+- :meth:`SimulatedCrowd.next_member` never returns a departed member,
+  and never one the caller excluded;
+- no available member is starved: while the available set is stable,
+  a full round of calls reaches every available member at least once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transactions import TransactionDB
+from repro.crowd import SimulatedCrowd, SimulatedMember
+from repro.errors import CrowdExhaustedError
+
+
+def make_crowd(patiences):
+    members = [
+        SimulatedMember(
+            member_id=f"u{index}",
+            db=TransactionDB([["tea", "honey"]]),
+            patience=patience,
+            seed=index,
+        )
+        for index, patience in enumerate(patiences)
+    ]
+    return SimulatedCrowd(members, seed=0)
+
+
+# Each element drives one scheduling round: whether to actually ask the
+# scheduled member (consuming patience, eventually forcing departures)
+# and which member indices to mark busy for that call.
+rounds = st.lists(
+    st.tuples(st.booleans(), st.sets(st.integers(min_value=0, max_value=7))),
+    min_size=1,
+    max_size=60,
+)
+patiences = st.lists(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestNextMemberProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(patiences=patiences, rounds=rounds)
+    def test_never_departed_never_excluded(self, patiences, rounds):
+        from repro.core.rule import Rule
+
+        crowd = make_crowd(patiences)
+        rule = Rule(["tea"], ["honey"])  # content is irrelevant here
+        for ask, busy_indices in rounds:
+            busy = {f"u{i}" for i in busy_indices}
+            available = set(crowd.available_members())
+            if not available:
+                break
+            member_id = crowd.next_member(exclude=busy)
+            if available <= busy:
+                assert member_id is None
+                continue
+            assert member_id is not None
+            assert member_id in available, "returned a departed member"
+            assert member_id not in busy, "returned an excluded member"
+            if ask:
+                crowd.ask_closed(member_id, rule)
+
+    @settings(max_examples=60, deadline=None)
+    @given(patiences=patiences)
+    def test_full_round_reaches_every_available_member(self, patiences):
+        crowd = make_crowd(patiences)
+        available = crowd.available_members()
+        # No departures happen between calls (we never ask), so one
+        # full round must name every available member: nobody starves.
+        seen = {crowd.next_member() for _ in range(len(available))}
+        assert seen == set(available)
+
+    @settings(max_examples=30, deadline=None)
+    @given(patiences=patiences, busy_index=st.integers(min_value=0, max_value=7))
+    def test_exclusion_does_not_starve_the_others(self, patiences, busy_index):
+        crowd = make_crowd(patiences)
+        busy = {f"u{busy_index}"}
+        expected = set(crowd.available_members()) - busy
+        seen = set()
+        # Two full rounds are enough for every non-busy member to come
+        # up even though the shared cursor also advances past the busy
+        # one.
+        for _ in range(2 * max(1, len(expected))):
+            member_id = crowd.next_member(exclude=busy)
+            if member_id is not None:
+                seen.add(member_id)
+        assert seen == expected
+
+    def test_everyone_left_still_raises(self):
+        crowd = make_crowd([1])
+        from repro.core.rule import Rule
+
+        crowd.ask_closed("u0", Rule(["tea"], ["honey"]))
+        try:
+            crowd.next_member()
+        except CrowdExhaustedError:
+            pass
+        else:  # pragma: no cover - the assertion documents the contract
+            raise AssertionError("expected CrowdExhaustedError")

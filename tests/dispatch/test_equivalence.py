@@ -1,0 +1,164 @@
+"""Replay equivalence: the dispatcher degenerates to the sync loop.
+
+The acceptance bar for the dispatch engine, in the style of
+``tests/miner/test_kb_equivalence.py``:
+
+- window 1 + zero latency + the same seeds must reproduce the
+  synchronous session **byte for byte** — same question sequence, same
+  answers, same knowledge base, same reported rules;
+- window 1 with *any* latency still asks the same questions in the
+  same order (one question in flight is FIFO regardless of how long
+  each answer takes);
+- a window of 8 under lognormal latency must reach the synchronous
+  session's final F1 at least 4x faster (simulated makespan) than
+  window 1.
+"""
+
+import math
+
+import pytest
+
+from repro.crowd import ExactAnswerModel, SimulatedCrowd
+from repro.dispatch import (
+    ConstantLatency,
+    DispatchConfig,
+    Dispatcher,
+    LognormalLatency,
+)
+from repro.estimation import Thresholds
+from repro.eval import precision_recall
+from repro.miner import CrowdMiner, CrowdMinerConfig
+
+THRESHOLDS = Thresholds(0.10, 0.5)
+BUDGET = 250
+
+
+def make_miner(population):
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=ExactAnswerModel(), seed=5
+    )
+    config = CrowdMinerConfig(thresholds=THRESHOLDS, seed=6, budget=BUDGET)
+    return CrowdMiner(crowd, config)
+
+
+def log_fingerprint(miner):
+    return [
+        (
+            event.index,
+            event.kind,
+            event.member_id,
+            None if event.rule is None else str(event.rule),
+            None if event.stats is None else event.stats.as_tuple(),
+        )
+        for event in miner.log
+    ]
+
+
+def kb_fingerprint(miner):
+    return {
+        str(knowledge.rule): (
+            knowledge.decision,
+            knowledge.samples.n,
+            tuple(sorted(knowledge.samples.member_ids)),
+        )
+        for knowledge in miner.state.rules()
+    }
+
+
+class TestWindowOneEquivalence:
+    def test_zero_latency_matches_sync_byte_for_byte(self, folk_population):
+        sync = make_miner(folk_population)
+        sync_result = sync.run()
+
+        mined = make_miner(folk_population)
+        dispatcher = Dispatcher(
+            mined,
+            DispatchConfig(window=1, latency=ConstantLatency(0.0), seed=99),
+        )
+        dispatch_result = dispatcher.run()
+
+        assert log_fingerprint(mined) == log_fingerprint(sync)
+        assert kb_fingerprint(mined) == kb_fingerprint(sync)
+        assert dispatch_result.significant == sync_result.significant
+        assert dispatch_result.questions_asked == sync_result.questions_asked
+        stats = dispatch_result.dispatch
+        assert stats.makespan == 0.0
+        assert stats.timeouts == stats.retries == stats.stale_discarded == 0
+
+    def test_any_latency_still_asks_the_same_questions(self, folk_population):
+        # One question in flight is FIFO: however long each answer
+        # takes, the next question is chosen only after it lands, so
+        # the session transcript cannot depend on the latency values.
+        sync = make_miner(folk_population)
+        sync.run()
+
+        mined = make_miner(folk_population)
+        Dispatcher(
+            mined,
+            DispatchConfig(
+                window=1, latency=LognormalLatency(median=60.0, sigma=1.0), seed=99
+            ),
+        ).run()
+
+        assert log_fingerprint(mined) == log_fingerprint(sync)
+        assert kb_fingerprint(mined) == kb_fingerprint(sync)
+
+
+def time_to_reach_f1(dispatcher, miner, truth, target, step=120.0):
+    """First grid time at which the session's report reaches ``target`` F1."""
+    now = 0.0
+    while True:
+        now += step
+        dispatcher.advance_to(now)
+        precision, recall = precision_recall(
+            miner.state.significant_rules(mode="point"), truth
+        )
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        if f1 >= target:
+            return now
+        if dispatcher.is_idle():
+            return math.inf
+
+
+class TestMakespanSpeedup:
+    def test_window_eight_reaches_sync_quality_4x_faster(
+        self, folk_population, folk_truth
+    ):
+        sync = make_miner(folk_population)
+        sync_result = sync.run()
+        precision, recall = precision_recall(
+            set(sync_result.significant), folk_truth
+        )
+        target = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        assert target > 0.0, "sync session found nothing; world too hard"
+
+        latency = LognormalLatency(median=60.0, sigma=1.0)
+
+        slow_miner = make_miner(folk_population)
+        slow = Dispatcher(
+            slow_miner, DispatchConfig(window=1, latency=latency, seed=99)
+        )
+        # Window 1 replays the sync transcript (FIFO), so the target is
+        # reached exactly, no later than the last answer.
+        slow_time = time_to_reach_f1(slow, slow_miner, folk_truth, target)
+        assert math.isfinite(slow_time)
+
+        fast_miner = make_miner(folk_population)
+        fast = Dispatcher(
+            fast_miner, DispatchConfig(window=8, latency=latency, seed=99)
+        )
+        fast_time = time_to_reach_f1(fast, fast_miner, folk_truth, target)
+        assert math.isfinite(fast_time)
+
+        assert fast_time * 4.0 <= slow_time, (
+            f"window=8 reached F1 {target:.3f} at {fast_time:.0f}s, "
+            f"window=1 at {slow_time:.0f}s - less than the required 4x"
+        )

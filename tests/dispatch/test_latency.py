@@ -1,0 +1,133 @@
+"""Tests for the latency model catalogue."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dispatch import (
+    ConstantLatency,
+    DroppingLatency,
+    LatencyProfile,
+    LognormalLatency,
+    MixtureLatency,
+    ParetoLatency,
+    heavy_tail_latency,
+    parse_latency,
+)
+from repro.errors import ConfigurationError
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstant:
+    def test_returns_the_delay(self):
+        assert ConstantLatency(12.5).sample(rng()) == 12.5
+
+    def test_consumes_no_randomness(self):
+        # Part of the window-1 equivalence guarantee: a zero-latency
+        # dispatcher run leaves the latency stream untouched.
+        generator = rng(3)
+        before = generator.bit_generator.state
+        ConstantLatency(0.0).sample(generator)
+        assert generator.bit_generator.state == before
+
+    def test_rejects_negative(self):
+        with pytest.raises(Exception):
+            ConstantLatency(-1.0)
+
+
+class TestDistributions:
+    def test_lognormal_positive_and_roughly_median(self):
+        model = LognormalLatency(median=60.0, sigma=1.0)
+        generator = rng(7)
+        draws = [model.sample(generator) for _ in range(2000)]
+        assert all(d > 0 for d in draws)
+        assert 40.0 < float(np.median(draws)) < 90.0
+
+    def test_pareto_never_below_scale(self):
+        model = ParetoLatency(scale=30.0, alpha=1.5)
+        generator = rng(8)
+        assert all(model.sample(generator) >= 30.0 for _ in range(500))
+
+    def test_mixture_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixtureLatency([], [])
+        with pytest.raises(ConfigurationError):
+            MixtureLatency([ConstantLatency(1.0)], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            MixtureLatency([ConstantLatency(1.0)], [-1.0])
+
+    def test_mixture_draws_from_components(self):
+        model = MixtureLatency(
+            [ConstantLatency(1.0), ConstantLatency(100.0)], [0.5, 0.5]
+        )
+        generator = rng(9)
+        draws = {model.sample(generator) for _ in range(200)}
+        assert draws == {1.0, 100.0}
+
+    def test_dropping_extremes(self):
+        base = ConstantLatency(5.0)
+        assert DroppingLatency(base, 1.0).sample(rng()) == math.inf
+        assert DroppingLatency(base, 0.0).sample(rng()) == 5.0
+
+    def test_heavy_tail_is_a_mixture(self):
+        model = heavy_tail_latency(median=60.0)
+        assert isinstance(model, MixtureLatency)
+        generator = rng(10)
+        assert all(model.sample(generator) > 0 for _ in range(200))
+
+    def test_determinism_per_seed(self):
+        model = heavy_tail_latency(median=60.0)
+        g1, g2 = rng(4), rng(4)
+        assert [model.sample(g1) for _ in range(50)] == [
+            model.sample(g2) for _ in range(50)
+        ]
+
+
+class TestProfile:
+    def test_default_and_overrides(self):
+        slow = ConstantLatency(100.0)
+        fast = ConstantLatency(1.0)
+        profile = LatencyProfile(default=fast, per_member={"u1": slow})
+        assert profile.model_for("u0") is fast
+        assert profile.model_for("u1") is slow
+
+    def test_from_factory(self):
+        profile = LatencyProfile.from_factory(
+            ["a", "b", "c"],
+            lambda index, member_id: ConstantLatency(float(index)),
+        )
+        assert profile.model_for("c").delay == 2.0
+        assert profile.model_for("unknown").delay == 0.0
+
+
+class TestParse:
+    def test_constant_specs(self):
+        assert parse_latency("0").delay == 0.0
+        assert parse_latency("45").delay == 45.0
+        assert parse_latency("const:30").delay == 30.0
+
+    def test_distribution_specs(self):
+        model = parse_latency("lognormal:60:1.0")
+        assert isinstance(model, LognormalLatency)
+        assert model.median == 60.0
+        model = parse_latency("pareto:30:1.5")
+        assert isinstance(model, ParetoLatency)
+        assert model.alpha == 1.5
+        assert isinstance(parse_latency("heavytail:60:0.8:1.3"), MixtureLatency)
+
+    def test_drop_suffix_wraps(self):
+        model = parse_latency("lognormal:30:0.8:drop=0.05")
+        assert isinstance(model, DroppingLatency)
+        assert model.p_drop == 0.05
+        assert isinstance(model.base, LognormalLatency)
+
+    @pytest.mark.parametrize(
+        "spec", ["", "wibble:1", "lognormal:60", "pareto", "drop=0.5", "const:x"]
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_latency(spec)

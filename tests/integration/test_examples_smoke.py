@@ -1,0 +1,46 @@
+"""Smoke test: every example script must run to completion.
+
+Each script under ``examples/`` is executed in a subprocess the way a
+reader would run it (``PYTHONPATH=src python examples/<name>.py``).
+The scripts are deterministic and self-contained — none read stdin or
+take arguments — so a zero exit status is the whole contract.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_cleanly(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_every_example_is_covered():
+    # Guard against the directory going empty (e.g. a rename) while the
+    # parametrize list silently collects zero tests.
+    assert len(EXAMPLES) >= 7

@@ -248,11 +248,28 @@ class TestClosedQuestionRecording:
         origins = {miner.state.knowledge(r).origin for r in closed_rules}
         assert RuleOrigin.SEED not in origins
 
-    def test_closed_question_requires_known_rule(self, folk_population, thresholds):
+    def test_closed_answer_requires_known_rule(self, folk_population, thresholds):
+        from repro.core.measures import RuleStats
+        from repro.crowd.questions import ClosedAnswer, ClosedQuestion
+        from repro.miner import QuestionProposal
+
         miner = make_miner(folk_population, thresholds, budget=10)
         member_id = miner.crowd.available_members()[0]
+        rule = Rule(["never"], ["registered"])
+        proposal = QuestionProposal(
+            member_id=member_id,
+            kind=QuestionKind.CLOSED,
+            rule=rule,
+            context=None,
+            kb_version=miner.state.version,
+        )
+        answer = ClosedAnswer(
+            member_id=member_id,
+            question=ClosedQuestion(rule),
+            stats=RuleStats(0.2, 0.6),
+        )
         with pytest.raises(AssertionError, match="unknown to the state"):
-            miner._ask_closed(member_id, Rule(["never"], ["registered"]))
+            miner.ingest_answer(proposal, answer)
 
 
 class TestInstrumentation:
