@@ -5,11 +5,14 @@ Three commands covering the library's three hats:
 - ``mine`` — run a crowd-mining session on one of the named example
   domains (folk_remedies / travel / culinary) against a simulated
   crowd, printing the mined rules and ground-truth score; with
-  ``--save-cache`` the collected answers persist to JSON;
+  ``--save-cache`` the collected answers persist to JSON, and
+  ``--adversary-mix`` / ``--quarantine`` / ``--gold-rate`` plant
+  adversaries and enable the quality-control loop
+  (``docs/robustness.md``);
 - ``replay`` — re-evaluate a saved answer cache at new thresholds
   without asking a single question;
 - ``experiment`` — run one of the canonical experiments (e1, e2, e3,
-  e4, e5, e8, e9) at smoke or full scale and print its figure;
+  e4, e5, e8, e8r, e9) at smoke or full scale and print its figure;
 - ``classic`` — classic association-rule mining over a Quest-generated
   database (the library as a plain itemset miner).
 """
@@ -19,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.crowd import standard_answer_model
 from repro.estimation import Thresholds
 from repro.eval import EXPERIMENTS, ascii_chart, format_experiment, run_variants
 from repro.miner import compute_ground_truth, mine_crowd
@@ -31,9 +34,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     population = build_population(
         model, n_members=args.members, transactions_per_member=200, seed=args.seed + 1
     )
-    crowd = SimulatedCrowd.from_population(
-        population, answer_model=standard_answer_model(), seed=args.seed + 2
+    from repro.faults import build_adversarial_crowd, parse_adversary_mix
+
+    mix = parse_adversary_mix(args.adversary_mix)
+    crowd, roles = build_adversarial_crowd(
+        population, mix, answer_model=standard_answer_model(), seed=args.seed + 2
     )
+    adversaries = {mid for mid, role in roles.items() if role != "honest"}
+    if adversaries:
+        print(f"adversary mix: {args.adversary_mix} ({len(adversaries)} members)")
     cache = None
     if args.save_cache:
         from repro.miner import AnswerCache, CachingCrowd
@@ -53,7 +62,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         miner = CrowdMiner(
             crowd,
             CrowdMinerConfig(
-                thresholds=thresholds, budget=args.budget, seed=args.seed + 3
+                thresholds=thresholds,
+                budget=args.budget,
+                quarantine=args.quarantine,
+                gold_rate=args.gold_rate,
+                seed=args.seed + 3,
             ),
         )
         dispatcher = Dispatcher(
@@ -69,7 +82,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         result = dispatcher.run()
     else:
         result = mine_crowd(
-            crowd, thresholds, budget=args.budget, seed=args.seed + 3
+            crowd,
+            thresholds,
+            budget=args.budget,
+            quarantine=args.quarantine,
+            gold_rate=args.gold_rate,
+            seed=args.seed + 3,
         )
     print(result.summary())
     if cache is not None:
@@ -194,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--retries", type=int, default=2, metavar="N",
         help="reissues of a timed-out question before dropping it",
+    )
+    mine.add_argument(
+        "--adversary-mix", default="", metavar="SPEC",
+        help="plant adversaries in the crowd as name:fraction pairs, "
+        "e.g. spammer:0.2,garbled:0.1 (roles: spammer, colluder, "
+        "drifter, lazy, garbled)",
+    )
+    mine.add_argument(
+        "--quarantine", action="store_true",
+        help="enable the quality-control loop: score members against "
+        "gold probes and outlier checks, quarantine low-trust members "
+        "and purge their evidence",
+    )
+    mine.add_argument(
+        "--gold-rate", type=float, default=0.0, metavar="P",
+        help="fraction of questions spent on gold probes (re-asking "
+        "already-settled rules to score answer quality); requires "
+        "--quarantine",
     )
     mine.set_defaults(func=_cmd_mine)
 

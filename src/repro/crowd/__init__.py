@@ -15,6 +15,7 @@ from repro.crowd.answer_models import (
     LikertAnswerModel,
     NoisyAnswerModel,
     SpammerAnswerModel,
+    coherent_stats,
     standard_answer_model,
 )
 from repro.crowd.crowd import CrowdStats, SimulatedCrowd
@@ -35,8 +36,11 @@ from repro.crowd.stream import (
 )
 from repro.crowd.questions import (
     Answer,
+    AnyAnswer,
     ClosedAnswer,
     ClosedQuestion,
+    InFlightAnswer,
+    MalformedAnswer,
     OpenAnswer,
     OpenQuestion,
 )
@@ -44,15 +48,18 @@ from repro.crowd.questions import (
 __all__ = [
     "Answer",
     "AnswerModel",
+    "AnyAnswer",
     "ClosedAnswer",
     "ClosedQuestion",
     "ComposedAnswerModel",
     "CrowdStats",
     "ExactAnswerModel",
     "ForgetfulAnswerModel",
+    "InFlightAnswer",
     "LIKERT5",
     "LIKERT_LABELS",
     "LikertAnswerModel",
+    "MalformedAnswer",
     "NoisyAnswerModel",
     "OpenAnswer",
     "OpenAnswerPolicy",
@@ -66,6 +73,7 @@ __all__ = [
     "parse_open_answer",
     "parse_stats",
     "SpammerAnswerModel",
+    "coherent_stats",
     "culinary_renderer",
     "folk_remedies_renderer",
     "standard_answer_model",

@@ -30,13 +30,26 @@ from repro.core.measures import RuleStats
 LIKERT5 = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
-def _coherent(support: float, confidence: float) -> RuleStats:
-    """Clamp to [0,1] and restore ``support ≤ confidence``."""
+def coherent_stats(support: float, confidence: float) -> RuleStats:
+    """Clamp to [0,1] and restore ``support ≤ confidence``.
+
+    The repair every answer model applies before reporting: whatever
+    distortion happened, the reported pair must still be one some
+    personal database could produce. Exposed publicly so adversarial
+    models (:mod:`repro.faults.adversaries`) fabricate *representable*
+    lies — the interesting attacks are the ones the type system cannot
+    reject.
+    """
     support = clamp01(support)
     confidence = clamp01(confidence)
     if support > confidence:
         confidence = support
     return RuleStats(support, confidence)
+
+
+#: Backwards-compatible private alias (the models below predate the
+#: public name).
+_coherent = coherent_stats
 
 
 class AnswerModel:
@@ -45,6 +58,19 @@ class AnswerModel:
     def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
         """Turn true ``stats`` into reported stats. Base class: identity."""
         return stats
+
+    def report_rule(
+        self, rule, stats: RuleStats, rng: np.random.Generator
+    ) -> RuleStats:
+        """Like :meth:`report`, but told *which* rule is being asked about.
+
+        Honest models do not care what the rule is — only its true
+        stats matter — so the default delegates to :meth:`report`.
+        Rule-aware models (colluding spammers fabricating a shared
+        per-rule profile) override this; the member layer always calls
+        through here.
+        """
+        return self.report(stats, rng)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -150,6 +176,13 @@ class ComposedAnswerModel(AnswerModel):
     def report(self, stats: RuleStats, rng: np.random.Generator) -> RuleStats:
         for stage in self.stages:
             stats = stage.report(stats, rng)
+        return stats
+
+    def report_rule(
+        self, rule, stats: RuleStats, rng: np.random.Generator
+    ) -> RuleStats:
+        for stage in self.stages:
+            stats = stage.report_rule(rule, stats, rng)
         return stats
 
     def __repr__(self) -> str:

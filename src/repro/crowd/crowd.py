@@ -89,6 +89,10 @@ class SimulatedCrowd:
         self._rr_cursor = 0
         self._rng = as_rng(seed)
         self.stats = CrowdStats()
+        #: Members the quality-control layer has barred from routing.
+        self._quarantined: set[str] = set()
+        #: Monotonic delivery-token counter for in-flight answers.
+        self._tokens = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -141,8 +145,49 @@ class SimulatedCrowd:
         return list(self._order)
 
     def available_members(self) -> list[str]:
-        """Ids of members still willing to answer."""
-        return [mid for mid in self._order if self._members[mid].is_available]
+        """Ids of members still willing to answer (and not quarantined)."""
+        return [
+            mid
+            for mid in self._order
+            if mid not in self._quarantined and self._members[mid].is_available
+        ]
+
+    # -- quality control and faults -------------------------------------------
+
+    def quarantine(self, member_id: str) -> None:
+        """Stop routing questions to ``member_id``.
+
+        The member is still *in* the crowd (their id resolves, pending
+        in-flight answers can still land and be rejected upstream) but
+        the scheduler will never pick them again. Idempotent.
+        """
+        if member_id not in self._members:
+            raise KeyError(f"unknown member {member_id!r}")
+        self._quarantined.add(member_id)
+
+    def is_quarantined(self, member_id: str) -> bool:
+        """True when the member is barred from routing."""
+        return member_id in self._quarantined
+
+    @property
+    def quarantined_members(self) -> set[str]:
+        """Ids currently under quarantine (a copy)."""
+        return set(self._quarantined)
+
+    def crash(self, member_id: str) -> None:
+        """The member abruptly leaves the session for good.
+
+        Used by the fault injector for mid-flight crashes and churn
+        waves; the member's pending answer (if any) is the dispatcher's
+        problem, this only removes them from future scheduling.
+        """
+        member = self._members[member_id]
+        leave = getattr(member, "leave", None)
+        if leave is None:
+            raise TypeError(
+                f"member {member_id!r} ({type(member).__name__}) cannot leave"
+            )
+        leave()
 
     def next_member(self, exclude: Collection[str] = ()) -> str | None:
         """Round-robin scheduling over available members.
@@ -200,7 +245,7 @@ class SimulatedCrowd:
         answer = member.answer_open(question, exclude=exclude)
         self.stats.open_questions += 1
         self.stats.per_member[member_id] += 1
-        if answer.is_empty:
+        if isinstance(answer, OpenAnswer) and answer.is_empty:
             self.stats.empty_open_answers += 1
         return answer
 
@@ -224,8 +269,12 @@ class SimulatedCrowd:
         time. An infinite draw means the answer is lost in flight.
         """
         answer = self.ask_closed(member_id, rule)
+        self._tokens += 1
         return InFlightAnswer(
-            answer=answer, issued_at=now, arrives_at=now + latency.sample(rng)
+            answer=answer,
+            issued_at=now,
+            arrives_at=now + latency.sample(rng),
+            token=self._tokens,
         )
 
     def ask_open_async(
@@ -245,6 +294,10 @@ class SimulatedCrowd:
         question form would be rendered once and sent.
         """
         answer = self.ask_open(member_id, exclude=exclude, context=context)
+        self._tokens += 1
         return InFlightAnswer(
-            answer=answer, issued_at=now, arrives_at=now + latency.sample(rng)
+            answer=answer,
+            issued_at=now,
+            arrives_at=now + latency.sample(rng),
+            token=self._tokens,
         )

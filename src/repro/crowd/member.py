@@ -61,6 +61,7 @@ class SimulatedMember:
     _cache: PersonalRuleCache = field(init=False, repr=False)
     _questions_answered: int = field(init=False, default=0)
     _volunteered: set[Rule] = field(init=False, default_factory=set)
+    _departed: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         self._rng = as_rng(self.seed)
@@ -75,8 +76,19 @@ class SimulatedMember:
 
     @property
     def is_available(self) -> bool:
-        """False once the member's patience is spent."""
+        """False once the member's patience is spent or they departed."""
+        if self._departed:
+            return False
         return self.patience is None or self._questions_answered < self.patience
+
+    def leave(self) -> None:
+        """The member walks away for good (crash, churn wave).
+
+        Unlike patience exhaustion this is externally driven — the
+        fault injector uses it to simulate mid-session departures. A
+        departed member never answers again.
+        """
+        self._departed = True
 
     def _consume_patience(self) -> None:
         if not self.is_available:
@@ -92,7 +104,7 @@ class SimulatedMember:
         """Answer "how often do you ...?" about one rule."""
         self._consume_patience()
         true_stats = self.db.rule_stats(question.rule)
-        reported = self.answer_model.report(true_stats, self._rng)
+        reported = self.answer_model.report_rule(question.rule, true_stats, self._rng)
         return ClosedAnswer(self.member_id, question, reported)
 
     def answer_open(
@@ -115,5 +127,5 @@ class SimulatedMember:
             return OpenAnswer(self.member_id, question, None, None)
         rule, true_stats = choice
         self._volunteered.add(rule)
-        reported = self.answer_model.report(true_stats, self._rng)
+        reported = self.answer_model.report_rule(rule, true_stats, self._rng)
         return OpenAnswer(self.member_id, question, rule, reported)

@@ -101,6 +101,32 @@ Answer = ClosedAnswer | OpenAnswer
 
 
 @dataclass(frozen=True, slots=True)
+class MalformedAnswer:
+    """A reply that could not be parsed into an answer.
+
+    Real front-ends receive free text, and free text is sometimes
+    garbage — a typo'd number pair, an incoherent support/confidence
+    order, a rule that does not parse. Rather than raising mid-session
+    (which would kill the whole mining run over one bad line), the
+    member layer wraps the unusable reply in this value object; the
+    miner's validation gate counts and drops it.
+
+    ``raw_text`` is the offending input (when available) and ``error``
+    the parse failure's message, so sessions can audit what the crowd
+    actually sent.
+    """
+
+    member_id: str
+    question: ClosedQuestion | OpenQuestion
+    raw_text: str
+    error: str
+
+
+#: Everything the crowd can deliver, parseable or not.
+AnyAnswer = Answer | MalformedAnswer
+
+
+@dataclass(frozen=True, slots=True)
 class InFlightAnswer:
     """An answer travelling through simulated time.
 
@@ -109,11 +135,18 @@ class InFlightAnswer:
     read) but stamps it with the simulated instant it becomes visible
     to the miner. ``arrives_at`` of ``inf`` models mid-flight loss —
     the member closed the tab and the answer never lands.
+
+    ``token`` is a crowd-assigned delivery token, unique per issued
+    question, so receivers can recognise duplicate deliveries of the
+    same answer (at-least-once transports redeliver). ``None`` means
+    the producer does not participate in deduplication (e.g. cache
+    replay, where each answer is constructed exactly once).
     """
 
-    answer: Answer
+    answer: AnyAnswer
     issued_at: float
     arrives_at: float
+    token: int | None = None
 
     @property
     def delay(self) -> float:

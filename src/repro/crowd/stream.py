@@ -34,7 +34,13 @@ from collections.abc import Iterator
 from repro.core.measures import RuleStats
 from repro.core.rule import Rule
 from repro.crowd.nl import LIKERT_LABELS, QuestionRenderer
-from repro.crowd.questions import ClosedAnswer, ClosedQuestion, OpenAnswer, OpenQuestion
+from repro.crowd.questions import (
+    ClosedAnswer,
+    ClosedQuestion,
+    MalformedAnswer,
+    OpenAnswer,
+    OpenQuestion,
+)
 from repro.errors import CrowdExhaustedError, InvalidRuleError
 
 #: Reverse mapping: frequency word → support value.
@@ -59,6 +65,14 @@ def parse_stats(text: str) -> RuleStats:
             support, confidence = float(parts[0]), float(parts[1])
         except ValueError:
             raise ValueError(f"cannot parse stats from {text!r}") from None
+        if not (0.0 <= support <= 1.0 and 0.0 <= confidence <= 1.0):
+            # Covers NaN too (every comparison with NaN is false).
+            # Checked here so malformed input surfaces as ValueError —
+            # the one exception this protocol layer is allowed to raise
+            # — rather than leaking RuleStats' internal validation.
+            raise ValueError(
+                f"stats out of range in {text!r}: both numbers must be in [0, 1]"
+            )
         if confidence < support:
             # supp(A∪B) ≤ supp(A) forces confidence ≥ support; a line
             # violating that is a typo to surface, not noise to absorb.
@@ -143,6 +157,10 @@ class StreamMember:
         """False once the stream has run dry."""
         return not self._exhausted
 
+    def leave(self) -> None:
+        """Disconnect the member: no further lines will be read."""
+        self._exhausted = True
+
     def _next_payload(self, kind: str) -> str:
         """The next answer line usable for a ``kind`` question.
 
@@ -175,28 +193,47 @@ class StreamMember:
         if self.echo is not None:
             print(text, file=self.echo)
 
-    def answer_closed(self, question: ClosedQuestion) -> ClosedAnswer:
-        """Read one closed answer from the stream."""
+    def answer_closed(
+        self, question: ClosedQuestion
+    ) -> ClosedAnswer | MalformedAnswer:
+        """Read one closed answer from the stream.
+
+        A line that does not parse (garbage text, incoherent stats)
+        comes back as a :class:`~repro.crowd.questions.MalformedAnswer`
+        instead of raising: one bad line from one member must never
+        kill the whole session. The miner's validation gate counts and
+        drops it.
+        """
         if self.renderer is not None:
             self._show(self.renderer.render_closed(question))
             self._show(f"  [{self.renderer.render_likert_scale()}]")
-        stats = parse_stats(self._next_payload("closed"))
+        payload = self._next_payload("closed")
         self._questions_answered += 1
+        try:
+            stats = parse_stats(payload)
+        except ValueError as exc:
+            return MalformedAnswer(self.member_id, question, payload, str(exc))
         return ClosedAnswer(self.member_id, question, stats)
 
     def answer_open(
         self, question: OpenQuestion, exclude: set[Rule] | None = None
-    ) -> OpenAnswer:
+    ) -> OpenAnswer | MalformedAnswer:
         """Read one open answer from the stream.
 
         A volunteered rule that the asker already knows (in
         ``exclude``) is treated as "nothing new" — the paper's
-        redundancy handling, minus the UI round-trip.
+        redundancy handling, minus the UI round-trip. Unparseable
+        lines become :class:`~repro.crowd.questions.MalformedAnswer`,
+        same contract as :meth:`answer_closed`.
         """
         if self.renderer is not None:
             self._show(self.renderer.render_open(question))
-        parsed = parse_open_answer(self._next_payload("open"))
+        payload = self._next_payload("open")
         self._questions_answered += 1
+        try:
+            parsed = parse_open_answer(payload)
+        except ValueError as exc:
+            return MalformedAnswer(self.member_id, question, payload, str(exc))
         if parsed is None:
             return OpenAnswer(self.member_id, question, None, None)
         rule, stats = parsed

@@ -105,8 +105,16 @@ class DispatchStats:
     ``issued`` counts every question put to the crowd, retries
     included — it is the session's true crowd cost, and what the
     budget is charged for. ``completed`` counts answers folded into
-    the knowledge base; the difference is accounted for by timeouts,
-    stale discards and drops. ``makespan`` is the simulated time at
+    the knowledge base. Every issued question meets exactly one fate,
+    so the books always balance::
+
+        issued == completed + stale_discarded + malformed + rejected
+                  + timeouts + crashed
+        timeouts + crashed == retries + dropped
+
+    (``late_discarded`` refines ``timeouts`` — slow-but-not-lost
+    answers — and ``duplicates`` counts transport replays, which never
+    enter the issued books.) ``makespan`` is the simulated time at
     which the session finished.
     """
 
@@ -119,17 +127,32 @@ class DispatchStats:
     dropped: int
     in_flight_high_water: int
     makespan: float
+    #: Robustness counters (default 0 so pre-fault constructors keep
+    #: working): answers dropped by the miner's validation gate,
+    #: answers from quarantined members, questions lost to member
+    #: crashes, and transport-replay deliveries discarded by token.
+    malformed: int = 0
+    rejected: int = 0
+    crashed: int = 0
+    duplicates: int = 0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report block (used by ``MiningResult.summary``)."""
-        return [
+        lines = [
             f"dispatch: {self.issued} issued, {self.completed} completed, "
             f"in-flight high water {self.in_flight_high_water}",
             f"dispatch: {self.timeouts} timeouts, {self.retries} retries, "
             f"{self.stale_discarded} stale discarded, "
             f"{self.late_discarded} late discarded, {self.dropped} dropped",
-            f"dispatch: makespan {self.makespan:.1f} simulated seconds",
         ]
+        if self.malformed or self.rejected or self.crashed or self.duplicates:
+            lines.append(
+                f"dispatch: {self.malformed} malformed, {self.rejected} "
+                f"rejected, {self.crashed} crashed, {self.duplicates} "
+                f"duplicates discarded"
+            )
+        lines.append(f"dispatch: makespan {self.makespan:.1f} simulated seconds")
+        return lines
 
 
 @dataclass(slots=True)
@@ -180,6 +203,12 @@ class Dispatcher:
         self._stale = 0
         self._late = 0
         self._dropped = 0
+        self._malformed = 0
+        self._rejected = 0
+        self._crashed = 0
+        self._duplicates = 0
+        #: Delivery tokens already folded in — the at-least-once guard.
+        self._seen_tokens: set[int] = set()
         # The miner proposed nothing askable; cleared when an ingest
         # changes the knowledge base (an open answer may create new
         # closed candidates), so supply can recover mid-session.
@@ -276,13 +305,100 @@ class Dispatcher:
             entry.timeout_event.cancel()
         self.obs.gauge("dispatch.in_flight", len(self._in_flight))
         self.obs.observe("dispatch.latency", entry.answer.delay)
+        token = entry.answer.token
+        if token is not None:
+            if token in self._seen_tokens:
+                # Already folded in once; an at-least-once transport
+                # replayed it. Kept out of the issued books entirely.
+                self._duplicates += 1
+                self.obs.count("dispatch.duplicates")
+                return
+            self._seen_tokens.add(token)
+        # The miner reports a discarded answer as a bare None; which
+        # gate dropped it shows up in the obs counters, so snapshot
+        # them around the ingest to classify the drop.
+        malformed_before = self.obs.counter("answers.malformed")
+        rejected_before = self.obs.counter("quality.rejected")
         event = self.miner.ingest_answer(entry.proposal, entry.answer.answer)
         self._stalled = False
-        if event is None:
-            self._stale += 1  # the miner counted obs "dispatch.stale"
-        else:
+        if event is not None:
             self._completed += 1
             self.timeline.append((self.clock.now, event))
+        elif self.obs.counter("answers.malformed") > malformed_before:
+            self._malformed += 1
+        elif self.obs.counter("quality.rejected") > rejected_before:
+            self._rejected += 1
+        else:
+            self._stale += 1  # the miner counted obs "dispatch.stale"
+
+    def _redeliver(self, entry: _InFlight) -> None:
+        """A transport-level replay of one delivery (fault injection).
+
+        The common case: the original delivery landed first (it was
+        scheduled first at the same instant, and ties break by schedule
+        order), marked its token seen, and the replay is discarded here
+        by that token — the guard actually doing its job. If the
+        original was cancelled (its question timed out first), the
+        question's fate is already booked as a timeout, so the replay
+        is discarded regardless; either way replays never touch the
+        issued books.
+        """
+        self._duplicates += 1
+        self.obs.count("dispatch.duplicates")
+        token = entry.answer.token
+        assert token is None or token in self._seen_tokens or (
+            entry.arrival_event is not None and entry.arrival_event.cancelled
+        ), "replay arrived before the original delivery"
+
+    # -- the fault surface --------------------------------------------------------
+
+    def in_flight_members(self) -> list[str]:
+        """Members currently holding an in-flight question, sorted.
+
+        Sorted so fault injectors can pick victims deterministically.
+        """
+        return sorted(self._in_flight)
+
+    def crash_member(self, member_id: str) -> None:
+        """The member abruptly leaves mid-session (fault injection).
+
+        They are removed from future scheduling; if they were holding
+        an in-flight question, its answer will never come — both its
+        pending events are disarmed, the loss is booked under
+        ``crashed``, and the question goes through the same
+        retry/reassign path as a timeout, so it is recovered by another
+        member (or dropped, when retries/budget are spent).
+        """
+        self.miner.crowd.crash(member_id)
+        entry = self._in_flight.pop(member_id, None)
+        if entry is None:
+            return
+        self._crashed += 1
+        self.obs.count("dispatch.crashed")
+        if entry.arrival_event is not None:
+            entry.arrival_event.cancel()
+        if entry.timeout_event is not None:
+            entry.timeout_event.cancel()
+        self.obs.gauge("dispatch.in_flight", len(self._in_flight))
+        self._retry(entry)
+
+    def inject_duplicate(self, member_id: str) -> bool:
+        """Schedule a second delivery of the member's in-flight answer.
+
+        Simulates at-least-once transport: the same answer content,
+        same token, delivered twice. Returns False (nothing scheduled)
+        when the member holds no in-flight question or their answer is
+        lost in flight. The replay lands at the original arrival
+        instant, *after* the original (ties break by schedule order) —
+        the dispatcher must discard it by its delivery token.
+        """
+        entry = self._in_flight.get(member_id)
+        if entry is None or entry.answer.is_lost:
+            return False
+        self.clock.schedule_at(
+            entry.answer.arrives_at, lambda: self._redeliver(entry)
+        )
+        return True
 
     def _timeout(self, member_id: str) -> None:
         entry = self._in_flight.pop(member_id)
@@ -387,6 +503,10 @@ class Dispatcher:
                 self.obs.gauge_high_water("dispatch.in_flight")
             ),
             makespan=self.clock.now,
+            malformed=self._malformed,
+            rejected=self._rejected,
+            crashed=self._crashed,
+            duplicates=self._duplicates,
         )
 
     def result(self, mode: str = "point") -> MiningResult:

@@ -147,6 +147,14 @@ class DynamicTrustAggregator(Aggregator):
             member_id: self.trust_source.trust(member_id)
             for member_id in samples.member_ids
         }
+        if all(w == 1.0 for w in weights.values()):
+            # With full trust all round, the weighted mean *is* the
+            # plain mean — but computed batch-wise it differs from the
+            # streaming estimate in float ulps. Taking the exact
+            # streaming path keeps trust-enabled sessions byte-identical
+            # to plain ones until some member actually loses trust (and
+            # reuses the O(1) estimator instead of an O(n) recompute).
+            return samples.summary()
         return WeightedAggregator(weights).summarize(samples)
 
     def __repr__(self) -> str:

@@ -66,6 +66,20 @@ class RuleSamples:
         self._estimator.add(stats.as_tuple())
         self._version += 1
 
+    def remove(self, member_id: str) -> bool:
+        """Purge ``member_id``'s observation (reverse Welford).
+
+        Returns True when an observation was actually removed. Used by
+        the quality-control layer to release a quarantined member's
+        evidence from the knowledge base.
+        """
+        previous = self._by_member.pop(member_id, None)
+        if previous is None:
+            return False
+        self._estimator.remove(previous.as_tuple())
+        self._version += 1
+        return True
+
     @property
     def version(self) -> int:
         """Monotonic change counter; bumps on every :meth:`add`.

@@ -122,6 +122,38 @@ def e8_thresholds(scale: str = "full") -> tuple[ExperimentConfig, dict[str, dict
     return base, variants
 
 
+def e8r_robustness(scale: str = "full") -> tuple[ExperimentConfig, dict[str, dict]]:
+    """E8-R — adversarial robustness (degradation curve, quarantine on/off).
+
+    Sweeps the colluding-spammer fraction with the quality-control loop
+    disabled and enabled. Colluders — not independent spammers — are
+    the sweep's adversary because their coordinated lies *bias*
+    aggregates rather than just widening them, which is what actually
+    moves F1. The off rows trace graceful degradation; the on rows
+    measure how much of the lost quality gold probes + outlier
+    screening + quarantine buy back (the recovery floor asserted by
+    ``benchmarks/bench_e8_robustness.py``).
+    """
+    base = replace(
+        _base(scale),
+        name="e8r_robustness",
+        quarantine=False,
+        gold_rate=0.0,
+    )
+    fractions = (0.0, 0.1, 0.3, 0.5)
+    variants: dict[str, dict] = {}
+    for fraction in fractions:
+        mix = (("colluder", fraction),) if fraction > 0 else ()
+        label = f"spam_{int(fraction * 100):02d}"
+        variants[f"{label}_q_off"] = {"adversary_mix": mix}
+        variants[f"{label}_q_on"] = {
+            "adversary_mix": mix,
+            "quarantine": True,
+            "gold_rate": 0.15,
+        }
+    return base, variants
+
+
 def e9_ablation(scale: str = "full") -> tuple[ExperimentConfig, dict[str, dict]]:
     """E9 — ablation of the miner's design choices."""
     base = replace(_base(scale), name="e9_ablation")
@@ -146,5 +178,6 @@ EXPERIMENTS = {
     "e4": e4_crowd_size,
     "e5": e5_scale,
     "e8": e8_thresholds,
+    "e8r": e8r_robustness,
     "e9": e9_ablation,
 }

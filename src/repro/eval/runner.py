@@ -70,6 +70,15 @@ class ExperimentConfig:
     answer_sigma: float = 0.05
     likert: bool = True
     patience: int | None = None
+    #: Adversary mix as ``(role, fraction)`` pairs (see
+    #: :func:`repro.faults.parse_adversary_mix`); empty = honest crowd,
+    #: built byte-identically to the pre-robustness harness.
+    adversary_mix: tuple[tuple[str, float], ...] = ()
+    # quality control (forwarded to the miner)
+    quarantine: bool = False
+    gold_rate: float = 0.0
+    trust_floor: float = 0.45
+    quarantine_min_answers: int = 4
     # query
     support_threshold: float = 0.10
     confidence_threshold: float = 0.50
@@ -181,6 +190,60 @@ def build_world(
     return model, population, truth
 
 
+def build_crowd(
+    config: ExperimentConfig,
+    population: Population,
+    rng: np.random.Generator,
+) -> SimulatedCrowd:
+    """The session's crowd, honest or adversarial per the config.
+
+    With an empty ``adversary_mix`` this takes the plain
+    :meth:`~repro.crowd.crowd.SimulatedCrowd.from_population` path and
+    draws exactly the pre-robustness random stream; with a mix it
+    delegates to :func:`repro.faults.build_adversarial_crowd`.
+    """
+    open_policy = OpenAnswerPolicy(max_body_size=config.max_body_size)
+    if not config.adversary_mix:
+        return SimulatedCrowd.from_population(
+            population,
+            answer_model=config.answer_model(),
+            open_policy=open_policy,
+            patience=config.patience,
+            seed=rng,
+        )
+    from repro.faults import build_adversarial_crowd
+
+    crowd, _ = build_adversarial_crowd(
+        population,
+        config.adversary_mix,
+        answer_model=config.answer_model(),
+        open_policy=open_policy,
+        patience=config.patience,
+        seed=rng,
+    )
+    return crowd
+
+
+def _miner_config(config: ExperimentConfig, rng: np.random.Generator) -> CrowdMinerConfig:
+    return CrowdMinerConfig(
+        thresholds=config.thresholds(),
+        budget=config.budget,
+        strategy=make_strategy(config.strategy),
+        open_policy=make_open_policy(config.open_policy),
+        min_samples=config.min_samples,
+        decision_confidence=config.decision_confidence,
+        use_covariance=config.use_covariance,
+        lattice_pruning=config.lattice_pruning,
+        expand_generalizations=config.expand_generalizations,
+        expand_splits=config.expand_splits,
+        quarantine=config.quarantine,
+        gold_rate=config.gold_rate,
+        trust_floor=config.trust_floor,
+        quarantine_min_answers=config.quarantine_min_answers,
+        seed=rng,
+    )
+
+
 def run_session(
     config: ExperimentConfig,
     population: Population,
@@ -196,27 +259,8 @@ def run_session(
     """
     rng = as_rng(seed)
     obs = obs or Instrumentation()
-    crowd = SimulatedCrowd.from_population(
-        population,
-        answer_model=config.answer_model(),
-        open_policy=OpenAnswerPolicy(max_body_size=config.max_body_size),
-        patience=config.patience,
-        seed=rng,
-    )
-    miner_config = CrowdMinerConfig(
-        thresholds=config.thresholds(),
-        budget=config.budget,
-        strategy=make_strategy(config.strategy),
-        open_policy=make_open_policy(config.open_policy),
-        min_samples=config.min_samples,
-        decision_confidence=config.decision_confidence,
-        use_covariance=config.use_covariance,
-        lattice_pruning=config.lattice_pruning,
-        expand_generalizations=config.expand_generalizations,
-        expand_splits=config.expand_splits,
-        seed=rng,
-    )
-    miner = CrowdMiner(crowd, miner_config, obs=obs)
+    crowd = build_crowd(config, population, rng)
+    miner = CrowdMiner(crowd, _miner_config(config, rng), obs=obs)
 
     points = []
     started = time.perf_counter()
@@ -273,27 +317,8 @@ def run_timed_session(
 
     rng = as_rng(seed)
     obs = obs or Instrumentation()
-    crowd = SimulatedCrowd.from_population(
-        population,
-        answer_model=config.answer_model(),
-        open_policy=OpenAnswerPolicy(max_body_size=config.max_body_size),
-        patience=config.patience,
-        seed=rng,
-    )
-    miner_config = CrowdMinerConfig(
-        thresholds=config.thresholds(),
-        budget=config.budget,
-        strategy=make_strategy(config.strategy),
-        open_policy=make_open_policy(config.open_policy),
-        min_samples=config.min_samples,
-        decision_confidence=config.decision_confidence,
-        use_covariance=config.use_covariance,
-        lattice_pruning=config.lattice_pruning,
-        expand_generalizations=config.expand_generalizations,
-        expand_splits=config.expand_splits,
-        seed=rng,
-    )
-    miner = CrowdMiner(crowd, miner_config, obs=obs)
+    crowd = build_crowd(config, population, rng)
+    miner = CrowdMiner(crowd, _miner_config(config, rng), obs=obs)
     dispatcher = Dispatcher(miner, dispatch or DispatchConfig())
 
     points: list[TimedPoint] = []

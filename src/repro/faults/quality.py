@@ -1,0 +1,250 @@
+"""Per-member answer quality scores, trust weights and quarantine.
+
+The quality-control loop (ISSUE: gold probes + outlier screening +
+quarantine) concentrates here. :class:`QualityController` accumulates
+two independent signals per member:
+
+- **gold probes** — the miner occasionally re-asks a rule whose
+  aggregate is already tight (a *resolved* rule with enough evidence);
+  the member's answer is scored against that aggregate instead of being
+  counted as evidence. Honest-but-noisy members land within the gold
+  tolerance; spammers, colluders and burned-out drifters do not.
+- **outlier z-scores** — every counted closed answer is compared to the
+  rule's current aggregate (when it has enough samples); answers many
+  standard deviations out are tallied as outliers. A tolerance keeps
+  the occasional honest outlier free.
+
+Both signals fold into one violation score and a trust weight
+``1 / (1 + severity · score)`` — the same decay shape as
+:class:`~repro.estimation.consistency.ConsistencyChecker`, so the two
+sources compose naturally (:class:`CompositeTrust`). The controller
+implements the trust-source protocol of
+:class:`~repro.estimation.aggregate.DynamicTrustAggregator` (``trust``
++ ``version``), so estimates discount low-quality members *before*
+quarantine triggers.
+
+Design constraint: a member with no bad evidence has a violation score
+of exactly ``0.0`` and therefore trust of exactly ``1.0`` — which lets
+the aggregator take its exact streaming fast path, keeping clean
+sessions byte-identical to sessions with quality control disabled.
+
+Quarantine is the discrete end of the loop: once a member's trust falls
+below ``trust_floor`` (with at least ``min_answers`` scored answers),
+:meth:`should_quarantine` turns true; the miner then stops routing to
+them and purges their evidence from the knowledge base
+(:meth:`~repro.miner.state.MiningState.purge_member`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction, check_nonnegative
+from repro.core.measures import RuleStats
+
+
+@dataclass(slots=True)
+class MemberQuality:
+    """One member's accumulated quality evidence."""
+
+    answers_scored: int = 0
+    gold_probes: int = 0
+    gold_error_total: float = 0.0
+    gold_failures: int = 0
+    outliers: int = 0
+
+    @property
+    def mean_gold_error(self) -> float:
+        """Average gold-probe error (0 when never probed)."""
+        if self.gold_probes == 0:
+            return 0.0
+        return self.gold_error_total / self.gold_probes
+
+    @property
+    def outlier_rate(self) -> float:
+        """Fraction of scored answers flagged as outliers."""
+        if self.answers_scored == 0:
+            return 0.0
+        return self.outliers / self.answers_scored
+
+
+class QualityController:
+    """Running per-member quality scores and the quarantine decision.
+
+    Parameters
+    ----------
+    gold_tolerance:
+        Per-component gold-probe error forgiven entirely. One Likert
+        grid step is 0.25; honest noise plus coarsening against a tight
+        aggregate stays within ~one step, so the default forgives that.
+    z_threshold:
+        |z| beyond which a counted answer is tallied as an outlier.
+    outlier_tolerance:
+        Outlier *rate* forgiven entirely (honest members trip the z
+        gate occasionally; spammers trip it constantly).
+    severity:
+        Trust decay speed past the tolerances (see class docstring).
+    trust_floor:
+        Trust below which :meth:`should_quarantine` turns true.
+    min_answers:
+        Minimum scored answers (gold probes included) before quarantine
+        may trigger — nobody is exiled on their first answer.
+    """
+
+    def __init__(
+        self,
+        gold_tolerance: float = 0.25,
+        z_threshold: float = 3.5,
+        outlier_tolerance: float = 0.25,
+        severity: float = 12.0,
+        trust_floor: float = 0.5,
+        min_answers: int = 3,
+    ) -> None:
+        self.gold_tolerance = check_nonnegative(gold_tolerance, "gold_tolerance")
+        self.z_threshold = check_nonnegative(z_threshold, "z_threshold")
+        check_fraction(outlier_tolerance, "outlier_tolerance")
+        self.outlier_tolerance = float(outlier_tolerance)
+        self.severity = check_nonnegative(severity, "severity")
+        check_fraction(trust_floor, "trust_floor")
+        self.trust_floor = float(trust_floor)
+        if min_answers < 1:
+            raise ValueError(f"min_answers must be at least 1, got {min_answers}")
+        self.min_answers = int(min_answers)
+        self._members: dict[str, MemberQuality] = {}
+        self._quarantined: set[str] = set()
+        #: Monotonic change counter — the trust-source cache token read
+        #: by :class:`~repro.estimation.aggregate.DynamicTrustAggregator`.
+        self.version = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def _record_of(self, member_id: str) -> MemberQuality:
+        record = self._members.get(member_id)
+        if record is None:
+            record = self._members[member_id] = MemberQuality()
+        return record
+
+    def record_gold(
+        self, member_id: str, reported: RuleStats, expected: RuleStats
+    ) -> float:
+        """Score one gold-probe answer; returns the probe error.
+
+        The error is the larger per-component gap between the reported
+        stats and the rule's settled aggregate.
+        """
+        error = max(
+            abs(reported.support - expected.support),
+            abs(reported.confidence - expected.confidence),
+        )
+        record = self._record_of(member_id)
+        record.answers_scored += 1
+        record.gold_probes += 1
+        record.gold_error_total += error
+        if error > self.gold_tolerance:
+            record.gold_failures += 1
+            self.version += 1  # trust may have moved
+        return error
+
+    def record_answer(self, member_id: str, z_score: float | None) -> bool:
+        """Tally one counted answer; returns True when it was an outlier.
+
+        ``z_score`` is the answer's distance from the rule's current
+        aggregate in standard errors (``None`` when the aggregate is
+        still too thin to judge).
+        """
+        record = self._record_of(member_id)
+        record.answers_scored += 1
+        if z_score is not None and abs(z_score) > self.z_threshold:
+            record.outliers += 1
+            self.version += 1
+            return True
+        return False
+
+    # -- the trust-source protocol --------------------------------------------
+
+    def violation_score(self, member_id: str) -> float:
+        """Combined quality violation beyond the tolerances (0 = clean)."""
+        record = self._members.get(member_id)
+        if record is None:
+            return 0.0
+        gold_excess = max(0.0, record.mean_gold_error - self.gold_tolerance)
+        outlier_excess = max(0.0, record.outlier_rate - self.outlier_tolerance)
+        return gold_excess + outlier_excess
+
+    def trust(self, member_id: str) -> float:
+        """Trust weight in ``(0, 1]``; exactly 1.0 for clean members."""
+        if member_id in self._quarantined:
+            return 0.0
+        score = self.violation_score(member_id)
+        if score == 0.0:
+            return 1.0
+        return 1.0 / (1.0 + self.severity * score)
+
+    # -- quarantine -----------------------------------------------------------
+
+    def should_quarantine(self, member_id: str) -> bool:
+        """True when the member's quality warrants exile."""
+        if member_id in self._quarantined:
+            return False
+        record = self._members.get(member_id)
+        if record is None or record.answers_scored < self.min_answers:
+            return False
+        return self.trust(member_id) < self.trust_floor
+
+    def mark_quarantined(self, member_id: str) -> None:
+        """Record the quarantine decision (trust pinned to 0)."""
+        self._quarantined.add(member_id)
+        self.version += 1
+
+    def is_quarantined(self, member_id: str) -> bool:
+        """True when the member has been quarantined."""
+        return member_id in self._quarantined
+
+    @property
+    def quarantined(self) -> set[str]:
+        """Members quarantined so far (a copy)."""
+        return set(self._quarantined)
+
+    def quality_of(self, member_id: str) -> MemberQuality | None:
+        """The member's raw quality record (``None`` when never scored)."""
+        return self._members.get(member_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityController({len(self._members)} scored, "
+            f"{len(self._quarantined)} quarantined)"
+        )
+
+
+@dataclass
+class CompositeTrust:
+    """Product of several trust sources, for the weighted aggregator.
+
+    Used when consistency screening (``screen_spammers``) and the
+    quality loop (``quarantine``) run together: a member must convince
+    *both* to keep full weight. The version is the sum of the sources'
+    versions, so any source moving invalidates cached summaries.
+    """
+
+    sources: tuple = ()
+    _fallbacks: dict = field(default_factory=dict, repr=False)
+
+    def trust(self, member_id: str) -> float:
+        value = 1.0
+        for source in self.sources:
+            value *= source.trust(member_id)
+        return value
+
+    @property
+    def version(self) -> int:
+        total = 0
+        for idx, source in enumerate(self.sources):
+            version = getattr(source, "version", None)
+            if version is None:
+                # No change signal: force invalidation, like the
+                # aggregator's own fallback path.
+                self._fallbacks[idx] = self._fallbacks.get(idx, 0) + 1
+                total += self._fallbacks[idx]
+            else:
+                total += int(version)
+        return total

@@ -32,15 +32,17 @@ import numpy as np
 
 from repro._util import as_rng, check_fraction, check_positive
 from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats
 from repro.core.order import generalizations
 from repro.core.rule import Rule
 from repro.crowd.crowd import SimulatedCrowd
-from repro.crowd.questions import ClosedAnswer, OpenAnswer
+from repro.crowd.questions import AnyAnswer, ClosedAnswer, MalformedAnswer, OpenAnswer
 from repro.errors import BudgetExhaustedError, ConfigurationError, CrowdExhaustedError
 from repro.estimation.aggregate import Aggregator, DynamicTrustAggregator
 from repro.estimation.consistency import ConsistencyChecker
 from repro.estimation.samples import EstimateSummary
 from repro.estimation.significance import Decision, SignificanceTest, Thresholds
+from repro.faults.quality import CompositeTrust, QualityController
 from repro.miner.open_policy import AdaptiveOpenPolicy, OpenClosedPolicy
 from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
 from repro.miner.state import MiningState, RuleOrigin
@@ -74,6 +76,11 @@ class QuestionProposal:
     rule: Rule | None
     context: Itemset | None
     kb_version: int
+    #: Gold probe: a closed question about an already-settled rule,
+    #: asked to *score the member* against the settled aggregate rather
+    #: than to collect evidence. Gold answers never enter the knowledge
+    #: base and are never stale (the rule being resolved is the point).
+    gold: bool = False
 
 
 @dataclass(slots=True)
@@ -134,6 +141,31 @@ class CrowdMinerConfig:
         monotonicity violations, and all estimates become trust-weighted
         (:class:`~repro.estimation.aggregate.DynamicTrustAggregator`).
         Mutually exclusive with a custom ``aggregator``.
+    quarantine:
+        Enable the answer quality-control loop
+        (:class:`~repro.faults.quality.QualityController`): counted
+        answers are screened for outliers against the rule's running
+        aggregate, gold probes (see ``gold_rate``) score members
+        against settled rules, trust weights discount low-quality
+        members, and members falling below ``trust_floor`` are
+        quarantined — no longer routed to, their evidence purged from
+        the knowledge base. Composes with ``screen_spammers`` (trust is
+        the product of both sources); mutually exclusive with a custom
+        ``aggregator``. With no adversaries present every member keeps
+        trust exactly 1.0 and the session is byte-identical to one with
+        the loop disabled.
+    gold_rate:
+        Probability that a question slot becomes a gold probe: the
+        member is re-asked a rule whose classification is already
+        settled on enough direct evidence, and their answer is scored
+        against that aggregate instead of being counted. Costs budget
+        (the probe is a real question) — the price of quality control.
+        Only drawn when ``quarantine`` is enabled; 0 disables probing
+        without perturbing the random stream.
+    trust_floor / quarantine_min_answers:
+        Quarantine triggers when a member's quality trust falls below
+        ``trust_floor`` with at least ``quarantine_min_answers`` scored
+        answers (see :class:`~repro.faults.quality.QualityController`).
     seed_rules:
         Rules known before any question is asked (a query's candidate
         patterns); they enter the knowledge base with SEED origin.
@@ -156,16 +188,28 @@ class CrowdMinerConfig:
     count_open_evidence: bool = False
     contextual_open_fraction: float = 0.0
     screen_spammers: bool = False
+    quarantine: bool = False
+    gold_rate: float = 0.0
+    trust_floor: float = 0.45
+    quarantine_min_answers: int = 4
     seed_rules: tuple[Rule, ...] = ()
     seed: int | np.random.Generator | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
         check_fraction(self.contextual_open_fraction, "contextual_open_fraction")
-        if self.screen_spammers and self.aggregator is not None:
+        check_fraction(self.gold_rate, "gold_rate")
+        check_fraction(self.trust_floor, "trust_floor")
+        check_positive(self.quarantine_min_answers, "quarantine_min_answers")
+        if (self.screen_spammers or self.quarantine) and self.aggregator is not None:
             raise ConfigurationError(
-                "screen_spammers installs its own trust-weighted aggregator; "
-                "pass one or the other"
+                "screen_spammers/quarantine install their own trust-weighted "
+                "aggregator; pass one or the other"
+            )
+        if self.gold_rate > 0.0 and not self.quarantine:
+            raise ConfigurationError(
+                "gold_rate without quarantine would spend budget on probes "
+                "nobody scores; enable quarantine"
             )
 
     def build_test(self) -> SignificanceTest:
@@ -201,10 +245,22 @@ class CrowdMiner:
         #: Session instrumentation, shared with the knowledge base.
         self.obs = obs or Instrumentation()
         self.consistency: ConsistencyChecker | None = None
+        self.quality: QualityController | None = None
         aggregator = config.aggregator
+        trust_sources: list = []
         if config.screen_spammers:
             self.consistency = ConsistencyChecker()
-            aggregator = DynamicTrustAggregator(self.consistency)
+            trust_sources.append(self.consistency)
+        if config.quarantine:
+            self.quality = QualityController(
+                trust_floor=config.trust_floor,
+                min_answers=config.quarantine_min_answers,
+            )
+            trust_sources.append(self.quality)
+        if len(trust_sources) == 1:
+            aggregator = DynamicTrustAggregator(trust_sources[0])
+        elif trust_sources:
+            aggregator = DynamicTrustAggregator(CompositeTrust(tuple(trust_sources)))
         self.state = MiningState(
             test=config.build_test(),
             aggregator=aggregator,
@@ -286,7 +342,15 @@ class CrowdMiner:
                     answer = self.pose(proposal)
                 except CrowdExhaustedError:
                     continue
-                return self.ingest_answer(proposal, answer)
+                event = self.ingest_answer(proposal, answer)
+                if event is None:
+                    # Discarded at the validation gate (a malformed
+                    # reply, in the synchronous path): the member's
+                    # effort is spent but no evidence landed. Try the
+                    # next member rather than reporting the session
+                    # over — one garbage line must not end a run.
+                    continue
+                return event
             return None
 
     # -- propose / pose / ingest ------------------------------------------------
@@ -300,6 +364,15 @@ class CrowdMiner:
         knowledge-base version so :meth:`ingest_answer` can detect
         answers made stale while in flight.
         """
+        # Gold probes ride in regular question slots. The coin is only
+        # flipped when probing is actually configured, so a disabled
+        # quality loop leaves the random stream — and hence question
+        # selection — untouched.
+        if self.quality is not None and self.config.gold_rate > 0.0:
+            if self._rng.random() < self.config.gold_rate:
+                gold = self._pick_gold(member_id)
+                if gold is not None:
+                    return gold
         with self.obs.timer("miner.select"):
             closed_rule = self.config.strategy.select(self.state, member_id, self._rng)
         ask_open = self.config.open_policy.choose_open(
@@ -334,11 +407,44 @@ class CrowdMiner:
             )
         return None
 
-    def pose(self, proposal: QuestionProposal) -> ClosedAnswer | OpenAnswer:
+    def _pick_gold(self, member_id: str) -> QuestionProposal | None:
+        """A gold-probe proposal for ``member_id``, or ``None``.
+
+        Gold rules are taken from settled, directly-evidenced rules
+        with the test's minimum direct sample count — their aggregate
+        is the best ground truth the session owns — and restricted to
+        rules this member has not answered (their old answer is already
+        *in* that aggregate, which would let them grade their own
+        exam).
+        """
+        candidates = [
+            k
+            for k in self.state.rules()
+            if k.is_resolved
+            and not k.inferred
+            and k.samples.n >= self.config.min_samples
+            and not k.samples.has_answer_from(member_id)
+        ]
+        if not candidates:
+            return None
+        knowledge = candidates[int(self._rng.integers(len(candidates)))]
+        return QuestionProposal(
+            member_id=member_id,
+            kind=QuestionKind.CLOSED,
+            rule=knowledge.rule,
+            context=None,
+            kb_version=self.state.version,
+            gold=True,
+        )
+
+    def pose(self, proposal: QuestionProposal) -> AnyAnswer:
         """Put the proposed question to the crowd and return the raw answer.
 
         Raises :class:`~repro.errors.CrowdExhaustedError` when the
         member turns out to have left between scheduling and asking.
+        The answer may be a
+        :class:`~repro.crowd.questions.MalformedAnswer` (the reply
+        never parsed); :meth:`ingest_answer` counts and drops those.
         Callers that cannot ingest immediately (the dispatcher) hold on
         to the answer and deliver it to :meth:`ingest_answer` later.
         """
@@ -392,6 +498,11 @@ class CrowdMiner:
         The knowledge-base version stamp makes the common case free:
         an unchanged version proves nothing relevant happened.
         """
+        if proposal.gold:
+            # A gold probe's rule is settled *by construction*; the
+            # answer is wanted for scoring regardless of what the
+            # knowledge base did meanwhile.
+            return False
         if proposal.kind is not QuestionKind.CLOSED:
             return False
         if proposal.kb_version == self.state.version:
@@ -403,19 +514,114 @@ class CrowdMiner:
         )
 
     def ingest_answer(
-        self, proposal: QuestionProposal, answer: ClosedAnswer | OpenAnswer
+        self, proposal: QuestionProposal, answer: AnyAnswer
     ) -> QuestionEvent | None:
         """Fold one answer into the knowledge base, in completion order.
 
-        Returns the recorded event, or ``None`` when the answer arrived
-        stale (see :meth:`proposal_is_stale`) and was discarded — stale
-        answers must never be double-counted as evidence.
+        Returns the recorded event, or ``None`` when the answer was
+        discarded instead of counted. Discards, in gate order:
+
+        - **malformed** — the reply never parsed
+          (:class:`~repro.crowd.questions.MalformedAnswer`); counted
+          under ``answers.malformed`` and dropped. One garbage line
+          from one member must never raise out of the session. When
+          the quality loop is on, the garbage also counts as a
+          quality strike (an unparseable reply is indistinguishable
+          from a maximal outlier), so a member who *only* sends
+          garbage still ends up quarantined instead of holding a
+          routing slot forever.
+        - **rejected** — the member was quarantined while this answer
+          was in flight; counted under ``quality.rejected``. Their
+          evidence was purged, so late answers must not re-enter.
+        - **stale** (see :meth:`proposal_is_stale`) — counted under
+          ``dispatch.stale``; stale answers must never be
+          double-counted as evidence.
         """
+        if isinstance(answer, MalformedAnswer):
+            self.obs.count("answers.malformed")
+            if self.quality is not None:
+                self.quality.record_answer(proposal.member_id, float("inf"))
+                self._maybe_quarantine(proposal.member_id)
+            return None
+        if self.quality is not None and self.quality.is_quarantined(
+            proposal.member_id
+        ):
+            self.obs.count("quality.rejected")
+            return None
+        if proposal.gold:
+            assert isinstance(answer, ClosedAnswer)
+            return self._ingest_gold(proposal, answer)
         if proposal.kind is QuestionKind.CLOSED:
             assert isinstance(answer, ClosedAnswer)
             return self._ingest_closed(proposal, answer)
         assert isinstance(answer, OpenAnswer)
         return self._ingest_open(proposal, answer)
+
+    def _ingest_gold(
+        self, proposal: QuestionProposal, answer: ClosedAnswer
+    ) -> QuestionEvent:
+        """Score a gold-probe answer; it never becomes evidence.
+
+        The expected stats are the settled rule's current aggregate
+        (the same clamped point estimate reporting uses). The probe
+        still spends budget and is logged like any closed question —
+        dispatch accounting cannot tell probes apart, by design.
+        """
+        assert self.quality is not None and proposal.rule is not None
+        knowledge = self.state.knowledge(proposal.rule)
+        mean = self.state.summary_for(knowledge).mean
+        support = float(min(1.0, max(0.0, mean[0])))
+        confidence = float(min(1.0, max(0.0, mean[1])))
+        expected = RuleStats(support, max(support, confidence))
+        error = self.quality.record_gold(proposal.member_id, answer.stats, expected)
+        self.obs.count("quality.gold")
+        if error > self.quality.gold_tolerance:
+            self.obs.count("quality.gold_failed")
+        self._maybe_quarantine(proposal.member_id)
+        event = QuestionEvent(
+            index=self._questions,
+            kind=QuestionKind.CLOSED,
+            member_id=proposal.member_id,
+            rule=proposal.rule,
+            stats=answer.stats,
+        )
+        self._finish_step(event)
+        return event
+
+    def _outlier_z(self, rule: Rule, stats: RuleStats) -> float | None:
+        """The answer's distance from the rule's aggregate, in sample SDs.
+
+        ``None`` while the aggregate is too thin to judge against. The
+        per-component sample variance is floored by the significance
+        test's ``variance_floor`` so a unanimous crowd does not turn
+        every honest wobble into infinite z.
+        """
+        knowledge = self.state.knowledge(rule)
+        summary = self.state.summary_for(knowledge)
+        if summary.n < self.config.min_samples:
+            return None
+        sample_var = np.diag(summary.mean_cov) * summary.n
+        sd = np.sqrt(np.maximum(sample_var, self.config.variance_floor))
+        delta = np.abs(np.array(stats.as_tuple()) - summary.mean)
+        return float(np.max(delta / sd))
+
+    def _maybe_quarantine(self, member_id: str) -> None:
+        """Exile ``member_id`` if their quality record now warrants it.
+
+        Quarantine is the full loop closing: routing stops
+        (:meth:`~repro.crowd.crowd.SimulatedCrowd.quarantine`), trust
+        pins to zero, and every observation the member contributed is
+        released from the knowledge base
+        (:meth:`~repro.miner.state.MiningState.purge_member`) —
+        re-opening any rule that was settled on their say-so.
+        """
+        assert self.quality is not None
+        if not self.quality.should_quarantine(member_id):
+            return
+        self.quality.mark_quarantined(member_id)
+        self.crowd.quarantine(member_id)
+        self.state.purge_member(member_id)
+        self.obs.count("quality.quarantined")
 
     def _ingest_closed(
         self, proposal: QuestionProposal, answer: ClosedAnswer
@@ -430,7 +636,15 @@ class CrowdMiner:
         origin = self.state.knowledge(rule).origin
         if self.consistency is not None:
             self.consistency.record(member_id, rule, answer.stats)
+        if self.quality is not None:
+            # Scored against the aggregate *before* this answer joins
+            # it — an answer must not soften its own z-score.
+            self.quality.record_answer(
+                member_id, self._outlier_z(rule, answer.stats)
+            )
         self.state.record_answer(rule, member_id, answer.stats, origin)
+        if self.quality is not None:
+            self._maybe_quarantine(member_id)
         self.obs.count("miner.closed")
         self._expand_confirmed()
         event = QuestionEvent(

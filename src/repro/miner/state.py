@@ -512,6 +512,35 @@ class MiningState:
             knowledge.propagated = True
             self._propagate_insignificance(knowledge)
 
+    def purge_member(self, member_id: str) -> int:
+        """Release every observation contributed by ``member_id``.
+
+        The quality-control layer calls this when quarantining a member:
+        their answers leave the evidence base (reverse-Welford removal,
+        no history replay), every touched rule is re-assessed, and a
+        rule that was settled on the poisoned evidence reopens — it
+        re-enters the unresolved set through the same transition that
+        lets direct evidence overturn an inferred decision. Inferred
+        condemnations whose source rule reopens are left standing, the
+        regular contract: an inferred label sticks until direct
+        evidence settles the rule.
+
+        Returns the number of rules that lost an observation.
+        """
+        purged = 0
+        with self.obs.timer("kb.purge"):
+            for knowledge in self._rules.values():
+                if not knowledge.samples.remove(member_id):
+                    continue
+                purged += 1
+                self._version += 1
+                self._reassess(knowledge)
+                self._push_priority(knowledge)
+        if purged:
+            self.obs.count("kb.members_purged")
+            self.obs.count("kb.answers_purged", purged)
+        return purged
+
     def _propagate_insignificance(self, source: RuleKnowledge) -> None:
         """Condemn known, unresolved specializations of a support-dead rule."""
         with self.obs.timer("kb.propagate"):

@@ -27,6 +27,24 @@ The asynchronous dispatch engine (``repro.dispatch``, see
 ``dispatch.late``, ``dispatch.dropped``, the gauge
 ``dispatch.in_flight`` and the histogram ``dispatch.latency``
 (simulated seconds from issue to answer arrival).
+
+The robustness layer (``repro.faults``, see ``docs/robustness.md``)
+adds:
+
+- validation-gate counters ``answers.malformed`` (unparseable answers
+  dropped at ingest) and ``quality.rejected`` (answers from
+  quarantined members dropped at ingest);
+- quality-loop counters ``quality.gold`` (gold probes answered),
+  ``quality.gold_failed`` (probes outside the gold tolerance) and
+  ``quality.quarantined`` (members quarantined);
+- evidence-release counters ``kb.members_purged`` and
+  ``kb.answers_purged`` plus the timer ``kb.purge``;
+- dispatcher fault-surface counters ``dispatch.crashed`` (in-flight
+  questions lost to member crashes) and ``dispatch.duplicates``
+  (at-least-once redeliveries discarded by the token guard);
+- injector counters ``faults.crashes``, ``faults.churned``,
+  ``faults.duplicates`` and ``faults.noops`` (a scheduled fault that
+  found no victim).
 """
 
 from __future__ import annotations

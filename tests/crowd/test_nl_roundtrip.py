@@ -1,0 +1,97 @@
+"""Round-trip properties of the NL answer protocol.
+
+What a front-end renders (Likert vocabulary, numeric stats) must
+survive the trip back through :func:`~repro.crowd.stream.parse_stats`
+under everything a human typist does to text: case mangling, leading /
+trailing / internal whitespace. And everything that is *not* a
+rendering of a valid answer must come back as ``ValueError`` — the one
+exception the protocol layer is allowed to raise — never anything
+else.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd import LIKERT_LABELS, WORD_TO_VALUE, parse_stats
+from repro.crowd.answer_models import LIKERT5
+
+
+def mangled(text):
+    """Strategy: ``text`` under adversarial casing and whitespace."""
+    return st.tuples(
+        st.sampled_from(["", " ", "  ", "\t", " \t "]),
+        st.booleans(),
+        st.sampled_from(["", " ", "   ", "\t"]),
+    ).map(
+        lambda pad: pad[0] + (text.upper() if pad[1] else text) + pad[2]
+    )
+
+
+class TestLikertRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(sorted(LIKERT_LABELS)), st.data())
+    def test_label_round_trips(self, value, data):
+        word = LIKERT_LABELS[value]
+        stats = parse_stats(data.draw(mangled(word)))
+        assert stats.support == stats.confidence == value
+
+    def test_vocabulary_covers_the_grid(self):
+        # The rendered scale and the parser's vocabulary are the same
+        # five points; a drifting grid would break the round trip.
+        assert set(LIKERT_LABELS) == set(LIKERT5)
+        assert WORD_TO_VALUE == {w: v for v, w in LIKERT_LABELS.items()}
+
+
+class TestNumericRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.tuples(
+            st.floats(0.0, 1.0, allow_nan=False),
+            st.floats(0.0, 1.0, allow_nan=False),
+        ),
+        st.sampled_from([" ", "  ", "\t", " \t"]),
+    )
+    def test_two_numbers_round_trip(self, pair, separator):
+        support, confidence = min(pair), max(pair)
+        stats = parse_stats(f" {support!r}{separator}{confidence!r} ")
+        assert stats.support == support
+        assert stats.confidence == confidence
+
+
+class TestGarbageBoundary:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_unknown_words_raise_value_error_only(self, word):
+        if word.lower() in WORD_TO_VALUE:
+            return  # an actual vocabulary word; round-trips instead
+        with pytest.raises(ValueError):
+            parse_stats(word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.floats(allow_nan=True, allow_infinity=True),
+    )
+    def test_out_of_range_numbers_raise_value_error_only(self, a, b):
+        in_range = (
+            not math.isnan(a)
+            and not math.isnan(b)
+            and 0.0 <= a <= 1.0
+            and 0.0 <= b <= 1.0
+        )
+        if in_range:
+            return  # the valid quadrant is covered by the round-trip test
+        # NaN, infinities and out-of-range floats all parse as floats —
+        # the range gate must turn them into ValueError, not leak
+        # RuleStats' internal validation error (a ReproError).
+        with pytest.raises(ValueError):
+            parse_stats(f"{a!r} {b!r}")

@@ -1,0 +1,105 @@
+"""Dispatcher bookkeeping under crashes: every question meets one fate.
+
+The audit half of the robustness ISSUE: ``issued`` must always equal
+``completed + stale_discarded + malformed + rejected + timeouts +
+crashed``, and every lost question (timeout or crash) must be either
+retried or dropped — under any injected failure pattern, at any
+timeout setting.
+"""
+
+import pytest
+
+from repro.dispatch import DispatchConfig, Dispatcher, LognormalLatency
+from repro.estimation import Thresholds
+from repro.faults import FaultInjector, FaultPlan
+from repro.miner import CrowdMiner, CrowdMinerConfig
+
+THRESHOLDS = Thresholds(0.10, 0.5)
+
+
+def run_with_plan(population, plan, *, timeout=70.0, budget=80, max_retries=2):
+    from repro.crowd import SimulatedCrowd, standard_answer_model
+
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=5
+    )
+    miner = CrowdMiner(
+        crowd, CrowdMinerConfig(thresholds=THRESHOLDS, budget=budget, seed=6)
+    )
+    dispatcher = Dispatcher(
+        miner,
+        DispatchConfig(
+            window=4,
+            latency=LognormalLatency(median=25.0, sigma=1.0),
+            timeout=timeout,
+            max_retries=max_retries,
+            seed=99,
+        ),
+    )
+    if not plan.is_empty:
+        FaultInjector(dispatcher, plan).arm()
+    return dispatcher.run()
+
+
+def assert_books_balance(stats):
+    __tracebackhide__ = True
+    assert stats.issued == (
+        stats.completed
+        + stats.stale_discarded
+        + stats.malformed
+        + stats.rejected
+        + stats.timeouts
+        + stats.crashed
+    ), f"issued does not reconcile: {stats}"
+    assert stats.timeouts + stats.crashed == stats.retries + stats.dropped, (
+        f"lost questions neither retried nor dropped: {stats}"
+    )
+
+
+CRASH_PLANS = {
+    "no_faults": FaultPlan(),
+    "single_crash": FaultPlan(crashes=(60.0,), seed=17),
+    "crash_storm": FaultPlan(crashes=tuple(float(t) for t in range(40, 400, 40)), seed=17),
+    "crash_and_churn": FaultPlan(
+        crashes=(50.0, 200.0), churn_waves=((120.0, 4),), seed=17
+    ),
+    "everything": FaultPlan(
+        crashes=(50.0, 150.0, 250.0),
+        churn_waves=((100.0, 3), (300.0, 2)),
+        duplicates=(75.0, 175.0, 275.0),
+        seed=17,
+    ),
+}
+
+
+class TestBooksBalance:
+    @pytest.mark.parametrize("plan_name", sorted(CRASH_PLANS))
+    def test_books_balance_under_faults(self, folk_population, plan_name):
+        result = run_with_plan(folk_population, CRASH_PLANS[plan_name])
+        assert_books_balance(result.dispatch)
+
+    @pytest.mark.parametrize("timeout", [15.0, 70.0, 1e9])
+    def test_books_balance_across_timeout_regimes(self, folk_population, timeout):
+        # Tight timeouts race crashes for the same in-flight entries;
+        # both paths must book the loss exactly once.
+        result = run_with_plan(
+            folk_population, CRASH_PLANS["everything"], timeout=timeout
+        )
+        assert_books_balance(result.dispatch)
+
+    def test_crashes_are_booked_and_recovered(self, folk_population):
+        stats = run_with_plan(
+            folk_population, CRASH_PLANS["crash_storm"]
+        ).dispatch
+        assert stats.crashed > 0
+        # A crashed question re-enters the pipeline like a timeout:
+        # retried while retries remain, dropped after.
+        assert stats.retries + stats.dropped >= stats.crashed
+
+    def test_zero_retries_drops_every_loss(self, folk_population):
+        stats = run_with_plan(
+            folk_population, CRASH_PLANS["crash_storm"], max_retries=0
+        ).dispatch
+        assert stats.retries == 0
+        assert stats.dropped == stats.timeouts + stats.crashed
+        assert_books_balance(stats)

@@ -1,0 +1,217 @@
+"""Quality control: gold probes, trust, quarantine, and the no-op bar.
+
+Two acceptance criteria from the ISSUE pin here:
+
+- with **no** adversaries, enabling quarantine must leave the miner's
+  question selection byte-identical to the plain configuration (the
+  quality loop must be free when nothing is wrong);
+- with a 30% spammer mix, the loop must actually quarantine spammers
+  and purge their evidence from the knowledge base.
+"""
+
+import pytest
+
+from repro.core import RuleStats
+from repro.errors import ConfigurationError
+from repro.estimation import Thresholds
+from repro.faults import CompositeTrust, QualityController, build_adversarial_crowd
+from repro.miner import CrowdMiner, CrowdMinerConfig
+from tests.dispatch.test_equivalence import kb_fingerprint, log_fingerprint
+
+THRESHOLDS = Thresholds(0.10, 0.5)
+
+
+class TestQualityController:
+    def test_clean_member_has_exact_unit_trust(self):
+        quality = QualityController()
+        quality.record_answer("m1", 0.5)  # well within z_threshold
+        quality.record_gold("m1", RuleStats(0.5, 0.6), RuleStats(0.5, 0.7))
+        assert quality.trust("m1") == 1.0  # exactly — the fast-path contract
+        assert quality.trust("never-seen") == 1.0
+
+    def test_gold_failures_lower_trust(self):
+        quality = QualityController(gold_tolerance=0.1)
+        for _ in range(3):
+            quality.record_gold("m1", RuleStats(0.9, 0.9), RuleStats(0.1, 0.2))
+        assert 0.0 < quality.trust("m1") < 0.5
+        record = quality.quality_of("m1")
+        assert record.gold_failures == 3
+        assert record.mean_gold_error == pytest.approx(0.8)
+
+    def test_outliers_lower_trust_past_tolerance(self):
+        quality = QualityController(z_threshold=3.5, outlier_tolerance=0.25)
+        for _ in range(10):
+            assert quality.record_answer("m1", 10.0)
+        assert quality.quality_of("m1").outlier_rate == 1.0
+        assert quality.trust("m1") < 0.5
+
+    def test_occasional_outlier_forgiven(self):
+        quality = QualityController(outlier_tolerance=0.25)
+        quality.record_answer("m1", 10.0)  # one outlier...
+        for _ in range(7):
+            quality.record_answer("m1", 0.1)  # ...among honest answers
+        assert quality.trust("m1") == 1.0
+
+    def test_quarantine_needs_min_answers(self):
+        quality = QualityController(gold_tolerance=0.1, min_answers=3)
+        quality.record_gold("m1", RuleStats(0.9, 0.9), RuleStats(0.1, 0.2))
+        assert not quality.should_quarantine("m1")  # only 1 answer scored
+        quality.record_gold("m1", RuleStats(0.9, 0.9), RuleStats(0.1, 0.2))
+        quality.record_gold("m1", RuleStats(0.9, 0.9), RuleStats(0.1, 0.2))
+        assert quality.should_quarantine("m1")
+        quality.mark_quarantined("m1")
+        assert quality.is_quarantined("m1")
+        assert quality.trust("m1") == 0.0
+        assert not quality.should_quarantine("m1")  # never twice
+        assert quality.quarantined == {"m1"}
+
+    def test_version_moves_only_on_quality_news(self):
+        quality = QualityController()
+        before = quality.version
+        quality.record_answer("m1", 0.1)  # clean: no version bump
+        quality.record_gold("m1", RuleStats(0.5, 0.6), RuleStats(0.5, 0.6))
+        assert quality.version == before
+        quality.record_answer("m1", 99.0)  # outlier: bump
+        assert quality.version > before
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QualityController(min_answers=0)
+        with pytest.raises(Exception):
+            QualityController(trust_floor=1.5)
+
+
+class TestCompositeTrust:
+    class _FixedSource:
+        def __init__(self, value):
+            self.value = value
+            self.version = 0
+
+        def trust(self, member_id):
+            return self.value
+
+    def test_trust_is_product(self):
+        composite = CompositeTrust(
+            (self._FixedSource(0.5), self._FixedSource(0.5))
+        )
+        assert composite.trust("m1") == 0.25
+
+    def test_version_sums_sources(self):
+        a, b = self._FixedSource(1.0), self._FixedSource(1.0)
+        composite = CompositeTrust((a, b))
+        before = composite.version
+        a.version += 3
+        assert composite.version == before + 3
+
+    def test_versionless_source_forces_invalidation(self):
+        source = self._FixedSource(1.0)
+        del source.version
+        composite = CompositeTrust((source,))
+        assert composite.version < composite.version  # strictly increasing
+
+
+class TestConfigValidation:
+    def test_gold_rate_requires_quarantine(self):
+        with pytest.raises(ConfigurationError):
+            CrowdMinerConfig(thresholds=THRESHOLDS, gold_rate=0.2)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(Exception):
+            CrowdMinerConfig(
+                thresholds=THRESHOLDS, quarantine=True, gold_rate=1.5
+            )
+        with pytest.raises(Exception):
+            CrowdMinerConfig(
+                thresholds=THRESHOLDS, quarantine=True, trust_floor=-0.1
+            )
+
+    def test_min_answers_positive(self):
+        with pytest.raises(Exception):
+            CrowdMinerConfig(
+                thresholds=THRESHOLDS, quarantine=True, quarantine_min_answers=0
+            )
+
+
+def run_miner(crowd, budget=200, **overrides):
+    config = CrowdMinerConfig(
+        thresholds=THRESHOLDS, budget=budget, seed=6, **overrides
+    )
+    miner = CrowdMiner(crowd, config)
+    miner.run()
+    return miner
+
+
+class TestCleanCrowdNoOp:
+    def test_quarantine_alone_is_byte_identical(self, folk_population):
+        # Acceptance bar: 0% adversaries + quarantine enabled must
+        # select byte-identically to the plain miner. (gold_rate stays
+        # 0 here — probes by design spend budget on re-asks.)
+        plain_crowd, _ = build_adversarial_crowd(folk_population, (), seed=5)
+        plain = run_miner(plain_crowd)
+
+        guarded_crowd, _ = build_adversarial_crowd(folk_population, (), seed=5)
+        guarded = run_miner(guarded_crowd, quarantine=True)
+
+        assert log_fingerprint(guarded) == log_fingerprint(plain)
+        assert kb_fingerprint(guarded) == kb_fingerprint(plain)
+        assert guarded.quality is not None
+        assert guarded.quality.quarantined == set()
+
+
+class TestAdversarialSession:
+    @pytest.fixture
+    def spammed(self, folk_population):
+        crowd, roles = build_adversarial_crowd(
+            folk_population, (("spammer", 0.3),), seed=5
+        )
+        miner = run_miner(
+            crowd, budget=400, quarantine=True, gold_rate=0.15, trust_floor=0.45
+        )
+        return miner, roles
+
+    def test_spammers_get_quarantined(self, spammed):
+        miner, roles = spammed
+        quarantined = miner.quality.quarantined
+        assert quarantined, "no member quarantined in a 30% spammer crowd"
+        spammers = {mid for mid, role in roles.items() if role == "spammer"}
+        # Gold probes score members against the *crowd aggregate*, and
+        # personal truths legitimately scatter around it, so perfect
+        # precision is not on offer — but the catch must be mostly
+        # spammers, and most spammers must be caught.
+        true_positives = len(quarantined & spammers)
+        assert true_positives / len(quarantined) >= 0.6
+        assert true_positives / len(spammers) >= 0.5
+
+    def test_quarantined_evidence_is_purged(self, spammed):
+        miner, _ = spammed
+        quarantined = miner.quality.quarantined
+        for knowledge in miner.state.rules():
+            assert not (set(knowledge.samples.member_ids) & quarantined), (
+                f"purged member still has evidence on {knowledge.rule}"
+            )
+
+    def test_quarantined_members_not_routed(self, spammed):
+        miner, _ = spammed
+        assert not (
+            set(miner.crowd.available_members()) & miner.quality.quarantined
+        )
+
+    def test_garbled_members_get_quarantined_too(self, folk_population):
+        # A member who only ever sends unparseable text produces no
+        # evidence to score — the malformed strike must still count
+        # against them, or they hold a routing slot forever.
+        crowd, roles = build_adversarial_crowd(
+            folk_population, (("garbled", 0.2),), seed=5
+        )
+        miner = run_miner(crowd, budget=300, quarantine=True, gold_rate=0.15)
+        garbled = {mid for mid, role in roles.items() if role == "garbled"}
+        assert garbled <= miner.quality.quarantined
+
+    def test_counters_tell_the_story(self, spammed):
+        miner, _ = spammed
+        counters = miner.obs.snapshot().counters
+        assert counters.get("quality.gold", 0) > 0
+        assert counters.get("quality.quarantined", 0) == len(
+            miner.quality.quarantined
+        )
+        assert counters.get("kb.members_purged", 0) >= 0
