@@ -6,7 +6,7 @@ Three commands covering the library's three hats:
   domains (folk_remedies / travel / culinary) against a simulated
   crowd, printing the mined rules and ground-truth score; with
   ``--save-cache`` the collected answers persist to JSON, and
-  ``--adversary-mix`` / ``--quarantine`` / ``--gold-rate`` plant
+  ``--adversary-mix`` / ``--quarantine`` / ``--trust-model`` plant
   adversaries and enable the quality-control loop
   (``docs/robustness.md``);
 - ``replay`` — re-evaluate a saved answer cache at new thresholds
@@ -65,7 +65,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 thresholds=thresholds,
                 budget=args.budget,
                 quarantine=args.quarantine,
+                trust_model=args.trust_model,
                 gold_rate=args.gold_rate,
+                reestimate_every=args.reestimate_every,
                 seed=args.seed + 3,
             ),
         )
@@ -86,7 +88,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             thresholds,
             budget=args.budget,
             quarantine=args.quarantine,
+            trust_model=args.trust_model,
             gold_rate=args.gold_rate,
+            reestimate_every=args.reestimate_every,
             seed=args.seed + 3,
         )
     print(result.summary())
@@ -221,15 +225,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--quarantine", action="store_true",
-        help="enable the quality-control loop: score members against "
-        "gold probes and outlier checks, quarantine low-trust members "
-        "and purge their evidence",
+        help="enable the quality-control loop: estimate per-member "
+        "trust, quarantine low-trust members and purge their evidence",
+    )
+    mine.add_argument(
+        "--trust-model", choices=("latent", "gold"), default="latent",
+        help="trust source behind --quarantine: 'latent' (default) "
+        "jointly estimates member ability and rule truth from the "
+        "answer matrix, no gold spent; 'gold' is the legacy "
+        "aggregate-referenced probe loop (poisonable by collusion)",
     )
     mine.add_argument(
         "--gold-rate", type=float, default=0.0, metavar="P",
         help="fraction of questions spent on gold probes (re-asking "
         "already-settled rules to score answer quality); requires "
-        "--quarantine",
+        "--quarantine and --trust-model gold",
+    )
+    mine.add_argument(
+        "--reestimate-every", type=int, default=10, metavar="N",
+        help="answers between latent-trust re-estimations "
+        "(--trust-model latent)",
     )
     mine.set_defaults(func=_cmd_mine)
 

@@ -190,7 +190,11 @@ class WeightedAggregator(Aggregator):
         )
         w = np.array([self.weights.get(m, self.default_weight) for m in members])
         if w.sum() <= 0:
-            return _summary_from_array(data)
+            # Every contributor has zero trust (e.g. all quarantined,
+            # purge pending). Falling back to the unweighted mean would
+            # count their evidence at full weight — report no usable
+            # evidence instead, so the rule reads as unresolved.
+            return EstimateSummary(0, np.zeros(2), np.zeros((2, 2)))
         w = w / w.sum()
         mean = (w[:, None] * data).sum(axis=0)
         n = data.shape[0]

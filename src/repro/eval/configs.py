@@ -130,9 +130,13 @@ def e8r_robustness(scale: str = "full") -> tuple[ExperimentConfig, dict[str, dic
     the sweep's adversary because their coordinated lies *bias*
     aggregates rather than just widening them, which is what actually
     moves F1. The off rows trace graceful degradation; the on rows
-    measure how much of the lost quality gold probes + outlier
-    screening + quarantine buy back (the recovery floor asserted by
-    ``benchmarks/bench_e8_robustness.py``).
+    measure what the latent-ability trust model (joint member/truth
+    estimation, no gold reference to poison — see
+    :mod:`repro.faults.latent`) buys back. The floor asserted by
+    ``benchmarks/bench_e8_robustness.py``: quality-on must be at least
+    quality-off at *every* swept fraction — the poisoned-gold regime
+    where enabling the defence made things worse is the bug this model
+    fixed.
     """
     base = replace(
         _base(scale),
@@ -146,11 +150,7 @@ def e8r_robustness(scale: str = "full") -> tuple[ExperimentConfig, dict[str, dic
         mix = (("colluder", fraction),) if fraction > 0 else ()
         label = f"spam_{int(fraction * 100):02d}"
         variants[f"{label}_q_off"] = {"adversary_mix": mix}
-        variants[f"{label}_q_on"] = {
-            "adversary_mix": mix,
-            "quarantine": True,
-            "gold_rate": 0.15,
-        }
+        variants[f"{label}_q_on"] = {"adversary_mix": mix, "quarantine": True}
     return base, variants
 
 

@@ -8,8 +8,12 @@ purpose. The package splits into:
   (collusion rings, drifting noise, lazy extremes, garbled text);
 - :mod:`repro.faults.injector` — transport/membership faults on the
   dispatch timeline (crashes, churn waves, duplicate deliveries);
-- :mod:`repro.faults.quality` — the defence: gold probes, outlier
-  scores, trust weights and quarantine.
+- :mod:`repro.faults.quality` — the legacy defence: gold probes,
+  outlier scores, trust weights and quarantine (reference-based, so
+  poisonable — see EXPERIMENTS.md E8-R);
+- :mod:`repro.faults.latent` — the gold-free defence: joint
+  latent-ability / rule-truth estimation over the full answer matrix
+  (Dawid–Skene-style), the miner's default trust model.
 
 :func:`build_adversarial_crowd` assembles a crowd with a declared
 adversary mix; :func:`parse_adversary_mix` reads the CLI's
@@ -35,6 +39,7 @@ from repro.faults.adversaries import (
     garbage_text,
 )
 from repro.faults.injector import FaultInjector, FaultPlan, periodic_plan
+from repro.faults.latent import LatentAbilityModel, MemberAbility
 from repro.faults.quality import CompositeTrust, MemberQuality, QualityController
 from repro.synth.population import Population
 
@@ -47,7 +52,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "GarbledMember",
+    "LatentAbilityModel",
     "LazyExtremesModel",
+    "MemberAbility",
     "MemberQuality",
     "QualityController",
     "build_adversarial_crowd",

@@ -136,13 +136,18 @@ class QualityController:
             abs(reported.support - expected.support),
             abs(reported.confidence - expected.confidence),
         )
+        before = self.violation_score(member_id)
         record = self._record_of(member_id)
         record.answers_scored += 1
         record.gold_probes += 1
         record.gold_error_total += error
         if error > self.gold_tolerance:
             record.gold_failures += 1
-            self.version += 1  # trust may have moved
+        if self.violation_score(member_id) != before:
+            # Clean probes also move the running means — a recovering
+            # member's rising trust must invalidate cached summaries
+            # just as surely as a failure's falling trust.
+            self.version += 1
         return error
 
     def record_answer(self, member_id: str, z_score: float | None) -> bool:
@@ -152,13 +157,17 @@ class QualityController:
         aggregate in standard errors (``None`` when the aggregate is
         still too thin to judge).
         """
+        before = self.violation_score(member_id)
         record = self._record_of(member_id)
         record.answers_scored += 1
-        if z_score is not None and abs(z_score) > self.z_threshold:
+        outlier = z_score is not None and abs(z_score) > self.z_threshold
+        if outlier:
             record.outliers += 1
+        if self.violation_score(member_id) != before:
+            # Clean answers dilute the outlier rate, so they can raise
+            # trust — bump on any score movement, not just violations.
             self.version += 1
-            return True
-        return False
+        return outlier
 
     # -- the trust-source protocol --------------------------------------------
 

@@ -42,12 +42,19 @@ from repro.estimation.aggregate import Aggregator, DynamicTrustAggregator
 from repro.estimation.consistency import ConsistencyChecker
 from repro.estimation.samples import EstimateSummary
 from repro.estimation.significance import Decision, SignificanceTest, Thresholds
+from repro.faults.latent import LatentAbilityModel
 from repro.faults.quality import CompositeTrust, QualityController
 from repro.miner.open_policy import AdaptiveOpenPolicy, OpenClosedPolicy
 from repro.miner.result import MiningResult, QuestionEvent, QuestionKind
 from repro.miner.state import MiningState, RuleOrigin
 from repro.miner.strategy import MaxUncertaintyStrategy, QuestionStrategy
 from repro.obs import Instrumentation
+
+
+#: Bucket edges of the ``quality.ability`` histogram: posterior
+#: *relative* noise scales (1 = typical honest scatter for the rules
+#: answered); the quarantine-relevant mass sits above ~1.8.
+ABILITY_BUCKETS: tuple[float, ...] = (0.5, 0.8, 1.0, 1.3, 1.8, 2.5, 4.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,30 +149,44 @@ class CrowdMinerConfig:
         (:class:`~repro.estimation.aggregate.DynamicTrustAggregator`).
         Mutually exclusive with a custom ``aggregator``.
     quarantine:
-        Enable the answer quality-control loop
+        Enable the answer quality-control loop: trust weights discount
+        low-quality members, and members falling below ``trust_floor``
+        are quarantined — no longer routed to, their evidence purged
+        from the knowledge base. Which trust model scores members is
+        chosen by ``trust_model``. Composes with ``screen_spammers``
+        (trust is the product of both sources); mutually exclusive
+        with a custom ``aggregator``. With no adversaries present
+        every member keeps trust exactly 1.0 and the session is
+        byte-identical to one with the loop disabled.
+    trust_model:
+        ``"latent"`` (default) — the gold-free latent-ability model
+        (:class:`~repro.faults.latent.LatentAbilityModel`): member
+        ability and rule truth are jointly re-estimated from the full
+        answer matrix every ``reestimate_every`` counted answers, so
+        there is no aggregate reference for colluders to poison.
+        ``"gold"`` — the legacy gold-probe loop
         (:class:`~repro.faults.quality.QualityController`): counted
         answers are screened for outliers against the rule's running
-        aggregate, gold probes (see ``gold_rate``) score members
-        against settled rules, trust weights discount low-quality
-        members, and members falling below ``trust_floor`` are
-        quarantined — no longer routed to, their evidence purged from
-        the knowledge base. Composes with ``screen_spammers`` (trust is
-        the product of both sources); mutually exclusive with a custom
-        ``aggregator``. With no adversaries present every member keeps
-        trust exactly 1.0 and the session is byte-identical to one with
-        the loop disabled.
+        aggregate and gold probes (see ``gold_rate``) score members
+        against settled rules — which colluders can poison once their
+        fabricated rules settle (EXPERIMENTS.md E8-R); kept for
+        comparison experiments.
     gold_rate:
         Probability that a question slot becomes a gold probe: the
         member is re-asked a rule whose classification is already
         settled on enough direct evidence, and their answer is scored
         against that aggregate instead of being counted. Costs budget
         (the probe is a real question) — the price of quality control.
-        Only drawn when ``quarantine`` is enabled; 0 disables probing
-        without perturbing the random stream.
+        Requires ``trust_model="gold"``; 0 disables probing without
+        perturbing the random stream.
+    reestimate_every:
+        Counted answers between latent-model re-estimations
+        (answer-count driven, so deterministic from seeds — replay
+        stays byte-identical). Only read when ``trust_model="latent"``.
     trust_floor / quarantine_min_answers:
-        Quarantine triggers when a member's quality trust falls below
+        Quarantine triggers when a member's trust falls below
         ``trust_floor`` with at least ``quarantine_min_answers`` scored
-        answers (see :class:`~repro.faults.quality.QualityController`).
+        answers (see the two trust-model classes).
     seed_rules:
         Rules known before any question is asked (a query's candidate
         patterns); they enter the knowledge base with SEED origin.
@@ -189,7 +210,9 @@ class CrowdMinerConfig:
     contextual_open_fraction: float = 0.0
     screen_spammers: bool = False
     quarantine: bool = False
+    trust_model: str = "latent"
     gold_rate: float = 0.0
+    reestimate_every: int = 10
     trust_floor: float = 0.45
     quarantine_min_answers: int = 4
     seed_rules: tuple[Rule, ...] = ()
@@ -199,8 +222,14 @@ class CrowdMinerConfig:
         check_positive(self.budget, "budget")
         check_fraction(self.contextual_open_fraction, "contextual_open_fraction")
         check_fraction(self.gold_rate, "gold_rate")
+        check_positive(self.reestimate_every, "reestimate_every")
         check_fraction(self.trust_floor, "trust_floor")
         check_positive(self.quarantine_min_answers, "quarantine_min_answers")
+        if self.trust_model not in ("latent", "gold"):
+            raise ConfigurationError(
+                f"unknown trust_model {self.trust_model!r}; "
+                "expected 'latent' or 'gold'"
+            )
         if (self.screen_spammers or self.quarantine) and self.aggregator is not None:
             raise ConfigurationError(
                 "screen_spammers/quarantine install their own trust-weighted "
@@ -210,6 +239,11 @@ class CrowdMinerConfig:
             raise ConfigurationError(
                 "gold_rate without quarantine would spend budget on probes "
                 "nobody scores; enable quarantine"
+            )
+        if self.gold_rate > 0.0 and self.trust_model != "gold":
+            raise ConfigurationError(
+                "gold_rate is only read by the gold-probe loop; "
+                "set trust_model='gold' (the latent model needs no probes)"
             )
 
     def build_test(self) -> SignificanceTest:
@@ -246,17 +280,26 @@ class CrowdMiner:
         self.obs = obs or Instrumentation()
         self.consistency: ConsistencyChecker | None = None
         self.quality: QualityController | None = None
+        self.latent: LatentAbilityModel | None = None
         aggregator = config.aggregator
         trust_sources: list = []
         if config.screen_spammers:
             self.consistency = ConsistencyChecker()
             trust_sources.append(self.consistency)
         if config.quarantine:
-            self.quality = QualityController(
-                trust_floor=config.trust_floor,
-                min_answers=config.quarantine_min_answers,
-            )
-            trust_sources.append(self.quality)
+            if config.trust_model == "gold":
+                self.quality = QualityController(
+                    trust_floor=config.trust_floor,
+                    min_answers=config.quarantine_min_answers,
+                )
+                trust_sources.append(self.quality)
+            else:
+                self.latent = LatentAbilityModel(
+                    trust_floor=config.trust_floor,
+                    min_answers=config.quarantine_min_answers,
+                    reestimate_every=config.reestimate_every,
+                )
+                trust_sources.append(self.latent)
         if len(trust_sources) == 1:
             aggregator = DynamicTrustAggregator(trust_sources[0])
         elif trust_sources:
@@ -542,10 +585,12 @@ class CrowdMiner:
             if self.quality is not None:
                 self.quality.record_answer(proposal.member_id, float("inf"))
                 self._maybe_quarantine(proposal.member_id)
+            elif self.latent is not None:
+                self.latent.observe_malformed(proposal.member_id)
+                self._maybe_reestimate()
             return None
-        if self.quality is not None and self.quality.is_quarantined(
-            proposal.member_id
-        ):
+        guard = self.trust_guard
+        if guard is not None and guard.is_quarantined(proposal.member_id):
             self.obs.count("quality.rejected")
             return None
         if proposal.gold:
@@ -605,6 +650,47 @@ class CrowdMiner:
         delta = np.abs(np.array(stats.as_tuple()) - summary.mean)
         return float(np.max(delta / sd))
 
+    @property
+    def trust_guard(self) -> QualityController | LatentAbilityModel | None:
+        """The active quarantine guard — gold or latent — or ``None``.
+
+        Both models share the quarantine surface
+        (``is_quarantined`` / ``quarantined`` / ``trust``), so callers
+        that only need that surface stay trust-model agnostic.
+        """
+        return self.quality if self.quality is not None else self.latent
+
+    def _maybe_reestimate(self) -> None:
+        """Run a latent re-estimation when one is due, then react to it.
+
+        The cadence is answer-count driven (every ``reestimate_every``
+        counted observations), so it is a pure function of the answer
+        stream — replay stays byte-identical. When the fit moves some
+        member's trust, members whose posterior ability now warrants
+        exile are quarantined (in sorted order, deterministically) and
+        every evidenced rule is re-assessed under the shifted weights —
+        rules settled on newly-distrusted answers reopen through the
+        regular purge/reopen machinery.
+        """
+        assert self.latent is not None
+        if not self.latent.due():
+            return
+        with self.obs.timer("quality.estimate"):
+            changed = self.latent.reestimate()
+        self.obs.count("quality.reestimates")
+        for _, ability in self.latent.abilities():
+            self.obs.observe(
+                "quality.ability", ability.sigma, edges=ABILITY_BUCKETS
+            )
+        if not changed:
+            return
+        for member_id in self.latent.quarantine_candidates():
+            self.latent.mark_quarantined(member_id)
+            self.crowd.quarantine(member_id)
+            self.state.purge_member(member_id)
+            self.obs.count("quality.quarantined")
+        self.state.reassess_trust_shift()
+
     def _maybe_quarantine(self, member_id: str) -> None:
         """Exile ``member_id`` if their quality record now warrants it.
 
@@ -642,9 +728,16 @@ class CrowdMiner:
             self.quality.record_answer(
                 member_id, self._outlier_z(rule, answer.stats)
             )
+        if self.latent is not None:
+            # Only counted closed answers enter the matrix: open
+            # answers are volunteer-biased by construction, and gold
+            # does not exist in this mode.
+            self.latent.observe_answer(member_id, rule, answer.stats)
         self.state.record_answer(rule, member_id, answer.stats, origin)
         if self.quality is not None:
             self._maybe_quarantine(member_id)
+        elif self.latent is not None:
+            self._maybe_reestimate()
         self.obs.count("miner.closed")
         self._expand_confirmed()
         event = QuestionEvent(

@@ -541,6 +541,34 @@ class MiningState:
             self.obs.count("kb.answers_purged", purged)
         return purged
 
+    def reassess_trust_shift(self) -> int:
+        """Re-classify every evidenced rule after a trust-weight shift.
+
+        The latent-ability loop calls this when a re-estimation moves
+        some member's trust: the aggregator's weights changed under
+        every rule at once, so each rule with evidence is re-summarized
+        (the version token already invalidates the cached summaries)
+        and re-assessed. A rule settled on answers whose authors just
+        lost trust reopens through the same transition that lets direct
+        evidence overturn a decision; inferred condemnations stick, per
+        the regular contract.
+
+        Returns the number of rules whose decision changed.
+        """
+        changed = 0
+        with self.obs.timer("kb.reweight"):
+            for knowledge in self._rules.values():
+                if knowledge.samples.n == 0:
+                    continue
+                before = knowledge.decision
+                self._reassess(knowledge)
+                self._push_priority(knowledge)
+                if knowledge.decision is not before:
+                    changed += 1
+        if changed:
+            self.obs.count("kb.trust_reassessed", changed)
+        return changed
+
     def _propagate_insignificance(self, source: RuleKnowledge) -> None:
         """Condemn known, unresolved specializations of a support-dead rule."""
         with self.obs.timer("kb.propagate"):

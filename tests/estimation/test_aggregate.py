@@ -73,11 +73,15 @@ class TestWeighted:
         plain = MeanAggregator().summarize(store)
         assert np.allclose(weighted.mean, plain.mean)
 
-    def test_all_zero_weights_fall_back(self):
+    def test_all_zero_weights_read_as_no_evidence(self):
+        # Every contributor at zero trust (e.g. all quarantined, purge
+        # pending): falling back to the unweighted mean would count the
+        # distrusted answers at full weight — the summary must instead
+        # report no usable evidence so the rule reads as unresolved.
         store = store_with([(0.2, 0.5), (0.4, 0.9)])
         agg = WeightedAggregator({"u0": 0.0, "u1": 0.0}, default_weight=0.0)
         summary = agg.summarize(store)
-        assert summary.n == 2  # falls back to the unweighted summary
+        assert summary.n == 0
 
     def test_negative_weight_rejected(self):
         with pytest.raises(ValueError):

@@ -74,6 +74,19 @@ class TestQualityController:
         quality.record_answer("m1", 99.0)  # outlier: bump
         assert quality.version > before
 
+    def test_version_bumps_on_recovery_too(self):
+        # Regression: version used to move only on violations, so a
+        # recovering member's *rising* trust left stale low-trust
+        # summaries cached in the knowledge base.
+        quality = QualityController(gold_tolerance=0.1)
+        for _ in range(3):
+            quality.record_gold("m1", RuleStats(0.9, 0.9), RuleStats(0.1, 0.2))
+        before = quality.version
+        trust_before = quality.trust("m1")
+        quality.record_gold("m1", RuleStats(0.1, 0.2), RuleStats(0.1, 0.2))
+        assert quality.trust("m1") > trust_before  # clean probe dilutes
+        assert quality.version > before  # ...and must invalidate caches
+
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
             QualityController(min_answers=0)
@@ -154,8 +167,9 @@ class TestCleanCrowdNoOp:
 
         assert log_fingerprint(guarded) == log_fingerprint(plain)
         assert kb_fingerprint(guarded) == kb_fingerprint(plain)
-        assert guarded.quality is not None
-        assert guarded.quality.quarantined == set()
+        assert guarded.latent is not None  # latent model is the default guard
+        assert guarded.latent.estimates > 0  # ...and it actually ran
+        assert guarded.latent.quarantined == set()
 
 
 class TestAdversarialSession:
@@ -165,7 +179,12 @@ class TestAdversarialSession:
             folk_population, (("spammer", 0.3),), seed=5
         )
         miner = run_miner(
-            crowd, budget=400, quarantine=True, gold_rate=0.15, trust_floor=0.45
+            crowd,
+            budget=400,
+            quarantine=True,
+            trust_model="gold",
+            gold_rate=0.15,
+            trust_floor=0.45,
         )
         return miner, roles
 
@@ -203,7 +222,9 @@ class TestAdversarialSession:
         crowd, roles = build_adversarial_crowd(
             folk_population, (("garbled", 0.2),), seed=5
         )
-        miner = run_miner(crowd, budget=300, quarantine=True, gold_rate=0.15)
+        miner = run_miner(
+            crowd, budget=300, quarantine=True, trust_model="gold", gold_rate=0.15
+        )
         garbled = {mid for mid, role in roles.items() if role == "garbled"}
         assert garbled <= miner.quality.quarantined
 
