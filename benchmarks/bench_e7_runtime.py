@@ -21,7 +21,11 @@ Two measurements:
   improves monotonically as more questions overlap. Here the clock is
   the *simulated* one — the sweep measures the dispatcher's batching
   payoff, while pytest-benchmark still records the CPU cost of driving
-  the event loop.
+  the event loop;
+- a checkpoint-overhead variant: the same full session run plain and
+  with a SQLite store checkpointing every 100 questions, asserting the
+  persistence layer stays within a 10% share of session wall time
+  (``docs/persistence.md``).
 
 Both print the session's own instrumentation (``repro.obs``), so the
 numbers come with their per-phase breakdown attached.
@@ -38,6 +42,7 @@ from repro.estimation import Thresholds
 from repro.eval import format_rows
 from repro.eval.runner import ExperimentConfig, build_world
 from repro.miner import CrowdMiner, CrowdMinerConfig, FixedRatioPolicy
+from repro.storage import SQLiteBackend
 
 from conftest import run_once
 
@@ -62,6 +67,15 @@ DISPATCH_WINDOWS = (1, 8, 32)
 KB_SETTINGS = {
     "full": dict(seed_rules=5_000, budget=1_500, floor_qps=400.0),
     "smoke": dict(seed_rules=1_000, budget=300, floor_qps=600.0),
+}
+
+#: The checkpoint-overhead variant: checkpoint cadence and the maximum
+#: share of session wall time the persistence layer may consume. The
+#: 10% ceiling is the repo's stated overhead budget for ``--checkpoint``
+#: at the default cadence (``docs/persistence.md``).
+CKPT_SETTINGS = {
+    "full": dict(checkpoint_every=100, max_overhead=0.10),
+    "smoke": dict(checkpoint_every=100, max_overhead=0.10),
 }
 
 
@@ -204,6 +218,118 @@ def test_e7_kb_scale_closed_throughput(benchmark, scale):
     assert qps >= cfg["floor_qps"], (
         f"closed-question throughput {qps:.0f} q/s fell below the "
         f"{cfg['floor_qps']} q/s floor at {len(seed_rules)} rules"
+    )
+
+
+def _e7_session(cfg, storage, checkpoint_every):
+    """The standard E7 session, optionally persisted to ``storage``."""
+    config = ExperimentConfig(
+        name="e7-ckpt",
+        n_items=cfg["n_items"],
+        n_patterns=cfg["n_patterns"],
+        n_members=cfg["n_members"],
+        budget=cfg["budget"],
+        checkpoints=(cfg["budget"],),
+        repetitions=1,
+        seed=77,
+    )
+    _, population, _ = build_world(config, seed=77)
+    crowd = SimulatedCrowd.from_population(
+        population, answer_model=standard_answer_model(), seed=78
+    )
+    return CrowdMiner(
+        crowd,
+        CrowdMinerConfig(
+            thresholds=Thresholds(0.10, 0.5),
+            budget=cfg["budget"],
+            checkpoint_every=checkpoint_every,
+            seed=79,
+        ),
+        storage=storage,
+    )
+
+
+def test_e7_checkpoint_overhead(benchmark, scale, tmp_path):
+    """Persistence overhead of a checkpointed session vs the plain one.
+
+    Runs the identical E7 session twice — without storage, and with the
+    SQLite backend checkpointing every ``checkpoint_every`` questions —
+    and bounds the persistence layer's share of the checkpointed
+    session's wall time. The assertion reads the session's own
+    ``storage.checkpoint`` timer rather than the plain-vs-persisted
+    throughput delta: on a shared CI runner the end-to-end delta is
+    dominated by machine noise (the true overhead is a few percent),
+    while the timer share measures exactly the cost being budgeted and
+    stays stable. The write-ahead answer log batches into the
+    checkpoint transaction, so its per-question cost is one uncommitted
+    INSERT — included in the wall time, invisible in the timer, and an
+    order of magnitude below the capture cost it rides along with.
+    Both throughputs are still printed for the table.
+    """
+    cfg = dict(SETTINGS[scale])
+    cfg.update(CKPT_SETTINGS[scale])
+
+    def run():
+        results = {}
+        for label, storage, every in (
+            ("plain", None, 0),
+            ("sqlite", SQLiteBackend(tmp_path / "e7.db", fresh=True), cfg["checkpoint_every"]),
+        ):
+            miner = _e7_session(cfg, storage, every)
+            started = time.perf_counter()
+            asked = 0
+            while not miner.is_done:
+                if miner.step() is None:
+                    break
+                asked += 1
+            if storage is not None:
+                miner.checkpoint()  # final capture, as the CLI does
+            elapsed = time.perf_counter() - started
+            if storage is not None:
+                storage.close()
+            results[label] = (asked, elapsed, miner)
+        return results
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for label, (asked, elapsed, miner) in results.items():
+        snapshot = miner.obs.snapshot()
+        timer = snapshot.timers.get("storage.checkpoint")
+        rows.append(
+            (
+                label,
+                asked,
+                f"{elapsed:.3f}",
+                f"{asked / elapsed:.0f}",
+                0 if timer is None else timer.calls,
+                "-" if timer is None else f"{1_000 * timer.total_seconds:.0f}",
+            )
+        )
+    print()
+    print(
+        f"=== E7: checkpoint overhead, sqlite every "
+        f"{cfg['checkpoint_every']} questions ({scale}) ==="
+    )
+    print(
+        format_rows(
+            ("session", "questions", "wall s", "q/s", "checkpoints", "ckpt ms"),
+            rows,
+        )
+    )
+    _print_obs(results["sqlite"][2], f"checkpointed e7 session, {scale}")
+
+    asked, elapsed, miner = results["sqlite"]
+    snapshot = miner.obs.snapshot()
+    assert asked == cfg["budget"]
+    assert snapshot.counters["storage.answers_logged"] == asked
+    # The in-session cadence plus the final capture.
+    expected = asked // cfg["checkpoint_every"] + 1
+    assert snapshot.counters["storage.checkpoints"] == expected
+    overhead = snapshot.timers["storage.checkpoint"].total_seconds / elapsed
+    assert overhead <= cfg["max_overhead"], (
+        f"checkpointing consumed {100 * overhead:.1f}% of session wall time, "
+        f"over the {100 * cfg['max_overhead']:.0f}% budget"
     )
 
 

@@ -5,10 +5,16 @@ Three commands covering the library's three hats:
 - ``mine`` — run a crowd-mining session on one of the named example
   domains (folk_remedies / travel / culinary) against a simulated
   crowd, printing the mined rules and ground-truth score; with
-  ``--save-cache`` the collected answers persist to JSON, and
+  ``--save-cache`` the collected answers persist to JSON,
   ``--adversary-mix`` / ``--quarantine`` / ``--trust-model`` plant
   adversaries and enable the quality-control loop
-  (``docs/robustness.md``);
+  (``docs/robustness.md``), and ``--checkpoint`` makes the session
+  durable — checkpointed every ``--checkpoint-every`` questions and
+  resumable after a crash with ``--resume``
+  (``docs/persistence.md``);
+- ``kb`` — inspect a saved knowledge base: rule counts by decision,
+  the strongest significant rules, per-member evidence totals, with
+  ``--export`` for CSV/JSON dumps;
 - ``replay`` — re-evaluate a saved answer cache at new thresholds
   without asking a single question;
 - ``experiment`` — run one of the canonical experiments (e1, e2, e3,
@@ -25,11 +31,51 @@ import sys
 from repro.crowd import standard_answer_model
 from repro.estimation import Thresholds
 from repro.eval import EXPERIMENTS, ascii_chart, format_experiment, run_variants
-from repro.miner import compute_ground_truth, mine_crowd
+from repro.miner import compute_ground_truth
 from repro.synth import NAMED_MODELS, QuestConfig, QuestGenerator, build_population
 
 
+def _detect_backend_kind(path: str) -> str:
+    """Which backend wrote ``path`` — by file magic, not by flag."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(16)
+    except OSError:
+        return "sqlite"  # let open_backend produce the real error
+    return "sqlite" if magic == b"SQLite format 3\x00" else "memory"
+
+
+def _resume_mine(args: argparse.Namespace) -> int:
+    """The ``mine --resume`` path: reload the session and finish it."""
+    from repro.storage import StorageError, load_session, open_backend
+
+    try:
+        storage = open_backend(
+            args.checkpoint, _detect_backend_kind(args.checkpoint), resume=True
+        )
+        miner, dispatcher, info = load_session(storage)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resumed {storage.describe()} at question {info.questions} "
+        f"({info.kb_rules} rules known)"
+    )
+    result = dispatcher.run() if dispatcher is not None else miner.run()
+    miner.checkpoint()
+    storage.close()
+    print(result.summary())
+    print(f"fingerprint: {result.fingerprint()}")
+    print("\nground truth: skipped on resume (world not rebuilt)")
+    return 0
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.resume:
+        if not args.checkpoint:
+            print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+            return 2
+        return _resume_mine(args)
     model = NAMED_MODELS[args.domain](seed=args.seed)
     population = build_population(
         model, n_members=args.members, transactions_per_member=200, seed=args.seed + 1
@@ -50,6 +96,28 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         cache = AnswerCache()
         crowd = CachingCrowd(crowd, cache)
     thresholds = Thresholds(args.support, args.confidence)
+    storage = None
+    if args.checkpoint:
+        from repro.storage import open_backend
+
+        storage = open_backend(args.checkpoint, args.storage)
+        print(f"checkpointing to {storage.describe()}")
+    from repro.miner import CrowdMiner, CrowdMinerConfig
+
+    miner = CrowdMiner(
+        crowd,
+        CrowdMinerConfig(
+            thresholds=thresholds,
+            budget=args.budget,
+            quarantine=args.quarantine,
+            trust_model=args.trust_model,
+            gold_rate=args.gold_rate,
+            reestimate_every=args.reestimate_every,
+            checkpoint_every=args.checkpoint_every if storage is not None else 0,
+            seed=args.seed + 3,
+        ),
+        storage=storage,
+    )
     use_dispatch = (
         args.in_flight > 1 or args.latency != "0" or args.timeout is not None
     )
@@ -57,20 +125,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         import math
 
         from repro.dispatch import DispatchConfig, Dispatcher, parse_latency
-        from repro.miner import CrowdMiner, CrowdMinerConfig
 
-        miner = CrowdMiner(
-            crowd,
-            CrowdMinerConfig(
-                thresholds=thresholds,
-                budget=args.budget,
-                quarantine=args.quarantine,
-                trust_model=args.trust_model,
-                gold_rate=args.gold_rate,
-                reestimate_every=args.reestimate_every,
-                seed=args.seed + 3,
-            ),
-        )
         dispatcher = Dispatcher(
             miner,
             DispatchConfig(
@@ -83,17 +138,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
         result = dispatcher.run()
     else:
-        result = mine_crowd(
-            crowd,
-            thresholds,
-            budget=args.budget,
-            quarantine=args.quarantine,
-            trust_model=args.trust_model,
-            gold_rate=args.gold_rate,
-            reestimate_every=args.reestimate_every,
-            seed=args.seed + 3,
-        )
+        result = miner.run()
+    if storage is not None:
+        # One final checkpoint so `repro kb` and a later --resume see
+        # the finished session, not the last mid-run snapshot.
+        miner.checkpoint()
+        storage.close()
     print(result.summary())
+    if storage is not None:
+        print(f"fingerprint: {result.fingerprint()}")
     if cache is not None:
         from repro.io import cache_to_json, save_json
 
@@ -108,6 +161,63 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         f"\nground truth: {len(truth.significant)} rules | "
         f"precision {precision:.2f}, recall {recall:.2f}"
     )
+    return 0
+
+
+def _cmd_kb(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.estimation.significance import Decision
+    from repro.storage import StorageError, load_session, open_backend
+
+    try:
+        storage = open_backend(
+            args.path, _detect_backend_kind(args.path), resume=True
+        )
+        miner, dispatcher, info = load_session(storage)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state = miner.state
+    history = storage.checkpoints()
+    print(storage.describe())
+    print(
+        f"checkpoint #{info.checkpoint_id} of {len(history)}: "
+        f"{info.questions} questions asked, {info.answers_logged} answers "
+        f"logged, {storage.bytes_on_disk()} bytes on disk"
+    )
+    if dispatcher is not None:
+        print("dispatched session (in-flight questions resume with it)")
+    counts = Counter(knowledge.decision for knowledge in state.rules())
+    inferred = sum(1 for knowledge in state.rules() if knowledge.inferred)
+    by_decision = ", ".join(
+        f"{counts.get(decision, 0)} {decision.value}" for decision in Decision
+    )
+    print(f"rules: {len(state)} known — {by_decision} ({inferred} by inference)")
+    significant = state.significant_rules(mode="decided")
+    ranked = sorted(
+        significant.items(),
+        key=lambda kv: (-kv[1].support, -kv[1].confidence, str(kv[0])),
+    )
+    print(f"top {min(args.top, len(ranked))} significant rules (of {len(ranked)}):")
+    for rule, stats in ranked[: args.top]:
+        print(f"  {rule}  {stats}")
+    evidence: Counter[str] = Counter()
+    for knowledge in state.rules():
+        for member_id, _ in knowledge.samples.observations():
+            evidence[member_id] += 1
+    print(f"evidence: {sum(evidence.values())} observations from "
+          f"{len(evidence)} members")
+    for member_id, total in sorted(evidence.items(), key=lambda kv: (-kv[1], kv[0]))[
+        : args.top
+    ]:
+        print(f"  {member_id}: {total}")
+    if args.export:
+        from repro.eval.export import save_kb
+
+        csv_path, json_path = save_kb(state, args.export)
+        print(f"\nexported {csv_path} and {json_path}")
+    storage.close()
     return 0
 
 
@@ -246,7 +356,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="answers between latent-trust re-estimations "
         "(--trust-model latent)",
     )
+    mine.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="make the session durable: log every answer and "
+        "checkpoint the whole session to PATH (also prints the "
+        "deterministic session fingerprint)",
+    )
+    mine.add_argument(
+        "--checkpoint-every", type=int, default=100, metavar="N",
+        help="questions between checkpoints (default 100; the final "
+        "state is always checkpointed)",
+    )
+    mine.add_argument(
+        "--resume", action="store_true",
+        help="resume the session saved at --checkpoint PATH instead "
+        "of starting fresh; the finished run's fingerprint is "
+        "byte-identical to an uninterrupted one",
+    )
+    mine.add_argument(
+        "--storage", choices=("sqlite", "memory"), default="sqlite",
+        help="storage backend behind --checkpoint (default sqlite; "
+        "--resume and `repro kb` auto-detect from the file)",
+    )
     mine.set_defaults(func=_cmd_mine)
+
+    kb = sub.add_parser(
+        "kb", help="inspect a knowledge base saved via mine --checkpoint"
+    )
+    kb.add_argument("path", help="path to a saved session store")
+    kb.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="how many rules/members to list (default 10)",
+    )
+    kb.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="also write the full KB as CSV and JSON into DIR",
+    )
+    kb.set_defaults(func=_cmd_kb)
 
     replay = sub.add_parser(
         "replay", help="re-evaluate a saved answer cache at new thresholds"

@@ -61,6 +61,15 @@ class Itemset:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> tuple[str, ...]:
+        # The cached hash is salted per-process (str hashing), so only
+        # the items travel; the hash is recomputed on load.
+        return self._items
+
+    def __setstate__(self, state: tuple[str, ...]) -> None:
+        self._items = tuple(state)
+        self._hash = hash(self._items)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Itemset):
             return self._items == other._items

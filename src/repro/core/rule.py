@@ -91,6 +91,15 @@ class Rule:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> tuple[Itemset, Itemset]:
+        # The cached hash is salted per-process; the cached ``body``
+        # (held in ``__dict__``) is dropped and recomputed lazily.
+        return (self._antecedent, self._consequent)
+
+    def __setstate__(self, state: tuple[Itemset, Itemset]) -> None:
+        self._antecedent, self._consequent = state
+        self._hash = hash((self._antecedent, self._consequent))
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Rule):
             return (

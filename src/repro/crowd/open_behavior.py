@@ -117,6 +117,18 @@ class PersonalRuleCache:
     policy: OpenAnswerPolicy
     _pools: dict[int, dict[Rule, RuleStats]] = field(default_factory=dict)
 
+    def __getstate__(self) -> dict:
+        # Pools are memoized by database *identity*, and ids do not
+        # survive pickling — a persisted pool could never be hit again.
+        # Dropping them keeps session checkpoints small; the first open
+        # answer after a restore re-mines the pool from the restored
+        # database, deterministically.
+        return {"policy": self.policy, "_pools": {}}
+
+    def __setstate__(self, state: dict) -> None:
+        self.policy = state["policy"]
+        self._pools = {}
+
     def pool_for(self, db: TransactionDB) -> dict[Rule, RuleStats]:
         """The (cached) volunteerable-rule pool for ``db``."""
         key = id(db)

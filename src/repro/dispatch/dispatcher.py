@@ -182,9 +182,17 @@ class Dispatcher:
         clock: EventClock | None = None,
     ) -> None:
         self.miner = miner
+        #: The miner defers storage checkpoints through this back-ref
+        #: so they land on event boundaries, never mid-delivery.
+        miner.dispatcher = self
         self.config = config or DispatchConfig()
-        self.clock = clock or EventClock()
+        # Not ``clock or EventClock()``: an *empty* clock is falsy
+        # (EventClock defines __len__) and would be silently replaced —
+        # resume hands in a clock that must be kept even when no events
+        # are armed on it yet.
+        self.clock = clock if clock is not None else EventClock()
         self.obs = miner.obs
+        self._checkpoint_requested = False
         self._rng = as_rng(self.config.seed)
         latency = self.config.latency
         self._profile = (
@@ -461,6 +469,23 @@ class Dispatcher:
         self._dropped += 1
         self.obs.count("dispatch.dropped")
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def request_checkpoint(self) -> None:
+        """Ask for a session checkpoint at the next event boundary.
+
+        Called by the miner from inside an ingest (i.e. mid-``_deliver``,
+        when the completion books are not yet updated); the capture
+        itself happens in :meth:`run`/:meth:`advance_to` right after the
+        current clock event finishes.
+        """
+        self._checkpoint_requested = True
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_requested:
+            self._checkpoint_requested = False
+            self.miner.checkpoint()
+
     # -- driving ------------------------------------------------------------------
 
     def run(self) -> MiningResult:
@@ -468,6 +493,7 @@ class Dispatcher:
         self._fill_window()
         while self._in_flight:
             self.clock.pop()
+            self._maybe_checkpoint()
             self._fill_window()
         return self.result()
 
@@ -484,6 +510,7 @@ class Dispatcher:
             if upcoming is None or upcoming > time:
                 break
             self.clock.pop()
+            self._maybe_checkpoint()
             self._fill_window()
         self.clock.run_until(time)
 

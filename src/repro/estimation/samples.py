@@ -108,6 +108,13 @@ class RuleSamples:
         """The member's current observation, or ``None``."""
         return self._by_member.get(member_id)
 
+    def observations(self) -> list[tuple[str, RuleStats]]:
+        """All ``(member_id, stats)`` pairs, in answer-arrival order.
+
+        The deterministic iteration the storage layer serializes from.
+        """
+        return list(self._by_member.items())
+
     def as_array(self) -> np.ndarray:
         """All observations as an ``(n, 2)`` array (member order arbitrary)."""
         if not self._by_member:

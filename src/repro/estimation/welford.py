@@ -38,6 +38,26 @@ class StreamingMeanCov:
         self._mean = np.zeros(2)
         self._m2 = np.zeros((2, 2))
 
+    def __getstate__(self) -> tuple:
+        # Plain floats, not arrays: sessions checkpoint one estimator
+        # per known rule, and pickling thousands of tiny numpy arrays
+        # dominates the checkpoint budget. float() is exact, so the
+        # round trip is bit-identical.
+        return (
+            self._n,
+            (float(self._mean[0]), float(self._mean[1])),
+            (
+                float(self._m2[0, 0]), float(self._m2[0, 1]),
+                float(self._m2[1, 0]), float(self._m2[1, 1]),
+            ),
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        n, mean, m2 = state
+        self._n = n
+        self._mean = np.array(mean)
+        self._m2 = np.array([[m2[0], m2[1]], [m2[2], m2[3]]])
+
     def add(self, observation: tuple[float, float] | np.ndarray) -> None:
         """Incorporate one ``(support, confidence)`` observation."""
         x = np.asarray(observation, dtype=float)

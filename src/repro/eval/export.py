@@ -1,10 +1,12 @@
-"""Exporting experiment results for archival and external plotting.
+"""Exporting experiment results and knowledge bases for archival.
 
 The text reports in :mod:`repro.eval.report` are for humans; these
 exporters are for downstream tools — CSV for spreadsheets/plotting and
-a JSON document for programmatic reuse. Both carry the full checkpoint
-grid per variant, so a figure can be regenerated without re-running the
-experiment.
+a JSON document for programmatic reuse. Experiment exports carry the
+full checkpoint grid per variant, so a figure can be regenerated
+without re-running the experiment; knowledge-base exports (used by the
+``repro kb`` command) carry every rule with its decision, evidence
+counts and per-member observations.
 """
 
 from __future__ import annotations
@@ -14,10 +16,18 @@ import io
 import json
 from collections.abc import Mapping
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.eval.runner import ExperimentResult
 
+if TYPE_CHECKING:  # the CLI hands us a live MiningState; no import cycle
+    from repro.miner.state import MiningState
+
 CSV_COLUMNS = ("variant", "questions", "precision", "recall", "f1")
+
+KB_CSV_COLUMNS = (
+    "rule", "decision", "inferred", "origin", "answers", "support", "confidence"
+)
 
 
 def results_to_csv(results: Mapping[str, ExperimentResult]) -> str:
@@ -86,4 +96,76 @@ def save_results(
     json_path = directory / f"{name}.json"
     csv_path.write_text(results_to_csv(results))
     json_path.write_text(json.dumps(results_to_json(results), indent=2))
+    return csv_path, json_path
+
+
+def kb_to_csv(state: "MiningState") -> str:
+    """Every rule of a knowledge base as one CSV string (discovery order).
+
+    ``support``/``confidence`` are the aggregated means; empty for rules
+    that never received a counted answer.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(KB_CSV_COLUMNS)
+    for knowledge in state.rules():
+        if knowledge.samples.n:
+            support, confidence = state.summary_for(knowledge).mean
+            support_text = f"{support:.6f}"
+            confidence_text = f"{confidence:.6f}"
+        else:
+            support_text = confidence_text = ""
+        writer.writerow(
+            [
+                str(knowledge.rule),
+                knowledge.decision.value,
+                int(knowledge.inferred),
+                knowledge.origin.value,
+                knowledge.samples.n,
+                support_text,
+                confidence_text,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def kb_to_json(state: "MiningState") -> dict:
+    """A knowledge base as a JSON-ready document, evidence included."""
+    rules = []
+    for knowledge in state.rules():
+        summary = state.summary_for(knowledge) if knowledge.samples.n else None
+        rules.append(
+            {
+                "rule": str(knowledge.rule),
+                "antecedent": sorted(knowledge.rule.antecedent),
+                "consequent": sorted(knowledge.rule.consequent),
+                "decision": knowledge.decision.value,
+                "inferred": knowledge.inferred,
+                "origin": knowledge.origin.value,
+                "answers": knowledge.samples.n,
+                "support": None if summary is None else summary.mean[0],
+                "confidence": None if summary is None else summary.mean[1],
+                "evidence": [
+                    {
+                        "member": member_id,
+                        "support": stats.support,
+                        "confidence": stats.confidence,
+                    }
+                    for member_id, stats in knowledge.samples.observations()
+                ],
+            }
+        )
+    return {"format": "knowledge-base", "version": 1, "rules": rules}
+
+
+def save_kb(
+    state: "MiningState", directory: str | Path, name: str = "kb"
+) -> tuple[Path, Path]:
+    """Write both KB exports; returns the (csv_path, json_path) pair."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{name}.csv"
+    json_path = directory / f"{name}.json"
+    csv_path.write_text(kb_to_csv(state))
+    json_path.write_text(json.dumps(kb_to_json(state), indent=2))
     return csv_path, json_path

@@ -99,6 +99,14 @@ class ExperimentConfig:
     repetitions: int = 3
     seed: int = 0
     max_body_size: int = 4
+    # persistence (see repro.storage / docs/persistence.md): when
+    # ``checkpoint_path`` is set, sessions keep a write-ahead answer log
+    # there and capture a whole-session checkpoint every
+    # ``checkpoint_every`` questions — a killed run resumes via
+    # :func:`resume_session` with a byte-identical final summary.
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 0
+    storage_backend: str = "sqlite"
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
@@ -244,6 +252,7 @@ def _miner_config(config: ExperimentConfig, rng: np.random.Generator) -> CrowdMi
         trust_floor=config.trust_floor,
         quarantine_min_answers=config.quarantine_min_answers,
         reestimate_every=config.reestimate_every,
+        checkpoint_every=config.checkpoint_every,
         seed=rng,
     )
 
@@ -264,7 +273,12 @@ def run_session(
     rng = as_rng(seed)
     obs = obs or Instrumentation()
     crowd = build_crowd(config, population, rng)
-    miner = CrowdMiner(crowd, _miner_config(config, rng), obs=obs)
+    storage = None
+    if config.checkpoint_path is not None:
+        from repro.storage import open_backend
+
+        storage = open_backend(config.checkpoint_path, config.storage_backend)
+    miner = CrowdMiner(crowd, _miner_config(config, rng), obs=obs, storage=storage)
 
     points = []
     started = time.perf_counter()
@@ -287,6 +301,80 @@ def run_session(
         for checkpoint, point in zip(config.checkpoints, points)
     ]
     result = miner.result()
+    if storage is not None:
+        storage.close()
+    return RepetitionOutcome(
+        curve=QualityCurve(label=config.name, points=tuple(normalized)),
+        truth_size=len(truth),
+        rules_discovered=result.rules_discovered,
+        inferred_classifications=result.inferred_classifications,
+        open_questions=result.open_questions,
+        wall_seconds=elapsed,
+        obs=result.obs,
+    )
+
+
+def resume_session(
+    config: ExperimentConfig,
+    truth: GroundTruth,
+    storage=None,
+) -> RepetitionOutcome:
+    """Finish a killed :func:`run_session` from its latest checkpoint.
+
+    Opens the experiment's checkpoint store (or takes an already-open
+    ``storage`` backend), restores the session, and drives it through
+    the *remaining* quality checkpoints — grid points the original run
+    already passed were scored by that run and are skipped here. With
+    the same seeds, the finished session's final summary (and
+    :meth:`~repro.miner.result.MiningResult.fingerprint`) is
+    byte-identical to an uninterrupted run's.
+
+    Only synchronous sessions are resumable through this helper (the
+    E-series harness drives miners synchronously); a checkpoint carrying
+    dispatcher state is rejected.
+    """
+    from repro.storage import StorageError, load_session, open_backend
+
+    owned = storage is None
+    if storage is None:
+        if config.checkpoint_path is None:
+            raise ConfigurationError(
+                "resume_session needs a checkpoint_path (or an open backend)"
+            )
+        storage = open_backend(
+            config.checkpoint_path, config.storage_backend, resume=True
+        )
+    miner, dispatcher, _ = load_session(storage)
+    if dispatcher is not None:
+        raise StorageError(
+            "this checkpoint carries dispatcher state; resume it with the "
+            "dispatcher (repro.storage.load_session), not the E-series harness"
+        )
+    obs = miner.obs
+    resumed_at = miner.questions_asked
+    remaining = [c for c in config.checkpoints if c >= resumed_at]
+
+    points = []
+    started = time.perf_counter()
+    for checkpoint in remaining:
+        with obs.timer("runner.mine"):
+            while miner.questions_asked < checkpoint and not miner.is_done:
+                if miner.step() is None:
+                    break
+        with obs.timer("runner.score"):
+            reported = miner.state.significant_rules(mode="point")
+            points.append(score_report(reported, truth, miner.questions_asked))
+    elapsed = time.perf_counter() - started
+
+    normalized = [
+        type(point)(
+            questions=checkpoint, precision=point.precision, recall=point.recall
+        )
+        for checkpoint, point in zip(remaining, points)
+    ]
+    result = miner.result()
+    if owned:
+        storage.close()
     return RepetitionOutcome(
         curve=QualityCurve(label=config.name, points=tuple(normalized)),
         truth_size=len(truth),

@@ -187,6 +187,13 @@ class CrowdMinerConfig:
         Quarantine triggers when a member's trust falls below
         ``trust_floor`` with at least ``quarantine_min_answers`` scored
         answers (see the two trust-model classes).
+    checkpoint_every:
+        Questions between automatic whole-session checkpoints, when a
+        storage backend is attached (0 = never checkpoint
+        automatically; the write-ahead answer log is kept either way).
+        In dispatched sessions the checkpoint is deferred to the next
+        event boundary so the in-flight books are never captured
+        half-updated.
     seed_rules:
         Rules known before any question is asked (a query's candidate
         patterns); they enter the knowledge base with SEED origin.
@@ -215,11 +222,17 @@ class CrowdMinerConfig:
     reestimate_every: int = 10
     trust_floor: float = 0.45
     quarantine_min_answers: int = 4
+    checkpoint_every: int = 0
     seed_rules: tuple[Rule, ...] = ()
     seed: int | np.random.Generator | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be non-negative, "
+                f"got {self.checkpoint_every!r}"
+            )
         check_fraction(self.contextual_open_fraction, "contextual_open_fraction")
         check_fraction(self.gold_rate, "gold_rate")
         check_positive(self.reestimate_every, "reestimate_every")
@@ -272,10 +285,19 @@ class CrowdMiner:
         crowd: SimulatedCrowd,
         config: CrowdMinerConfig,
         obs: Instrumentation | None = None,
+        storage=None,
     ) -> None:
         self.crowd = crowd
         self.config = config
         self._rng = as_rng(config.seed)
+        #: Storage backend (:mod:`repro.storage`) receiving the
+        #: write-ahead answer log and checkpoints; ``None`` keeps the
+        #: session purely in-process. Never pickled — resume re-attaches
+        #: the live backend (see ``repro.storage.checkpoint``).
+        self.storage = storage
+        #: Back-reference set by the asynchronous dispatcher, so
+        #: checkpoint requests can be deferred to an event boundary.
+        self.dispatcher = None
         #: Session instrumentation, shared with the knowledge base.
         self.obs = obs or Instrumentation()
         self.consistency: ConsistencyChecker | None = None
@@ -309,6 +331,7 @@ class CrowdMiner:
             aggregator=aggregator,
             lattice_pruning=config.lattice_pruning,
             obs=self.obs,
+            index=None if storage is None else storage.make_index(),
         )
         for rule in config.seed_rules:
             self.state.add_rule(rule, RuleOrigin.SEED)
@@ -890,6 +913,69 @@ class CrowdMiner:
                 rule=None if event.rule is None else str(event.rule),
                 kb_size=len(self.state),
             )
+        if self.storage is not None:
+            self._log_answer(event)
+            every = self.config.checkpoint_every
+            if every > 0 and self._questions % every == 0:
+                if self.dispatcher is not None:
+                    # Mid-delivery here: the dispatcher's completion
+                    # books update only after this ingest returns, so
+                    # the capture waits for the next event boundary.
+                    self.dispatcher.request_checkpoint()
+                else:
+                    self.checkpoint()
+
+    # -- persistence -------------------------------------------------------------
+
+    def _log_answer(self, event: QuestionEvent) -> None:
+        """Append one finished exchange to the write-ahead answer log."""
+        from repro.storage.backend import AnswerRecord
+        from repro.storage.records import rule_key
+
+        stats = event.stats
+        self.storage.append_answer(
+            AnswerRecord(
+                seq=event.index,
+                member_id=event.member_id,
+                kind=event.kind.value,
+                rule_key=None if event.rule is None else rule_key(event.rule),
+                support=None if stats is None else stats.support,
+                confidence=None if stats is None else stats.confidence,
+            )
+        )
+        self.obs.count("storage.answers_logged")
+
+    def checkpoint(self):
+        """Capture the whole session into the attached storage backend.
+
+        Returns the backend's
+        :class:`~repro.storage.backend.CheckpointInfo`, or ``None``
+        when no backend is attached. Dispatched sessions must not call
+        this mid-event — use
+        :meth:`~repro.dispatch.dispatcher.Dispatcher.request_checkpoint`.
+        """
+        if self.storage is None:
+            return None
+        from repro.storage.checkpoint import capture_session
+
+        with self.obs.timer("storage.checkpoint"):
+            payload = capture_session(self, self.dispatcher)
+            info = self.storage.save_checkpoint(
+                payload, questions=self._questions, kb_rules=len(self.state)
+            )
+        self.obs.count("storage.checkpoints")
+        self.obs.count("storage.bytes_written", info.payload_bytes)
+        self.obs.gauge("storage.bytes_on_disk", self.storage.bytes_on_disk())
+        return info
+
+    def __getstate__(self) -> dict:
+        # The storage backend (live file/database handles) and the
+        # dispatcher back-reference (event closures) stay out of the
+        # checkpoint; resume re-attaches both.
+        state = self.__dict__.copy()
+        state["storage"] = None
+        state["dispatcher"] = None
+        return state
 
     # -- running to completion -------------------------------------------------------
 

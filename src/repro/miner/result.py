@@ -9,6 +9,8 @@ question-by-question log for auditing and evaluation replay.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -121,6 +123,43 @@ class MiningResult:
         )
         return ranked[:k]
 
+    def fingerprint(self) -> str:
+        """A hex digest of everything deterministic about the session.
+
+        Covers the question-by-question event log, the reported
+        significant set (with full-precision stats) and the headline
+        counts; excludes wall-clock artifacts (instrumentation timers,
+        dispatch makespans). Two runs with the same seeds — including a
+        run killed mid-session and resumed from a checkpoint — must
+        produce equal fingerprints; this is the identity the
+        kill-and-resume suite and the CI smoke job assert on.
+        """
+        doc = {
+            "questions": self.questions_asked,
+            "closed": self.closed_questions,
+            "open": self.open_questions,
+            "rules": self.rules_discovered,
+            "inferred": self.inferred_classifications,
+            "significant": sorted(
+                (str(rule), stats.support, stats.confidence)
+                for rule, stats in self.significant.items()
+            ),
+            "log": [
+                (
+                    event.index,
+                    event.kind.value,
+                    event.member_id,
+                    None if event.rule is None else str(event.rule),
+                    None
+                    if event.stats is None
+                    else (event.stats.support, event.stats.confidence),
+                )
+                for event in self.log
+            ],
+        }
+        encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
     def summary(self) -> str:
         """A short human-readable report of the session."""
         lines = [
@@ -138,6 +177,29 @@ class MiningResult:
             lines.extend(self.dispatch.summary_lines())
         else:
             lines.append("dispatch: synchronous session (no dispatcher attached)")
+        if self.obs is not None and self.obs.counters.get("storage.checkpoints"):
+            counters = self.obs.counters
+            line = (
+                f"storage: {counters['storage.checkpoints']} checkpoints, "
+                f"{counters.get('storage.answers_logged', 0)} answers logged"
+            )
+            bytes_on_disk = self.obs.gauges.get("storage.bytes_on_disk")
+            if bytes_on_disk is not None:
+                line += f", {int(bytes_on_disk.value)} bytes on disk"
+            lines.append(line)
+            checkpoint = self.obs.timers.get("storage.checkpoint")
+            if checkpoint is not None:
+                timing = (
+                    f"storage: checkpoint {checkpoint.total_seconds:.3f}s "
+                    f"({checkpoint.calls} calls)"
+                )
+                restore = self.obs.timers.get("storage.restore")
+                if restore is not None and restore.calls:
+                    timing += (
+                        f", restore {restore.total_seconds:.3f}s "
+                        f"({restore.calls} calls)"
+                    )
+                lines.append(timing)
         if self.obs is not None and (self.obs.counters or self.obs.timers):
             lines.append("session instrumentation:")
             lines.append(self.obs.format())

@@ -45,6 +45,12 @@ adds:
 - injector counters ``faults.crashes``, ``faults.churned``,
   ``faults.duplicates`` and ``faults.noops`` (a scheduled fault that
   found no victim).
+
+The persistence layer (``repro.storage``, see ``docs/persistence.md``)
+adds counters ``storage.checkpoints``, ``storage.bytes_written``,
+``storage.answers_logged`` and ``storage.restores``, timers
+``storage.checkpoint`` and ``storage.restore``, and the gauge
+``storage.bytes_on_disk``.
 """
 
 from __future__ import annotations

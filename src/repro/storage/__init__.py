@@ -1,0 +1,75 @@
+"""Persistent, crash-resumable session storage.
+
+The knowledge base historically lived and died in process memory: every
+E-series run restarted from zero and KB size was RAM-bound. This
+package is the durability layer closing that gap (ROADMAP:
+"Persistent, resumable knowledge base on a columnar/SQL backend"):
+
+- :class:`StorageBackend` — the pluggable persistence protocol, with
+  two implementations: :class:`MemoryBackend` (today's behavior, the
+  default: everything in process memory, optionally mirrored to a
+  single pickle file) and :class:`SQLiteBackend` (a WAL-mode SQLite
+  database holding the answer log, the checkpoint history and the
+  item→rules inverted index as indexed SQL tables);
+- a **write-ahead answer log** — every ingested question/answer lands
+  in the backend as it happens, giving an auditable trail that
+  survives the process;
+- **whole-session checkpoints** (:func:`capture_session` /
+  :func:`load_session`) — a checkpoint captures everything
+  replay-determinism needs (KB rules/samples/decisions, RNG streams,
+  EventClock time, dispatcher in-flight books, quality/latent-trust
+  state), so a run killed at any round and resumed produces a final
+  summary byte-identical to the uninterrupted run.
+
+See ``docs/persistence.md`` for the schema, the checkpoint format and
+the resume semantics.
+"""
+
+from repro.storage.backend import (
+    AnswerRecord,
+    CheckpointInfo,
+    MemoryBackend,
+    StorageBackend,
+    StorageError,
+    open_backend,
+)
+from repro.storage.checkpoint import (
+    CHECKPOINT_FORMAT,
+    capture_session,
+    load_session,
+    restore_session,
+)
+from repro.storage.records import (
+    latent_from_doc,
+    latent_to_doc,
+    rule_from_key,
+    rule_key,
+    samples_from_doc,
+    samples_to_doc,
+    summary_from_doc,
+    summary_to_doc,
+)
+from repro.storage.sqlite import SQLiteBackend, SQLiteRuleIndex
+
+__all__ = [
+    "AnswerRecord",
+    "CHECKPOINT_FORMAT",
+    "CheckpointInfo",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "SQLiteRuleIndex",
+    "StorageBackend",
+    "StorageError",
+    "capture_session",
+    "latent_from_doc",
+    "latent_to_doc",
+    "load_session",
+    "open_backend",
+    "restore_session",
+    "rule_from_key",
+    "rule_key",
+    "samples_from_doc",
+    "samples_to_doc",
+    "summary_from_doc",
+    "summary_to_doc",
+]

@@ -1,0 +1,251 @@
+"""The pluggable storage protocol and the in-memory reference backend.
+
+A :class:`StorageBackend` owns three things for one mining session:
+
+- the **write-ahead answer log** — one :class:`AnswerRecord` per
+  question the miner finishes, appended as it happens;
+- the **checkpoint history** — opaque session payloads (pickles built
+  by :mod:`repro.storage.checkpoint`) with their bookkeeping counts;
+- the **rule index factory** — the item→rules inverted index the
+  knowledge base should use, so a backend can push the hot lattice
+  scans into its own query engine
+  (:class:`~repro.storage.sqlite.SQLiteRuleIndex` does, over indexed
+  SQL tables).
+
+:class:`MemoryBackend` is today's behavior and the default: everything
+lives in process memory and the index is the plain Python
+:class:`~repro.miner.state.RuleIndex`. Given a ``path`` it additionally
+mirrors its state to a single pickle file on every checkpoint (written
+atomically via rename), which is all a kill-and-resume run needs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ReproError
+from repro.miner.state import RuleIndex
+
+
+class StorageError(ReproError):
+    """A storage backend could not satisfy a request."""
+
+
+#: On-disk format version of the MemoryBackend mirror file.
+MEMORY_FILE_FORMAT = 1
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerRecord:
+    """One finished question/answer exchange, as logged.
+
+    ``rule_key`` is the canonical key of
+    :func:`repro.storage.records.rule_key` (``None`` for dry open
+    answers); ``support``/``confidence`` are the answered stats
+    (``None`` likewise).
+    """
+
+    seq: int
+    member_id: str
+    kind: str
+    rule_key: str | None
+    support: float | None
+    confidence: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointInfo:
+    """Bookkeeping of one saved checkpoint."""
+
+    checkpoint_id: int
+    questions: int
+    kb_rules: int
+    answers_logged: int
+    payload_bytes: int
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the miner, the runner and the CLI need from persistence."""
+
+    def make_index(self) -> RuleIndex:
+        """A fresh rule index for the knowledge base to populate."""
+        ...
+
+    def reset_index(self) -> None:
+        """Drop any persisted index state (it is rebuilt on restore)."""
+        ...
+
+    def append_answer(self, record: AnswerRecord) -> None:
+        """Append one record to the write-ahead answer log."""
+        ...
+
+    def answers(self) -> list[AnswerRecord]:
+        """The answer log so far, in sequence order."""
+        ...
+
+    def truncate_answers(self, keep: int) -> None:
+        """Discard log entries with ``seq >= keep`` (resume rollback)."""
+        ...
+
+    def save_checkpoint(
+        self, payload: bytes, *, questions: int, kb_rules: int
+    ) -> CheckpointInfo:
+        """Persist one opaque session payload; returns its bookkeeping."""
+        ...
+
+    def latest_checkpoint(self) -> tuple[CheckpointInfo, bytes] | None:
+        """The most recent checkpoint and its payload, or ``None``."""
+        ...
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        """Bookkeeping of every saved checkpoint, oldest first."""
+        ...
+
+    def bytes_on_disk(self) -> int:
+        """Storage footprint in bytes (0 for purely in-memory state)."""
+        ...
+
+    def describe(self) -> str:
+        """A one-line human-readable description of the backend."""
+        ...
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+        ...
+
+
+class MemoryBackend:
+    """Process-memory storage — today's behavior, the default.
+
+    Parameters
+    ----------
+    path:
+        Optional mirror file. When given, every
+        :meth:`save_checkpoint` rewrites the file with the backend's
+        full state (answer log + checkpoint history) via an atomic
+        rename, so a SIGKILL never leaves a torn file behind.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = None if path is None else Path(path)
+        self._answers: list[AnswerRecord] = []
+        self._checkpoints: list[tuple[CheckpointInfo, bytes]] = []
+        self._next_id = 1
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "MemoryBackend":
+        """Load a previously mirrored backend from ``path``."""
+        backend = cls(path)
+        try:
+            doc = pickle.loads(Path(path).read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise StorageError(f"cannot read memory-backend file {path}") from exc
+        if not isinstance(doc, dict) or doc.get("format") != MEMORY_FILE_FORMAT:
+            raise StorageError(f"not a memory-backend file: {path}")
+        backend._answers = list(doc["answers"])
+        backend._checkpoints = list(doc["checkpoints"])
+        backend._next_id = int(doc["next_id"])
+        return backend
+
+    # -- index ---------------------------------------------------------------
+
+    def make_index(self) -> RuleIndex:
+        return RuleIndex()
+
+    def reset_index(self) -> None:
+        pass  # the Python index lives inside the session state
+
+    # -- answer log ----------------------------------------------------------
+
+    def append_answer(self, record: AnswerRecord) -> None:
+        self._answers.append(record)
+
+    def answers(self) -> list[AnswerRecord]:
+        return sorted(self._answers, key=lambda record: record.seq)
+
+    def truncate_answers(self, keep: int) -> None:
+        self._answers = [r for r in self._answers if r.seq < keep]
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def save_checkpoint(
+        self, payload: bytes, *, questions: int, kb_rules: int
+    ) -> CheckpointInfo:
+        info = CheckpointInfo(
+            checkpoint_id=self._next_id,
+            questions=questions,
+            kb_rules=kb_rules,
+            answers_logged=len(self._answers),
+            payload_bytes=len(payload),
+        )
+        self._next_id += 1
+        self._checkpoints.append((info, payload))
+        if self.path is not None:
+            self._write_mirror()
+        return info
+
+    def latest_checkpoint(self) -> tuple[CheckpointInfo, bytes] | None:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        return [info for info, _ in self._checkpoints]
+
+    def _write_mirror(self) -> None:
+        assert self.path is not None
+        doc = {
+            "format": MEMORY_FILE_FORMAT,
+            "answers": self._answers,
+            "checkpoints": self._checkpoints,
+            "next_id": self._next_id,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, self.path)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def bytes_on_disk(self) -> int:
+        if self.path is None or not self.path.exists():
+            return 0
+        return self.path.stat().st_size
+
+    def describe(self) -> str:
+        where = "process memory" if self.path is None else str(self.path)
+        return f"memory backend ({where})"
+
+    def close(self) -> None:
+        pass
+
+
+def open_backend(
+    path: str | os.PathLike | None,
+    kind: str = "sqlite",
+    *,
+    resume: bool = False,
+) -> StorageBackend:
+    """Construct the backend a CLI/runner invocation asked for.
+
+    ``resume=False`` starts a fresh session store (an existing file at
+    ``path`` is replaced); ``resume=True`` opens the existing store and
+    fails loudly when there is none to resume from.
+    """
+    if kind == "memory":
+        if resume:
+            if path is None:
+                raise StorageError("resuming a memory backend requires a path")
+            return MemoryBackend.open(path)
+        return MemoryBackend(path)
+    if kind == "sqlite":
+        from repro.storage.sqlite import SQLiteBackend
+
+        if path is None:
+            raise StorageError("the sqlite backend requires a path")
+        if resume and not Path(path).exists():
+            raise StorageError(f"nothing to resume: {path} does not exist")
+        return SQLiteBackend(path, fresh=not resume)
+    raise StorageError(f"unknown storage backend {kind!r}; expected sqlite or memory")

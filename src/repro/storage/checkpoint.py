@@ -1,0 +1,251 @@
+"""Whole-session checkpoint capture and resume.
+
+A checkpoint is one pickle of everything replay-determinism needs:
+the miner (knowledge base with rules/samples/decisions, RNG streams,
+question log, trust/quality state, the open-policy and strategy
+objects) plus — for dispatched sessions — a plain-data snapshot of the
+dispatcher (event-clock time and schedule counter, the in-flight book
+with each pending arrival/timeout instant, all outcome counters, the
+delivery-token guard, the completion timeline). Everything travels in
+a *single* pickle so shared objects (the instrumentation layer, the
+trust sources inside the aggregator, rules referenced from proposals
+and the knowledge base alike) keep their identity on load.
+
+What is deliberately rebuilt rather than stored:
+
+- the knowledge base's inverted index — reconstructed from the rules
+  in discovery order on load (and re-pointed at the backend's index
+  implementation, so a SQLite session resumes onto SQL scans);
+- the event closures of pending arrivals/timeouts — re-armed on a
+  fresh clock in original schedule order, so same-instant ties keep
+  breaking exactly as they would have in the uninterrupted run.
+
+Known limitation: externally scheduled clock events are not captured —
+resuming a session driven by a fault injector with faults still
+scheduled silently drops those pending faults (the injector itself,
+living outside the miner/dispatcher, is not part of the session
+graph). Checkpoint *between* injected faults, or re-arm the injector
+after resume.
+
+The dispatch/miner imports below are function-local on purpose: this
+module is imported by ``repro.storage`` which the miner loads, while
+the dispatcher imports the miner — top-level imports here would close
+that cycle.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.storage.backend import CheckpointInfo, StorageBackend, StorageError
+
+if TYPE_CHECKING:
+    from repro.dispatch.dispatcher import Dispatcher
+    from repro.miner.crowdminer import CrowdMiner
+
+#: Version stamp of the checkpoint payload layout.
+CHECKPOINT_FORMAT = 1
+
+
+def capture_session(
+    miner: "CrowdMiner", dispatcher: "Dispatcher | None" = None
+) -> bytes:
+    """Serialize one session (miner plus optional dispatcher) to bytes.
+
+    Safe to call between questions (the synchronous path) or between
+    clock events (the dispatched path — the dispatcher defers the
+    request to that boundary, see
+    :meth:`~repro.dispatch.dispatcher.Dispatcher.request_checkpoint`);
+    capturing mid-delivery would snapshot half-updated books.
+    """
+    doc = {
+        "format": CHECKPOINT_FORMAT,
+        "miner": miner,
+        "dispatch": None if dispatcher is None else _snapshot_dispatcher(dispatcher),
+    }
+    return pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_session(
+    payload: bytes, storage: StorageBackend | None = None
+) -> "tuple[CrowdMiner, Dispatcher | None]":
+    """Rebuild a live session from a checkpoint payload.
+
+    Attaches ``storage`` to the restored miner and re-points the
+    knowledge base at the backend's index implementation (resetting any
+    persisted index state first — it is rebuilt, not trusted, across a
+    crash). Returns the miner and, for dispatched sessions, a live
+    dispatcher with every pending arrival/timeout re-armed.
+    """
+    try:
+        doc = pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        raise StorageError("cannot unpickle checkpoint payload") from exc
+    if not isinstance(doc, dict) or "format" not in doc:
+        raise StorageError("not a checkpoint payload")
+    if doc["format"] != CHECKPOINT_FORMAT:
+        raise StorageError(
+            f"unsupported checkpoint format {doc['format']!r} "
+            f"(this build reads format {CHECKPOINT_FORMAT})"
+        )
+    miner: "CrowdMiner" = doc["miner"]
+    miner.storage = storage
+    if storage is not None:
+        storage.reset_index()
+        miner.state.rebuild_index(storage.make_index())
+    dispatcher = None
+    if doc["dispatch"] is not None:
+        dispatcher = _restore_dispatcher(doc["dispatch"], miner)
+    return miner, dispatcher
+
+
+def load_session(
+    storage: StorageBackend,
+) -> "tuple[CrowdMiner, Dispatcher | None, CheckpointInfo]":
+    """Resume from the backend's latest checkpoint.
+
+    Rolls the write-ahead answer log back to the checkpoint boundary
+    (answers logged after it will be re-collected deterministically by
+    the resumed run), and accounts the restore on the session's own
+    instrumentation (``storage.restores`` / the ``storage.restore``
+    timer) — which exists only *inside* the payload, hence the manual
+    timer arithmetic.
+    """
+    loaded = storage.latest_checkpoint()
+    if loaded is None:
+        raise StorageError(f"no checkpoint to resume from in {storage.describe()}")
+    info, payload = loaded
+    started = time.perf_counter()
+    miner, dispatcher = restore_session(payload, storage)
+    elapsed = time.perf_counter() - started
+    storage.truncate_answers(info.answers_logged)
+    obs = miner.obs
+    obs.count("storage.restores")
+    timer = obs.timer("storage.restore")
+    timer.calls += 1
+    timer.total_seconds += elapsed
+    return miner, dispatcher, info
+
+
+# -- the dispatcher snapshot ---------------------------------------------------
+
+
+def _snapshot_dispatcher(dispatcher: "Dispatcher") -> dict[str, Any]:
+    """The dispatcher as plain data (its event closures cannot travel).
+
+    Each in-flight entry records the *instants and schedule sequence
+    numbers* of its pending arrival/timeout events; the actions are
+    recreated on restore. Within the in-flight book events are always
+    live (a cancelled event means the entry already left the book), so
+    ``None`` only ever means "never scheduled" (a lost answer, an
+    infinite timeout).
+    """
+    in_flight = []
+    for member_id, entry in dispatcher._in_flight.items():
+        arrival = entry.arrival_event
+        timeout = entry.timeout_event
+        in_flight.append(
+            {
+                "member": member_id,
+                "proposal": entry.proposal,
+                "answer": entry.answer,
+                "attempt": entry.attempt,
+                "arrival": (
+                    None
+                    if arrival is None or arrival.cancelled
+                    else (arrival.time, arrival.seq)
+                ),
+                "timeout": (
+                    None
+                    if timeout is None or timeout.cancelled
+                    else (timeout.time, timeout.seq)
+                ),
+            }
+        )
+    return {
+        "config": dispatcher.config,
+        "rng": dispatcher._rng,
+        "clock_now": dispatcher.clock.now,
+        "clock_seq": dispatcher.clock._seq,
+        "in_flight": in_flight,
+        "counters": {
+            "issued": dispatcher._issued,
+            "completed": dispatcher._completed,
+            "timeouts": dispatcher._timeouts,
+            "retries": dispatcher._retries,
+            "stale": dispatcher._stale,
+            "late": dispatcher._late,
+            "dropped": dispatcher._dropped,
+            "malformed": dispatcher._malformed,
+            "rejected": dispatcher._rejected,
+            "crashed": dispatcher._crashed,
+            "duplicates": dispatcher._duplicates,
+        },
+        "seen_tokens": set(dispatcher._seen_tokens),
+        "stalled": dispatcher._stalled,
+        "timeline": list(dispatcher.timeline),
+    }
+
+
+def _restore_dispatcher(snapshot: dict[str, Any], miner: "CrowdMiner") -> "Dispatcher":
+    """A live dispatcher equivalent to the snapshotted one.
+
+    Pending events are re-armed on the fresh clock in their *original
+    schedule order* (sorted by saved sequence number): the re-armed
+    events take new sequence numbers ``0..k-1`` preserving their
+    relative order, and the clock's counter is then advanced to its
+    saved value, so events scheduled after resume sort behind every
+    re-armed one at the same instant — exactly as they would have in
+    the uninterrupted run.
+    """
+    from repro.dispatch.clock import EventClock
+    from repro.dispatch.dispatcher import Dispatcher, _InFlight
+
+    clock = EventClock()
+    clock._now = snapshot["clock_now"]
+    dispatcher = Dispatcher(miner, snapshot["config"], clock)
+    dispatcher._rng = snapshot["rng"]
+    entries: dict[str, _InFlight] = {}
+    pending: list[tuple[int, float, str, str]] = []
+    for item in snapshot["in_flight"]:
+        entries[item["member"]] = _InFlight(
+            proposal=item["proposal"],
+            answer=item["answer"],
+            attempt=item["attempt"],
+        )
+        if item["arrival"] is not None:
+            at, seq = item["arrival"]
+            pending.append((seq, at, "arrival", item["member"]))
+        if item["timeout"] is not None:
+            at, seq = item["timeout"]
+            pending.append((seq, at, "timeout", item["member"]))
+    for _, at, what, member_id in sorted(pending):
+        entry = entries[member_id]
+        if what == "arrival":
+            entry.arrival_event = clock.schedule_at(
+                at, lambda m=member_id: dispatcher._deliver(m)
+            )
+        else:
+            entry.timeout_event = clock.schedule_at(
+                at, lambda m=member_id: dispatcher._timeout(m)
+            )
+    clock._seq = snapshot["clock_seq"]
+    dispatcher._in_flight = entries
+    counters = snapshot["counters"]
+    dispatcher._issued = counters["issued"]
+    dispatcher._completed = counters["completed"]
+    dispatcher._timeouts = counters["timeouts"]
+    dispatcher._retries = counters["retries"]
+    dispatcher._stale = counters["stale"]
+    dispatcher._late = counters["late"]
+    dispatcher._dropped = counters["dropped"]
+    dispatcher._malformed = counters["malformed"]
+    dispatcher._rejected = counters["rejected"]
+    dispatcher._crashed = counters["crashed"]
+    dispatcher._duplicates = counters["duplicates"]
+    dispatcher._seen_tokens = set(snapshot["seen_tokens"])
+    dispatcher._stalled = snapshot["stalled"]
+    dispatcher.timeline = list(snapshot["timeline"])
+    return dispatcher

@@ -1,0 +1,323 @@
+"""The SQLite storage backend (WAL mode).
+
+One database file holds a whole session: the write-ahead answer log,
+the checkpoint history (opaque pickled payloads plus bookkeeping
+columns), and the knowledge base's item→rules inverted index as two
+indexed tables — so the hot lattice scans run as SQL aggregate queries
+instead of Python loops, and a saved knowledge base is inspectable
+with any SQLite shell.
+
+Concurrency/durability posture: ``journal_mode=WAL`` with
+``synchronous=NORMAL``. Answer-log appends open a deferred transaction
+that stays open until the next checkpoint (or ``close()``), so the
+per-question cost is one INSERT with no commit machinery — this is
+what keeps the checkpoint-overhead budget (see ``bench_e7_runtime``).
+The checkpoint row commits that transaction, making checkpoint and
+log atomic: a SIGKILL at any instant leaves either the previous or
+the new checkpoint readable (never a torn one), and the committed
+answer log never runs *behind* the committed checkpoint. Answers after
+the last checkpoint may be lost in a crash, but those are precisely
+the entries resume rolls back anyway (``truncate_answers``). The index
+tables are *not* relied on across a crash: resume resets and rebuilds
+them from the restored session state (``docs/persistence.md``).
+
+Determinism: both index queries return candidates ``ORDER BY`` the
+insertion id, i.e. discovery order. The Python
+:class:`~repro.miner.state.RuleIndex` yields candidates in hash/posting
+order instead — every knowledge-base consumer of these queries is
+order-independent in observable outcome (membership tests, early
+returns that all set the same decision, and commutative decision
+propagation), which ``tests/storage/test_sqlite_equivalence.py`` pins
+by replaying randomized sessions against the reference implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+
+from repro.core.rule import Rule
+from repro.storage.backend import AnswerRecord, CheckpointInfo, StorageError
+
+#: Schema version stamped into the ``meta`` table.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS answers (
+    seq        INTEGER PRIMARY KEY,
+    member     TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    rule       TEXT,
+    support    REAL,
+    confidence REAL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    questions      INTEGER NOT NULL,
+    kb_rules       INTEGER NOT NULL,
+    answers_logged INTEGER NOT NULL,
+    payload        BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS index_rules (
+    id        INTEGER PRIMARY KEY,
+    body_size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS rule_items (
+    item    TEXT NOT NULL,
+    rule_id INTEGER NOT NULL,
+    PRIMARY KEY (item, rule_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS rule_items_by_rule ON rule_items (rule_id);
+"""
+
+
+class SQLiteRuleIndex:
+    """Item→rules inverted index over rule bodies, in SQL.
+
+    Drop-in for :class:`~repro.miner.state.RuleIndex`: same three
+    methods, same candidate semantics (bodies only; callers still apply
+    the side-wise generalization order). Rules are add-only, so the
+    tables only ever grow within a session; rule ids are discovery
+    order, and :class:`Rule` objects stay in a Python id→rule map —
+    only the *scan* moves into the database.
+
+    - generalization candidates (body ⊆ probe): rules whose match
+      count against the probe's items equals their body size;
+    - specialization candidates (body ⊇ probe): rules matching *all*
+      of the probe's items.
+    """
+
+    __slots__ = ("_conn", "_rules", "_ids")
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+        self._rules: list[Rule] = []  # position == rule id
+        self._ids: dict[Rule, int] = {}
+
+    def add(self, rule: Rule) -> None:
+        """Index ``rule`` under every item of its body."""
+        if rule in self._ids:
+            return
+        rule_id = len(self._rules)
+        self._rules.append(rule)
+        self._ids[rule] = rule_id
+        body = rule.body
+        self._conn.execute(
+            "INSERT INTO index_rules (id, body_size) VALUES (?, ?)",
+            (rule_id, len(body)),
+        )
+        self._conn.executemany(
+            "INSERT INTO rule_items (item, rule_id) VALUES (?, ?)",
+            [(item, rule_id) for item in body],
+        )
+
+    def _probe(self, items: tuple[str, ...]) -> str:
+        return ",".join("?" for _ in items)
+
+    def generalization_candidates(self, rule: Rule):
+        """Known rules whose body is a subset of ``rule``'s body."""
+        items = rule.body.items
+        if not items:
+            return
+        rows = self._conn.execute(
+            f"""
+            SELECT r.id FROM index_rules r
+            JOIN rule_items ri ON ri.rule_id = r.id
+            WHERE ri.item IN ({self._probe(items)})
+            GROUP BY r.id HAVING COUNT(*) = r.body_size
+            ORDER BY r.id
+            """,
+            items,
+        ).fetchall()
+        for (rule_id,) in rows:
+            yield self._rules[rule_id]
+
+    def specialization_candidates(self, rule: Rule):
+        """Known rules whose body is a superset of ``rule``'s body."""
+        items = rule.body.items
+        if not items:
+            return
+        rows = self._conn.execute(
+            f"""
+            SELECT rule_id FROM rule_items
+            WHERE item IN ({self._probe(items)})
+            GROUP BY rule_id HAVING COUNT(*) = ?
+            ORDER BY rule_id
+            """,
+            (*items, len(items)),
+        ).fetchall()
+        for (rule_id,) in rows:
+            yield self._rules[rule_id]
+
+
+class SQLiteBackend:
+    """Session storage in one WAL-mode SQLite database.
+
+    Parameters
+    ----------
+    path:
+        Database file (created when missing). ``":memory:"`` gives a
+        private in-memory database — handy for tests and for using the
+        SQL index without durability.
+    fresh:
+        Start a new session store: any existing tables at ``path`` are
+        dropped first. ``fresh=False`` opens the existing store for
+        resume/inspection.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fresh: bool = False) -> None:
+        self.path = str(path)
+        self._in_tx = False
+        try:
+            self._conn = sqlite3.connect(self.path, isolation_level=None)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open sqlite database {path}") from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        if fresh:
+            for table in ("meta", "answers", "checkpoints", "index_rules", "rule_items"):
+                self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        (version,) = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if int(version) != SCHEMA_VERSION:
+            raise StorageError(
+                f"unsupported schema version {version} in {path} "
+                f"(this build writes version {SCHEMA_VERSION})"
+            )
+
+    # -- transaction batching ------------------------------------------------
+
+    def _begin(self) -> None:
+        """Open the answers-since-last-checkpoint transaction (idempotent)."""
+        if not self._in_tx:
+            self._conn.execute("BEGIN")
+            self._in_tx = True
+
+    def _commit(self) -> None:
+        """Commit the pending batch, if any."""
+        if self._in_tx:
+            self._conn.execute("COMMIT")
+            self._in_tx = False
+
+    # -- index ---------------------------------------------------------------
+
+    def make_index(self) -> SQLiteRuleIndex:
+        return SQLiteRuleIndex(self._conn)
+
+    def reset_index(self) -> None:
+        self._conn.execute("DELETE FROM index_rules")
+        self._conn.execute("DELETE FROM rule_items")
+
+    # -- answer log ----------------------------------------------------------
+
+    def append_answer(self, record: AnswerRecord) -> None:
+        self._begin()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO answers "
+            "(seq, member, kind, rule, support, confidence) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                record.seq,
+                record.member_id,
+                record.kind,
+                record.rule_key,
+                record.support,
+                record.confidence,
+            ),
+        )
+
+    def answers(self) -> list[AnswerRecord]:
+        rows = self._conn.execute(
+            "SELECT seq, member, kind, rule, support, confidence "
+            "FROM answers ORDER BY seq"
+        ).fetchall()
+        return [AnswerRecord(*row) for row in rows]
+
+    def truncate_answers(self, keep: int) -> None:
+        self._conn.execute("DELETE FROM answers WHERE seq >= ?", (keep,))
+        self._commit()
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def save_checkpoint(
+        self, payload: bytes, *, questions: int, kb_rules: int
+    ) -> CheckpointInfo:
+        (logged,) = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()
+        cursor = self._conn.execute(
+            "INSERT INTO checkpoints (questions, kb_rules, answers_logged, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (questions, kb_rules, logged, sqlite3.Binary(payload)),
+        )
+        self._commit()  # checkpoint + its answer batch land atomically
+        return CheckpointInfo(
+            checkpoint_id=int(cursor.lastrowid),
+            questions=questions,
+            kb_rules=kb_rules,
+            answers_logged=int(logged),
+            payload_bytes=len(payload),
+        )
+
+    def latest_checkpoint(self) -> tuple[CheckpointInfo, bytes] | None:
+        row = self._conn.execute(
+            "SELECT id, questions, kb_rules, answers_logged, payload "
+            "FROM checkpoints ORDER BY id DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        cp_id, questions, kb_rules, logged, payload = row
+        info = CheckpointInfo(
+            checkpoint_id=int(cp_id),
+            questions=int(questions),
+            kb_rules=int(kb_rules),
+            answers_logged=int(logged),
+            payload_bytes=len(payload),
+        )
+        return info, bytes(payload)
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        rows = self._conn.execute(
+            "SELECT id, questions, kb_rules, answers_logged, LENGTH(payload) "
+            "FROM checkpoints ORDER BY id"
+        ).fetchall()
+        return [
+            CheckpointInfo(
+                checkpoint_id=int(cp_id),
+                questions=int(questions),
+                kb_rules=int(kb_rules),
+                answers_logged=int(logged),
+                payload_bytes=int(size),
+            )
+            for cp_id, questions, kb_rules, logged, size in rows
+        ]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def bytes_on_disk(self) -> int:
+        if self.path == ":memory:":
+            (pages,) = self._conn.execute("PRAGMA page_count").fetchone()
+            (page_size,) = self._conn.execute("PRAGMA page_size").fetchone()
+            return int(pages) * int(page_size)
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(self.path + suffix)
+            if candidate.exists():
+                total += candidate.stat().st_size
+        return total
+
+    def describe(self) -> str:
+        return f"sqlite backend ({self.path}, WAL)"
+
+    def close(self) -> None:
+        self._commit()
+        self._conn.close()

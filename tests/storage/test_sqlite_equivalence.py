@@ -1,0 +1,90 @@
+"""The SQL-backed rule index must be invisible to KB semantics.
+
+``SQLiteRuleIndex`` answers the same two lattice queries as the plain
+in-process ``RuleIndex`` — generalization and specialization candidates
+— from indexed SQL tables instead of Python dicts. Swapping it in must
+never change what the knowledge base believes, so the randomized
+replay suite from ``tests/miner/test_kb_equivalence.py`` runs here
+unchanged against a :class:`MiningState` wired to a SQLite-backed
+index, plus direct query-level checks against the plain index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation import SignificanceTest, Thresholds
+from repro.miner import MiningState, RuleOrigin
+from repro.miner.state import RuleIndex
+from repro.storage import SQLiteBackend
+from tests.miner.test_kb_equivalence import (
+    ReferenceState,
+    assert_equivalent,
+    random_rule,
+    random_stats,
+)
+
+
+def replay_sqlite_session(seed, steps, lattice_pruning):
+    """The miner suite's replay loop, with the index served by SQLite."""
+    rng = np.random.default_rng(seed)
+    items = [f"i{k}" for k in range(6)]
+    members = [f"m{k}" for k in range(8)]
+    origins = list(RuleOrigin)
+    backend = SQLiteBackend(":memory:")
+    optimized = MiningState(
+        SignificanceTest(Thresholds(0.2, 0.5), min_samples=3),
+        lattice_pruning=lattice_pruning,
+        index=backend.make_index(),
+    )
+    reference = ReferenceState(
+        SignificanceTest(Thresholds(0.2, 0.5), min_samples=3),
+        lattice_pruning=lattice_pruning,
+    )
+    pool = [random_rule(rng, items) for _ in range(25)]
+    for step in range(steps):
+        rule = pool[int(rng.integers(len(pool)))]
+        origin = origins[int(rng.integers(len(origins)))]
+        if rng.random() < 0.25:
+            promise = float(rng.uniform(0.3, 0.9))
+            optimized.add_rule(rule, origin, prior_promise=promise)
+            reference.add_rule(rule, origin, prior_promise=promise)
+        else:
+            member = members[int(rng.integers(len(members)))]
+            stats = random_stats(rng)
+            optimized.record_answer(rule, member, stats, origin)
+            reference.record_answer(rule, member, stats, origin)
+        if step % 25 == 24 or step == steps - 1:
+            assert_equivalent(optimized, reference)
+    backend.close()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_sessions_match_reference(seed):
+    replay_sqlite_session(seed, steps=150, lattice_pruning=True)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_randomized_sessions_match_without_pruning(seed):
+    replay_sqlite_session(seed + 100, steps=100, lattice_pruning=False)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_index_queries_match_the_plain_index(seed):
+    """Both index implementations return the same candidate sets."""
+    rng = np.random.default_rng(seed)
+    items = [f"i{k}" for k in range(7)]
+    backend = SQLiteBackend(":memory:")
+    sql_index = backend.make_index()
+    plain_index = RuleIndex()
+    pool = [random_rule(rng, items) for _ in range(40)]
+    for rule in pool:
+        sql_index.add(rule)
+        plain_index.add(rule)
+    for probe in pool:
+        assert set(sql_index.generalization_candidates(probe)) == set(
+            plain_index.generalization_candidates(probe)
+        )
+        assert set(sql_index.specialization_candidates(probe)) == set(
+            plain_index.specialization_candidates(probe)
+        )
+    backend.close()
