@@ -77,18 +77,41 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             return 2
         return _resume_mine(args)
     model = NAMED_MODELS[args.domain](seed=args.seed)
-    population = build_population(
-        model, n_members=args.members, transactions_per_member=200, seed=args.seed + 1
-    )
-    from repro.faults import build_adversarial_crowd, parse_adversary_mix
+    if args.population_backend == "array":
+        if args.adversary_mix:
+            print(
+                "error: --adversary-mix needs per-member objects; "
+                "drop it or use --population-backend object",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.crowd import ArrayCrowd
+        from repro.synth import ArrayPopulation
 
-    mix = parse_adversary_mix(args.adversary_mix)
-    crowd, roles = build_adversarial_crowd(
-        population, mix, answer_model=standard_answer_model(), seed=args.seed + 2
-    )
-    adversaries = {mid for mid, role in roles.items() if role != "honest"}
-    if adversaries:
-        print(f"adversary mix: {args.adversary_mix} ({len(adversaries)} members)")
+        population = ArrayPopulation(
+            model, n_members=args.members,
+            transactions_per_member=200, seed=args.seed + 1,
+        )
+        crowd = ArrayCrowd(
+            population, answer_model=standard_answer_model(), seed=args.seed + 2
+        )
+    else:
+        population = build_population(
+            model, n_members=args.members,
+            transactions_per_member=200, seed=args.seed + 1,
+        )
+        from repro.faults import build_adversarial_crowd, parse_adversary_mix
+
+        mix = parse_adversary_mix(args.adversary_mix)
+        crowd, roles = build_adversarial_crowd(
+            population, mix, answer_model=standard_answer_model(), seed=args.seed + 2
+        )
+        adversaries = {mid for mid, role in roles.items() if role != "honest"}
+        if adversaries:
+            print(
+                f"adversary mix: {args.adversary_mix} "
+                f"({len(adversaries)} members)"
+            )
     cache = None
     if args.save_cache:
         from repro.miner import AnswerCache, CachingCrowd
@@ -119,23 +142,34 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         storage=storage,
     )
     use_dispatch = (
-        args.in_flight > 1 or args.latency != "0" or args.timeout is not None
+        args.shards > 1
+        or args.in_flight > 1
+        or args.latency != "0"
+        or args.timeout is not None
     )
     if use_dispatch:
         import math
 
-        from repro.dispatch import DispatchConfig, Dispatcher, parse_latency
-
-        dispatcher = Dispatcher(
-            miner,
-            DispatchConfig(
-                window=args.in_flight,
-                latency=parse_latency(args.latency),
-                timeout=math.inf if args.timeout is None else args.timeout,
-                max_retries=args.retries,
-                seed=args.seed + 4,
-            ),
+        from repro.dispatch import (
+            DispatchConfig,
+            Dispatcher,
+            ShardedDispatcher,
+            parse_latency,
         )
+
+        dispatch_config = DispatchConfig(
+            window=args.in_flight,
+            latency=parse_latency(args.latency),
+            timeout=math.inf if args.timeout is None else args.timeout,
+            max_retries=args.retries,
+            seed=args.seed + 4,
+        )
+        if args.shards > 1:
+            dispatcher = ShardedDispatcher(
+                miner, dispatch_config, shards=args.shards
+            )
+        else:
+            dispatcher = Dispatcher(miner, dispatch_config)
         result = dispatcher.run()
     else:
         result = miner.run()
@@ -152,6 +186,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
         save_json(cache_to_json(cache), args.save_cache)
         print(f"\nsaved {len(cache)} answers to {args.save_cache}")
+    if args.members > 1_000:
+        # Exact scoring mines the union of every member's transactions
+        # — superlinear in crowd size and the very cost the array
+        # backend avoids (minutes beyond a few thousand members).
+        print("\nground truth: skipped (crowd too large to scan exactly)")
+        return 0
     truth = compute_ground_truth(population, thresholds)
     mined = set(result.significant)
     tp = len(mined & truth.significant)
@@ -326,6 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--retries", type=int, default=2, metavar="N",
         help="reissues of a timed-out question before dropping it",
+    )
+    mine.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split dispatch over N crowd partitions feeding one "
+        "merged ingest stream (>1 implies the asynchronous "
+        "dispatcher; see docs/scaling.md)",
+    )
+    mine.add_argument(
+        "--population-backend", choices=("object", "array"),
+        default="object",
+        help="member-state backend: 'object' (default) builds one "
+        "member object each; 'array' keeps columnar state and scales "
+        "to millions of members (honest crowds only)",
     )
     mine.add_argument(
         "--adversary-mix", default="", metavar="SPEC",

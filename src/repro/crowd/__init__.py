@@ -18,8 +18,10 @@ from repro.crowd.answer_models import (
     coherent_stats,
     standard_answer_model,
 )
+from repro.crowd.array_crowd import ArrayCrowd
 from repro.crowd.crowd import CrowdStats, SimulatedCrowd
 from repro.crowd.member import SimulatedMember
+from repro.crowd.partition import CrowdPartition
 from repro.crowd.nl import (
     LIKERT_LABELS,
     QuestionRenderer,
@@ -49,9 +51,11 @@ __all__ = [
     "Answer",
     "AnswerModel",
     "AnyAnswer",
+    "ArrayCrowd",
     "ClosedAnswer",
     "ClosedQuestion",
     "ComposedAnswerModel",
+    "CrowdPartition",
     "CrowdStats",
     "ExactAnswerModel",
     "ForgetfulAnswerModel",

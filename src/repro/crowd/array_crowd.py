@@ -1,0 +1,472 @@
+"""A crowd over an :class:`~repro.synth.array_population.ArrayPopulation`.
+
+:class:`ArrayCrowd` speaks the same question protocol as
+:class:`~repro.crowd.crowd.SimulatedCrowd` — same scheduling
+semantics, same statistics, same async envelope — but keeps **no
+per-member objects**. Member state is columnar (seeds, availability
+mask) or sparse (per-member generators, patience counters, volunteered
+sets exist only for members actually questioned), so a million-member
+crowd costs megabytes, and a checkpoint of one stays sublinear in
+crowd size.
+
+Byte-identity contract: for the same population columns, seed, shared
+answer model and patience, an ``ArrayCrowd`` answers every question
+bit-for-bit like a ``SimulatedCrowd`` built over
+``population.materialize()`` — the member seed vector is one
+vectorized draw that matches the object path's per-member scalar
+draws, true stats divide the same integer counts, and per-member
+generators consume the same stream. ``tests/crowd/test_array_crowd.py``
+pins this.
+
+Heterogeneous behaviour (per-member answer models, adversary mixes)
+needs per-member objects and is deliberately not supported here — use
+the object path for fault experiments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Collection
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+from repro.crowd.answer_models import AnswerModel, ExactAnswerModel
+from repro.crowd.crowd import CrowdStats
+from repro.crowd.open_behavior import OpenAnswerPolicy
+from repro.crowd.questions import (
+    ClosedAnswer,
+    ClosedQuestion,
+    InFlightAnswer,
+    OpenAnswer,
+    OpenQuestion,
+)
+from repro.errors import CrowdExhaustedError
+from repro.synth.array_population import ArrayPopulation
+
+if TYPE_CHECKING:
+    from repro.crowd.partition import CrowdPartition
+    from repro.dispatch.latency import LatencyModel
+
+#: Bound on cached personal open-answer rule pools.
+POOL_CACHE = 1024
+
+
+#: Shared generator handed to answer models that never draw (see
+#: ``ArrayCrowd._answer_rng``); its state is irrelevant by contract.
+_INERT_RNG = np.random.default_rng(0)
+
+
+def _generator_from_state(state: dict) -> np.random.Generator:
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+class ArrayCrowd:
+    """The vectorized crowd: columnar member state, object-free answering.
+
+    Parameters
+    ----------
+    population:
+        The columnar population backing every answer.
+    answer_model:
+        One model shared by the whole crowd (kept scalar-compatible
+        per member via per-member generators).
+    open_policy:
+        Shared open-answer policy.
+    patience:
+        Per-member question budget (``None`` = unbounded).
+    seed:
+        Crowd randomness; consumed exactly like
+        :meth:`SimulatedCrowd.from_population` (one 63-bit draw per
+        member for the member seeds).
+    """
+
+    def __init__(
+        self,
+        population: ArrayPopulation,
+        answer_model: AnswerModel | None = None,
+        open_policy: OpenAnswerPolicy | None = None,
+        patience: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self._population = population
+        self.answer_model = answer_model or ExactAnswerModel()
+        self.open_policy = open_policy or OpenAnswerPolicy()
+        self.patience = patience
+        rng = as_rng(seed)
+        #: Generator state *before* the member-seed draw — enough to
+        #: regenerate the seed column on restore, so checkpoints never
+        #: carry O(n) seed material.
+        self._pre_state = rng.bit_generator.state
+        self._member_seeds = rng.integers(2**63, size=len(population))
+        self._rng = rng
+        self.stats = CrowdStats()
+        self._tokens = 0
+        self._rr_cursor = 0
+        # Sparse per-member state: populated only for questioned members.
+        self._answered: dict[int, int] = {}
+        self._member_rngs: dict[int, np.random.Generator] = {}
+        self._volunteered: dict[int, set[Rule]] = {}
+        self._departed: set[int] = set()
+        self._quarantined: set[int] = set()
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        n = len(self._population)
+        self._active = np.ones(n, dtype=bool)
+        for k in self._departed | self._quarantined:
+            self._active[k] = False
+        if self.patience is not None:
+            for k, count in self._answered.items():
+                if count >= self.patience:
+                    self._active[k] = False
+        self._n_active = int(self._active.sum())
+        self._avail_gen = 0
+        self._avail_idx: np.ndarray | None = None
+        self._pools: OrderedDict[int, dict] = OrderedDict()
+
+    # -- identity -------------------------------------------------------------
+
+    def _id(self, index: int) -> str:
+        return self._population.member_id_at(index)
+
+    def _index(self, member_id: str) -> int:
+        return self._population.index_of(member_id)
+
+    def __len__(self) -> int:
+        return len(self._population)
+
+    @property
+    def population(self) -> ArrayPopulation:
+        """The columnar population behind this crowd."""
+        return self._population
+
+    @property
+    def member_ids(self) -> list[str]:
+        """All member ids, in index order (materializes the list)."""
+        return [self._id(k) for k in range(len(self._population))]
+
+    # -- availability ---------------------------------------------------------
+
+    def _avail_indices(self) -> np.ndarray:
+        if self._avail_idx is None:
+            self._avail_idx = np.flatnonzero(self._active)
+        return self._avail_idx
+
+    def available_members(self) -> list[str]:
+        """Ids of members still willing to answer (and not quarantined)."""
+        return [self._id(int(k)) for k in self._avail_indices()]
+
+    def available_count(self) -> int:
+        """How many members can still be routed a question — O(1)."""
+        return self._n_active
+
+    def is_member_available(self, member_id: str) -> bool:
+        """True when ``member_id`` may still be routed a question."""
+        return bool(self._active[self._index(member_id)])
+
+    @property
+    def availability_generation(self) -> int:
+        """Bumped whenever the available set shrinks (partition cache key)."""
+        return self._avail_gen
+
+    def _deactivate(self, index: int) -> None:
+        if self._active[index]:
+            self._active[index] = False
+            self._n_active -= 1
+            self._avail_gen += 1
+            self._avail_idx = None
+
+    def _answerable(self, index: int) -> bool:
+        """Whether the member can still *answer* (quarantine ignored —
+        a quarantined member's in-flight answer may still land)."""
+        if index in self._departed:
+            return False
+        return self.patience is None or self._answered.get(index, 0) < self.patience
+
+    def _consume_patience(self, index: int) -> None:
+        if not self._answerable(index):
+            raise CrowdExhaustedError(
+                f"member {self._id(index)} has left after "
+                f"{self._answered.get(index, 0)} questions"
+            )
+        self._answered[index] = self._answered.get(index, 0) + 1
+        if not self._answerable(index):
+            self._deactivate(index)
+
+    def _member_rng(self, index: int) -> np.random.Generator:
+        rng = self._member_rngs.get(index)
+        if rng is None:
+            rng = np.random.default_rng(int(self._member_seeds[index]))
+            self._member_rngs[index] = rng
+        return rng
+
+    def _answer_rng(self, index: int) -> np.random.Generator:
+        """The generator handed to the answer model for ``index``.
+
+        When the model never draws, constructing (and caching) the
+        member's generator is pure overhead — a shared inert generator
+        is byte-identical because nothing is consumed, and the
+        member's real stream still starts fresh if a drawing model or
+        an open question needs it later.
+        """
+        if not self.answer_model.consumes_rng:
+            return _INERT_RNG
+        return self._member_rng(index)
+
+    # -- quality control and faults -------------------------------------------
+
+    def quarantine(self, member_id: str) -> None:
+        """Stop routing questions to ``member_id`` (idempotent)."""
+        index = self._index(member_id)
+        self._quarantined.add(index)
+        self._deactivate(index)
+
+    def is_quarantined(self, member_id: str) -> bool:
+        """True when the member is barred from routing."""
+        return self._index(member_id) in self._quarantined
+
+    @property
+    def quarantined_members(self) -> set[str]:
+        """Ids currently under quarantine (a copy)."""
+        return {self._id(k) for k in self._quarantined}
+
+    def crash(self, member_id: str) -> None:
+        """The member abruptly leaves the session for good."""
+        index = self._index(member_id)
+        self._departed.add(index)
+        self._deactivate(index)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def next_member(self, exclude: Collection[str] = ()) -> str | None:
+        """Round-robin over available members; same contract as
+        :meth:`SimulatedCrowd.next_member`."""
+        idx = self._avail_indices()
+        m = idx.size
+        if m == 0:
+            raise CrowdExhaustedError("every crowd member has left the session")
+        if exclude:
+            positions: set[int] = set()
+            for mid in exclude:
+                try:
+                    k = self._index(mid)
+                except KeyError:
+                    continue
+                if self._active[k]:
+                    # ``idx`` is sorted and id order equals index order,
+                    # so searchsorted gives the availability-list position.
+                    positions.add(int(np.searchsorted(idx, k)))
+            free = m - len(positions)
+            if free == 0:
+                return None
+            pos = self._rr_cursor % free
+            for p in sorted(positions):
+                if p <= pos:
+                    pos += 1
+            index = int(idx[pos])
+        else:
+            index = int(idx[self._rr_cursor % m])
+        self._rr_cursor += 1
+        return self._id(index)
+
+    def partitions(self, shards: int) -> list["CrowdPartition"]:
+        """Interleaved scheduling partitions (see ``SimulatedCrowd``)."""
+        from repro.crowd.partition import CrowdPartition
+
+        check_positive(shards, "shards")
+        ids = self.member_ids
+        return [CrowdPartition(self, ids[i::shards]) for i in range(shards)]
+
+    # -- the question protocol ------------------------------------------------
+
+    def _pool(self, index: int) -> dict:
+        pool = self._pools.get(index)
+        if pool is None:
+            pool = self.open_policy.personal_rules(self._population.db_at(index))
+            self._pools[index] = pool
+            while len(self._pools) > POOL_CACHE:
+                self._pools.popitem(last=False)
+        else:
+            self._pools.move_to_end(index)
+        return pool
+
+    def ask_closed(self, member_id: str, rule: Rule) -> ClosedAnswer:
+        """Pose a closed question about ``rule`` to ``member_id``."""
+        index = self._index(member_id)
+        self._consume_patience(index)
+        true_stats = self._population.rule_stats_at(index, rule)
+        reported = self.answer_model.report_rule(
+            rule, true_stats, self._answer_rng(index)
+        )
+        answer = ClosedAnswer(member_id, ClosedQuestion(rule), reported)
+        self.stats.closed_questions += 1
+        self.stats.per_member[member_id] += 1
+        self.stats.unique_rules_asked.add(rule)
+        return answer
+
+    def ask_open(
+        self,
+        member_id: str,
+        exclude: set[Rule] | None = None,
+        context: Itemset | None = None,
+    ) -> OpenAnswer:
+        """Pose an open question to ``member_id``."""
+        index = self._index(member_id)
+        self._consume_patience(index)
+        question = OpenQuestion(context or Itemset.empty())
+        avoid = set(self._volunteered.get(index, ()))
+        if exclude:
+            avoid |= exclude
+        pool = self._pool(index)
+        choice = self.open_policy.choose(
+            pool, question.context, avoid, self._member_rng(index)
+        )
+        if choice is None:
+            answer = OpenAnswer(member_id, question, None, None)
+        else:
+            rule, true_stats = choice
+            self._volunteered.setdefault(index, set()).add(rule)
+            reported = self.answer_model.report_rule(
+                rule, true_stats, self._member_rng(index)
+            )
+            answer = OpenAnswer(member_id, question, rule, reported)
+        self.stats.open_questions += 1
+        self.stats.per_member[member_id] += 1
+        if answer.is_empty:
+            self.stats.empty_open_answers += 1
+        return answer
+
+    # -- the asynchronous question protocol ------------------------------------
+
+    def make_in_flight(
+        self,
+        answer,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ) -> InFlightAnswer:
+        """Wrap a resolved answer in the async envelope (fresh token)."""
+        self._tokens += 1
+        return InFlightAnswer(
+            answer=answer,
+            issued_at=now,
+            arrives_at=now + latency.sample(rng),
+            token=self._tokens,
+        )
+
+    def ask_closed_async(
+        self,
+        member_id: str,
+        rule: Rule,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+    ) -> InFlightAnswer:
+        """Closed question with simulated-latency delivery."""
+        answer = self.ask_closed(member_id, rule)
+        return self.make_in_flight(answer, latency=latency, rng=rng, now=now)
+
+    def ask_open_async(
+        self,
+        member_id: str,
+        *,
+        latency: "LatencyModel",
+        rng: np.random.Generator,
+        now: float = 0.0,
+        exclude: set[Rule] | None = None,
+        context: Itemset | None = None,
+    ) -> InFlightAnswer:
+        """Open question with simulated-latency delivery."""
+        answer = self.ask_open(member_id, exclude=exclude, context=context)
+        return self.make_in_flight(answer, latency=latency, rng=rng, now=now)
+
+    # -- batched answering ------------------------------------------------------
+
+    def ask_closed_batch(
+        self,
+        member_ids: list[str],
+        rules: list[Rule],
+        rng: np.random.Generator,
+    ) -> list[ClosedAnswer]:
+        """Answer a whole window of closed questions in one model draw.
+
+        True stats are still exact per member; the *reporting*
+        distortion is sampled as one vectorized batch on ``rng``
+        (the dispatcher's batch stream) instead of per-member
+        generators — deterministic under its own seed, but a different
+        stream than scalar asking. The sharded dispatcher only batches
+        when more than one question is in flight.
+        """
+        indices = [self._index(mid) for mid in member_ids]
+        for index in indices:
+            self._consume_patience(index)
+        true = np.empty((len(indices), 2), dtype=float)
+        for i, (index, rule) in enumerate(zip(indices, rules)):
+            stats = self._population.rule_stats_at(index, rule)
+            true[i, 0] = stats.support
+            true[i, 1] = stats.confidence
+        reported = self.answer_model.report_batch(rules, true, rng)
+        answers = []
+        for i, (member_id, rule) in enumerate(zip(member_ids, rules)):
+            answers.append(
+                ClosedAnswer(
+                    member_id,
+                    ClosedQuestion(rule),
+                    RuleStats(float(reported[i, 0]), float(reported[i, 1])),
+                )
+            )
+            self.stats.closed_questions += 1
+            self.stats.per_member[member_id] += 1
+            self.stats.unique_rules_asked.add(rule)
+        return answers
+
+    # -- pickling: sparse state only --------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "population": self._population,  # pickles as its recipe
+            "answer_model": self.answer_model,
+            "open_policy": self.open_policy,
+            "patience": self.patience,
+            "pre_state": self._pre_state,
+            "rng_state": self._rng.bit_generator.state,
+            "stats": self.stats,
+            "tokens": self._tokens,
+            "rr_cursor": self._rr_cursor,
+            "answered": self._answered,
+            "member_rngs": self._member_rngs,
+            "volunteered": self._volunteered,
+            "departed": sorted(self._departed),
+            "quarantined": sorted(self._quarantined),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._population = state["population"]
+        self.answer_model = state["answer_model"]
+        self.open_policy = state["open_policy"]
+        self.patience = state["patience"]
+        self._pre_state = state["pre_state"]
+        seed_rng = _generator_from_state(self._pre_state)
+        self._member_seeds = seed_rng.integers(2**63, size=len(self._population))
+        self._rng = _generator_from_state(state["rng_state"])
+        self.stats = state["stats"]
+        self._tokens = state["tokens"]
+        self._rr_cursor = state["rr_cursor"]
+        self._answered = state["answered"]
+        self._member_rngs = state["member_rngs"]
+        self._volunteered = state["volunteered"]
+        self._departed = set(state["departed"])
+        self._quarantined = set(state["quarantined"])
+        self._init_runtime()
+
+    def __repr__(self) -> str:
+        return f"ArrayCrowd({len(self)} members, {self._n_active} available)"

@@ -62,6 +62,11 @@ class SimulatedMember:
     _questions_answered: int = field(init=False, default=0)
     _volunteered: set[Rule] = field(init=False, default_factory=set)
     _departed: bool = field(init=False, default=False)
+    #: Optional observer fired once when the member stops being
+    #: available (patience exhausted or externally-driven departure).
+    #: The crowd uses it to keep its availability index in sync without
+    #: rescanning every member.
+    on_unavailable: object = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = as_rng(self.seed)
@@ -88,7 +93,10 @@ class SimulatedMember:
         fault injector uses it to simulate mid-session departures. A
         departed member never answers again.
         """
+        was_available = self.is_available
         self._departed = True
+        if was_available and self.on_unavailable is not None:
+            self.on_unavailable(self.member_id)
 
     def _consume_patience(self) -> None:
         if not self.is_available:
@@ -97,6 +105,8 @@ class SimulatedMember:
                 f"{self._questions_answered} questions"
             )
         self._questions_answered += 1
+        if not self.is_available and self.on_unavailable is not None:
+            self.on_unavailable(self.member_id)
 
     # -- answering ---------------------------------------------------------------
 

@@ -13,6 +13,7 @@ semantics and the determinism guarantee.
 
 from repro.dispatch.clock import EventClock, ScheduledEvent
 from repro.dispatch.dispatcher import DispatchConfig, Dispatcher, DispatchStats
+from repro.dispatch.sharded import ShardedDispatcher
 from repro.dispatch.latency import (
     ConstantLatency,
     DroppingLatency,
@@ -38,6 +39,7 @@ __all__ = [
     "MixtureLatency",
     "ParetoLatency",
     "ScheduledEvent",
+    "ShardedDispatcher",
     "heavy_tail_latency",
     "parse_latency",
 ]

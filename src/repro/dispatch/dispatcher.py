@@ -191,6 +191,10 @@ class Dispatcher:
         # resume hands in a clock that must be kept even when no events
         # are armed on it yet.
         self.clock = clock if clock is not None else EventClock()
+        #: Who picks the next member to question. Defaults to the whole
+        #: crowd; the sharded dispatcher points each shard at its own
+        #: :class:`~repro.crowd.partition.CrowdPartition`.
+        self.scheduler = miner.crowd
         self.obs = miner.obs
         self._checkpoint_requested = False
         self._rng = as_rng(self.config.seed)
@@ -254,7 +258,7 @@ class Dispatcher:
             and not self._stalled
         ):
             try:
-                member_id = self.miner.crowd.next_member(
+                member_id = self.scheduler.next_member(
                     exclude=self._in_flight.keys()
                 )
             except CrowdExhaustedError:
@@ -273,11 +277,18 @@ class Dispatcher:
                 continue
 
     def _issue(self, proposal: QuestionProposal, attempt: int) -> None:
-        member_id = proposal.member_id
-        model = self._profile.model_for(member_id)
+        model = self._profile.model_for(proposal.member_id)
         in_flight = self.miner.pose_async(
             proposal, latency=model, rng=self._rng, now=self.clock.now
         )
+        self._arm(proposal, in_flight, attempt)
+
+    def _arm(
+        self, proposal: QuestionProposal, in_flight: InFlightAnswer, attempt: int
+    ) -> None:
+        """Book an already-resolved in-flight answer: schedule its
+        arrival and timeout, charge the budget, update the gauges."""
+        member_id = proposal.member_id
         timeout = self.config.timeout * self.config.backoff**attempt
         if in_flight.is_lost and math.isinf(timeout):
             raise ConfigurationError(
@@ -453,7 +464,7 @@ class Dispatcher:
         """
         free = [
             mid
-            for mid in self.miner.crowd.available_members()
+            for mid in self.scheduler.available_members()
             if mid not in self._in_flight
         ]
         if proposal.kind is QuestionKind.CLOSED:

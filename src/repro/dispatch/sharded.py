@@ -1,0 +1,330 @@
+"""Sharded dispatch: N schedulers, one merged ingest stream.
+
+The PR 2 propose/pose/ingest split is the parallelization seam: shards
+only parallelize the *scheduling and posing* side, while every answer
+still lands in one completion-order ingest stream folded by the single
+:class:`~repro.miner.crowdminer.CrowdMiner` — ingest stays
+single-writer, so storage semantics (PR 6) and latent trust (PR 5) are
+untouched.
+
+A :class:`ShardedDispatcher` owns ``n`` internal shard dispatchers.
+Each shard has its own event clock, its own latency stream, and
+schedules only over its own :class:`~repro.crowd.partition.CrowdPartition`
+(crowd positions ``i::n``). The parent drives the merge loop: it
+repeatedly pops the globally-earliest event (ties break by shard
+index), delivers it to the shared miner, and refills every shard's
+window. With one shard and the default window this reduces exactly to
+the single :class:`~repro.dispatch.dispatcher.Dispatcher`.
+
+When the crowd supports batched closed answering (``ArrayCrowd``) and
+the window is larger than 1, each shard gathers its window of closed
+proposals and resolves them with **one vectorized answer-model draw**
+on a per-shard batch stream — deterministic under the session seed,
+though not byte-identical to one-at-a-time asking (which is why the
+window=1 path never batches; see ``docs/scaling.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+from repro.dispatch.dispatcher import DispatchConfig, Dispatcher, DispatchStats
+from repro.errors import ConfigurationError, CrowdExhaustedError
+from repro.miner.crowdminer import CrowdMiner, QuestionProposal
+from repro.miner.result import MiningResult, QuestionKind
+
+
+class _ShardDispatcher(Dispatcher):
+    """One shard: a Dispatcher whose stall flag and budget are shared.
+
+    The parent must be assigned *before* ``Dispatcher.__init__`` runs
+    (the ``_stalled`` property writes through to the parent's flag).
+    """
+
+    def __init__(
+        self,
+        parent: "ShardedDispatcher",
+        index: int,
+        miner: CrowdMiner,
+        config: DispatchConfig,
+        partition,
+        rng: np.random.Generator,
+        batch_rng: np.random.Generator,
+    ) -> None:
+        self._parent = parent
+        self.index = index
+        super().__init__(miner, config)
+        self.scheduler = partition
+        self._rng = rng
+        self._batch_rng = batch_rng
+
+    # Supply is global (one miner proposes for every shard): when one
+    # shard stalls, all are stalled; any ingest clears the shared flag.
+    @property
+    def _stalled(self) -> bool:  # type: ignore[override]
+        return self._parent._stall_flag
+
+    @_stalled.setter
+    def _stalled(self, value: bool) -> None:
+        self._parent._stall_flag = bool(value)
+
+    # The budget is charged for issues across *all* shards.
+    @property
+    def budget_left(self) -> int:  # type: ignore[override]
+        return self._parent.budget_left
+
+    # -- batched filling ------------------------------------------------------
+
+    def _fill_window(self) -> None:
+        if not self._parent._batch:
+            return super()._fill_window()
+        while (
+            len(self._in_flight) < self.config.window
+            and self.budget_left > 0
+            and not self._stalled
+        ):
+            batch: list[QuestionProposal] = []
+            exclude = set(self._in_flight)
+            progressed = False
+            while (
+                len(self._in_flight) + len(batch) < self.config.window
+                and self.budget_left > len(batch)
+                and not self._stalled
+            ):
+                try:
+                    member_id = self.scheduler.next_member(exclude=exclude)
+                except CrowdExhaustedError:
+                    break
+                if member_id is None:
+                    break
+                proposal = self.miner.propose_question(member_id)
+                if proposal is None:
+                    self._stalled = True
+                    break
+                exclude.add(member_id)
+                if proposal.kind is QuestionKind.CLOSED:
+                    batch.append(proposal)
+                else:
+                    try:
+                        self._issue(proposal, attempt=0)
+                        progressed = True
+                    except CrowdExhaustedError:
+                        continue
+            if len(batch) == 1:
+                try:
+                    self._issue(batch[0], attempt=0)
+                    progressed = True
+                except CrowdExhaustedError:
+                    pass
+            elif batch:
+                progressed = self._issue_batch(batch) or progressed
+            if not progressed:
+                return
+
+    def _issue_batch(self, proposals: list[QuestionProposal]) -> bool:
+        """Resolve a window of closed proposals with one batched draw."""
+        crowd = self.miner.crowd
+        member_ids = [p.member_id for p in proposals]
+        rules = [p.rule for p in proposals]
+        try:
+            answers = crowd.ask_closed_batch(member_ids, rules, self._batch_rng)
+        except CrowdExhaustedError:
+            # Someone left between scheduling and asking; recover by
+            # issuing one at a time, skipping whoever is gone.
+            issued = False
+            for proposal in proposals:
+                try:
+                    self._issue(proposal, attempt=0)
+                    issued = True
+                except CrowdExhaustedError:
+                    continue
+            return issued
+        for proposal, answer in zip(proposals, answers):
+            model = self._profile.model_for(proposal.member_id)
+            in_flight = crowd.make_in_flight(
+                answer, latency=model, rng=self._rng, now=self.clock.now
+            )
+            self._arm(proposal, in_flight, attempt=0)
+        return True
+
+
+class ShardedDispatcher:
+    """Drives one miner through ``shards`` partitioned dispatchers.
+
+    Presents the same driving surface as
+    :class:`~repro.dispatch.dispatcher.Dispatcher` (``run``,
+    ``advance_to``, ``is_idle``, ``stats``, ``result``, checkpoint
+    requests, the completion-order ``timeline``); the sharding is an
+    internal matter. Determinism: shard seeds derive from the dispatch
+    seed, the merge loop breaks time ties by shard index, and each
+    shard's clock is its own — one seed tuple replays byte-identically
+    for any fixed shard count.
+    """
+
+    def __init__(
+        self,
+        miner: CrowdMiner,
+        config: DispatchConfig | None = None,
+        shards: int = 2,
+    ) -> None:
+        check_positive(shards, "shards")
+        self.miner = miner
+        self.config = config or DispatchConfig()
+        self.n_shards = int(shards)
+        self.obs = miner.obs
+        partitioner = getattr(miner.crowd, "partitions", None)
+        if partitioner is None:
+            raise ConfigurationError(
+                f"crowd of type {type(miner.crowd).__name__} does not support "
+                "partitioning; use the single Dispatcher"
+            )
+        partitions = partitioner(self.n_shards)
+        self._batch = self.config.window > 1 and hasattr(
+            miner.crowd, "ask_closed_batch"
+        )
+        self._stall_flag = False
+        #: Merged completion-order timeline, shared by every shard.
+        self.timeline: list = []
+        seed_rng = as_rng(self.config.seed)
+        shard_seeds = seed_rng.integers(2**63, size=(self.n_shards, 2))
+        self.shards: list[_ShardDispatcher] = []
+        for i in range(self.n_shards):
+            shard = _ShardDispatcher(
+                parent=self,
+                index=i,
+                miner=miner,
+                config=self.config,
+                partition=partitions[i],
+                rng=np.random.default_rng(int(shard_seeds[i, 0])),
+                batch_rng=np.random.default_rng(int(shard_seeds[i, 1])),
+            )
+            shard.timeline = self.timeline
+            self.shards.append(shard)
+        # Each shard's __init__ claimed the back-ref; checkpoints must
+        # land on the merge loop's event boundaries, i.e. here.
+        miner.dispatcher = self
+        self._checkpoint_requested = False
+        self._high_water = 0
+
+    # -- progress -------------------------------------------------------------
+
+    @property
+    def in_flight_count(self) -> int:
+        """Questions currently travelling, across all shards."""
+        return sum(len(s._in_flight) for s in self.shards)
+
+    @property
+    def questions_issued(self) -> int:
+        """Questions put to the crowd so far (all shards, retries included)."""
+        return sum(s._issued for s in self.shards)
+
+    @property
+    def budget_left(self) -> int:
+        """Issues remaining before the miner's budget is spent."""
+        return self.miner.config.budget - self.questions_issued
+
+    def is_idle(self) -> bool:
+        """True when nothing is in flight and nothing more can be issued."""
+        self._fill_all()
+        return self.in_flight_count == 0
+
+    def in_flight_members(self) -> list[str]:
+        """Members currently holding an in-flight question, sorted."""
+        members: list[str] = []
+        for shard in self.shards:
+            members.extend(shard._in_flight)
+        return sorted(members)
+
+    def crash_member(self, member_id: str) -> None:
+        """Crash a member, routed to whichever shard holds their question."""
+        for shard in self.shards:
+            if member_id in shard._in_flight:
+                shard.crash_member(member_id)
+                return
+        self.miner.crowd.crash(member_id)
+
+    # -- driving --------------------------------------------------------------
+
+    def _fill_all(self) -> None:
+        for shard in self.shards:
+            shard._fill_window()
+        total = self.in_flight_count
+        if total > self._high_water:
+            self._high_water = total
+
+    def _next_event(self) -> tuple[float, int] | None:
+        """(time, shard) of the globally-earliest live event."""
+        best: tuple[float, int] | None = None
+        for i, shard in enumerate(self.shards):
+            t = shard.clock.peek_time()
+            if t is not None and (best is None or t < best[0]):
+                best = (t, i)
+        return best
+
+    def run(self) -> MiningResult:
+        """Drain the session: the merged completion-order event loop."""
+        self._fill_all()
+        while self.in_flight_count:
+            nxt = self._next_event()
+            if nxt is None:
+                break
+            self.shards[nxt[1]].clock.pop()
+            self._maybe_checkpoint()
+            self._fill_all()
+        return self.result()
+
+    def advance_to(self, time: float) -> None:
+        """Run the merged session up to an absolute simulated time."""
+        self._fill_all()
+        while True:
+            nxt = self._next_event()
+            if nxt is None or nxt[0] > time:
+                break
+            self.shards[nxt[1]].clock.pop()
+            self._maybe_checkpoint()
+            self._fill_all()
+        for shard in self.shards:
+            shard.clock.run_until(time)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def request_checkpoint(self) -> None:
+        """Ask for a session checkpoint at the next merge-loop boundary."""
+        self._checkpoint_requested = True
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_requested:
+            self._checkpoint_requested = False
+            self.miner.checkpoint()
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Simulated finish time: the latest shard clock."""
+        return max(shard.clock.now for shard in self.shards)
+
+    def stats(self) -> DispatchStats:
+        """Aggregated counters across shards (books still balance)."""
+        return DispatchStats(
+            issued=sum(s._issued for s in self.shards),
+            completed=sum(s._completed for s in self.shards),
+            timeouts=sum(s._timeouts for s in self.shards),
+            retries=sum(s._retries for s in self.shards),
+            stale_discarded=sum(s._stale for s in self.shards),
+            late_discarded=sum(s._late for s in self.shards),
+            dropped=sum(s._dropped for s in self.shards),
+            in_flight_high_water=self._high_water,
+            makespan=self.makespan,
+            malformed=sum(s._malformed for s in self.shards),
+            rejected=sum(s._rejected for s in self.shards),
+            crashed=sum(s._crashed for s in self.shards),
+            duplicates=sum(s._duplicates for s in self.shards),
+        )
+
+    def result(self, mode: str = "point") -> MiningResult:
+        """The miner's result with aggregated dispatch counters attached."""
+        result = self.miner.result(mode)
+        result.dispatch = self.stats()
+        return result

@@ -17,17 +17,52 @@ from __future__ import annotations
 import math
 
 import numpy as np
-from scipy.stats import multivariate_normal, norm
+from scipy.special import ndtr
+from scipy.stats import multivariate_normal
+
+try:  # scipy's deterministic bivariate-normal kernel (see _bvn_cdf)
+    from scipy.stats._qmvnt import _bvn as _scipy_bvn
+except ImportError:  # pragma: no cover - older/newer scipy layout
+    _scipy_bvn = None
 
 #: Variances below this are treated as exactly zero (deterministic).
 DEGENERATE_VARIANCE = 1e-18
 
+_NEG_INF_2 = np.array([-np.inf, -np.inf])
+
 
 def _survival_1d(mean: float, var: float, threshold: float) -> float:
-    """``P(X ≥ threshold)`` for ``X ~ N(mean, var)`` (var may be 0)."""
+    """``P(X ≥ threshold)`` for ``X ~ N(mean, var)`` (var may be 0).
+
+    ``ndtr`` is the exact kernel behind ``norm.sf`` — same values,
+    without the distribution-object dispatch (this sits on the
+    per-answer significance path; see :func:`_bvn_cdf`).
+    """
     if var <= DEGENERATE_VARIANCE:
         return 1.0 if mean >= threshold else 0.0
-    return float(norm.sf(threshold, loc=mean, scale=math.sqrt(var)))
+    return float(ndtr(-(threshold - mean) / math.sqrt(var)))
+
+
+def _bvn_cdf(point: np.ndarray, mean: np.ndarray, cov: np.ndarray) -> float:
+    """``P(X ≤ point)`` for a proper bivariate normal.
+
+    In two dimensions a frozen ``multivariate_normal(mean, cov)``
+    ``.cdf(point)`` bottoms out in scipy's deterministic ``_bvn``
+    closed form (Drezner–Wesolowsky via ``_bvnu``) — the QMC machinery
+    and its rng are never touched. Calling that kernel directly gives
+    identical values while skipping per-call frozen construction
+    (docstring formatting, eigendecomposition) and the
+    ``apply_along_axis`` wrapper, which together cost several times
+    the kernel itself. The public path stays as a fallback against
+    scipy internals moving.
+    """
+    if _scipy_bvn is not None:
+        try:
+            return float(_scipy_bvn(_NEG_INF_2, point - mean, cov))
+        except (TypeError, ValueError):
+            pass
+    dist = multivariate_normal(mean=mean, cov=cov, allow_singular=True)
+    return float(dist.cdf(point))
 
 
 def quadrant_probability(
@@ -76,11 +111,10 @@ def quadrant_probability(
     safe_cov = np.array(
         [[v1, rho * math.sqrt(v1 * v2)], [rho * math.sqrt(v1 * v2), v2]]
     )
-    dist = multivariate_normal(mean=mean, cov=safe_cov, allow_singular=True)
     # Inclusion–exclusion: P(X≥a, Y≥b) = 1 − F_X(a) − F_Y(b) + F(a, b).
-    f_joint = float(dist.cdf(np.array([t1, t2])))
-    f_x = float(norm.cdf(t1, loc=mean[0], scale=math.sqrt(v1)))
-    f_y = float(norm.cdf(t2, loc=mean[1], scale=math.sqrt(v2)))
+    f_joint = _bvn_cdf(np.array([t1, t2]), mean, safe_cov)
+    f_x = float(ndtr((t1 - mean[0]) / math.sqrt(v1)))
+    f_y = float(ndtr((t2 - mean[1]) / math.sqrt(v2)))
     p = 1.0 - f_x - f_y + f_joint
     return float(min(1.0, max(0.0, p)))
 

@@ -26,6 +26,7 @@ from repro.crowd.answer_models import (
     LikertAnswerModel,
     NoisyAnswerModel,
 )
+from repro.crowd.array_crowd import ArrayCrowd
 from repro.crowd.crowd import SimulatedCrowd
 from repro.crowd.open_behavior import OpenAnswerPolicy
 from repro.errors import ConfigurationError
@@ -43,6 +44,7 @@ from repro.miner.open_policy import make_open_policy
 from repro.miner.oracle import GroundTruth, compute_ground_truth
 from repro.miner.strategy import make_strategy
 from repro.obs import Instrumentation, ObsSnapshot
+from repro.synth.array_population import ArrayPopulation
 from repro.synth.factories import random_domain, random_habit_model
 from repro.synth.latent import LatentHabitModel
 from repro.synth.population import Population, build_population
@@ -107,10 +109,26 @@ class ExperimentConfig:
     checkpoint_path: str | None = None
     checkpoint_every: int = 0
     storage_backend: str = "sqlite"
+    # scale (see docs/scaling.md): "array" backs the population and
+    # crowd with columnar state instead of per-member objects, and
+    # ``shards`` > 1 splits dispatched sessions over crowd partitions.
+    population_backend: str = "object"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
         check_positive(self.repetitions, "repetitions")
+        check_positive(self.shards, "shards")
+        if self.population_backend not in ("object", "array"):
+            raise ConfigurationError(
+                f"unknown population backend {self.population_backend!r} "
+                "(expected 'object' or 'array')"
+            )
+        if self.population_backend == "array" and self.adversary_mix:
+            raise ConfigurationError(
+                "adversary mixes need per-member objects; "
+                "use population_backend='object'"
+            )
         if not self.checkpoints:
             raise ConfigurationError("at least one checkpoint is required")
         if any(c <= 0 for c in self.checkpoints):
@@ -177,9 +195,17 @@ class ExperimentResult:
 
 
 def build_world(
-    config: ExperimentConfig, seed: int
-) -> tuple[LatentHabitModel, Population, GroundTruth]:
-    """Build one repetition's model, population and oracle."""
+    config: ExperimentConfig, seed: int, ground_truth: bool = True
+) -> tuple[LatentHabitModel, Population | ArrayPopulation, GroundTruth | None]:
+    """Build one repetition's model, population and oracle.
+
+    With ``population_backend="array"`` the population is columnar
+    (its layout — and hence its random stream — differs from the
+    object path's; array experiments are a scale axis, not a replay of
+    object ones). ``ground_truth=False`` skips the oracle — at array
+    scale computing it means scanning every member's transactions,
+    which is exactly the cost the backend exists to avoid.
+    """
     rng = as_rng(seed)
     domain = random_domain(config.n_items, seed=rng)
     model = random_habit_model(
@@ -188,31 +214,58 @@ def build_world(
         seed=rng,
         background_rate=config.background_rate,
     )
-    population = build_population(
-        model,
-        config.n_members,
-        config.transactions_per_member,
-        seed=rng,
-    )
-    truth = compute_ground_truth(
-        population, config.thresholds(), max_body_size=config.max_body_size
-    )
+    population: Population | ArrayPopulation
+    if config.population_backend == "array":
+        population = ArrayPopulation(
+            model,
+            config.n_members,
+            config.transactions_per_member,
+            seed=rng,
+        )
+    else:
+        population = build_population(
+            model,
+            config.n_members,
+            config.transactions_per_member,
+            seed=rng,
+        )
+    truth = None
+    if ground_truth:
+        truth = compute_ground_truth(
+            population, config.thresholds(), max_body_size=config.max_body_size
+        )
     return model, population, truth
 
 
 def build_crowd(
     config: ExperimentConfig,
-    population: Population,
+    population: Population | ArrayPopulation,
     rng: np.random.Generator,
-) -> SimulatedCrowd:
+) -> SimulatedCrowd | ArrayCrowd:
     """The session's crowd, honest or adversarial per the config.
 
     With an empty ``adversary_mix`` this takes the plain
     :meth:`~repro.crowd.crowd.SimulatedCrowd.from_population` path and
     draws exactly the pre-robustness random stream; with a mix it
-    delegates to :func:`repro.faults.build_adversarial_crowd`.
+    delegates to :func:`repro.faults.build_adversarial_crowd`. An
+    :class:`~repro.synth.array_population.ArrayPopulation` gets the
+    columnar :class:`~repro.crowd.array_crowd.ArrayCrowd` (honest only
+    — adversary mixes need per-member objects).
     """
     open_policy = OpenAnswerPolicy(max_body_size=config.max_body_size)
+    if isinstance(population, ArrayPopulation):
+        if config.adversary_mix:
+            raise ConfigurationError(
+                "adversary mixes need per-member objects; "
+                "use population_backend='object'"
+            )
+        return ArrayCrowd(
+            population,
+            answer_model=config.answer_model(),
+            open_policy=open_policy,
+            patience=config.patience,
+            seed=rng,
+        )
     if not config.adversary_mix:
         return SimulatedCrowd.from_population(
             population,
@@ -403,15 +456,23 @@ def run_timed_session(
     question counts — the makespan axis that in-flight batching
     improves. When ``time_checkpoints`` is ``None`` the session is
     drained and scored only at its own makespan, yielding a one-point
-    curve (useful for end-state and makespan comparisons).
+    curve (useful for end-state and makespan comparisons). With
+    ``config.shards`` > 1 the session is driven by a
+    :class:`~repro.dispatch.sharded.ShardedDispatcher` instead.
     """
     from repro.dispatch.dispatcher import DispatchConfig, Dispatcher
+    from repro.dispatch.sharded import ShardedDispatcher
 
     rng = as_rng(seed)
     obs = obs or Instrumentation()
     crowd = build_crowd(config, population, rng)
     miner = CrowdMiner(crowd, _miner_config(config, rng), obs=obs)
-    dispatcher = Dispatcher(miner, dispatch or DispatchConfig())
+    if config.shards > 1:
+        dispatcher = ShardedDispatcher(
+            miner, dispatch or DispatchConfig(), shards=config.shards
+        )
+    else:
+        dispatcher = Dispatcher(miner, dispatch or DispatchConfig())
 
     points: list[TimedPoint] = []
 
@@ -435,9 +496,9 @@ def run_timed_session(
             for checkpoint in time_checkpoints:
                 dispatcher.advance_to(checkpoint)
                 sample(checkpoint)
-            while not dispatcher.is_idle():
-                dispatcher.clock.pop()
-    sample(dispatcher.clock.now)
+            if not dispatcher.is_idle():
+                dispatcher.run()
+    sample(dispatcher.stats().makespan)
     return TimedCurve(label=config.name, points=tuple(points))
 
 

@@ -57,6 +57,19 @@ from repro.obs import Instrumentation
 ABILITY_BUCKETS: tuple[float, ...] = (0.5, 0.8, 1.0, 1.3, 1.8, 2.5, 4.0)
 
 
+def _available_count(crowd) -> int:
+    """Available-member count without materializing the id list.
+
+    Indexed crowds (``SimulatedCrowd``, ``ArrayCrowd``, partitions)
+    answer in O(1); duck-typed wrappers without the method fall back to
+    the list scan.
+    """
+    counter = getattr(crowd, "available_count", None)
+    if counter is not None:
+        return counter()
+    return len(crowd.available_members())
+
+
 @dataclass(frozen=True, slots=True)
 class QuestionProposal:
     """One question the miner wants asked, separated from its answer.
@@ -361,7 +374,7 @@ class CrowdMiner:
         would keep burning budget on dry open questions long after the
         remaining crowd proved empty-handed.
         """
-        available = len(self.crowd.available_members())
+        available = _available_count(self.crowd)
         return self._consecutive_dry_opens >= max(1, available)
 
     @property
@@ -369,12 +382,23 @@ class CrowdMiner:
         """True when no further step can make progress."""
         if self.budget_left <= 0:
             return True
-        available = set(self.crowd.available_members())
-        if not available:
+        available_n = _available_count(self.crowd)
+        if available_n == 0:
             return True
-        has_closed = any(
-            not available <= k.samples.member_ids for k in self.state.unresolved()
-        )
+        # A rule with fewer contributors than there are available
+        # members certainly has an unasked available member — the id
+        # set (O(crowd)) is only built when counts cannot decide.
+        available: set[str] | None = None
+        has_closed = False
+        for k in self.state.unresolved():
+            if available_n > len(k.samples.member_ids):
+                has_closed = True
+                break
+            if available is None:
+                available = set(self.crowd.available_members())
+            if not available <= k.samples.member_ids:
+                has_closed = True
+                break
         return not has_closed and self.open_supply_exhausted
 
     # -- the step ------------------------------------------------------------------

@@ -133,6 +133,9 @@ class CachingCrowd:
     def available_members(self) -> list[str]:
         return self.inner.available_members()
 
+    def available_count(self) -> int:
+        return self.inner.available_count()
+
     def next_member(self, exclude: Collection[str] = ()) -> str | None:
         return self.inner.next_member(exclude)
 

@@ -43,6 +43,7 @@ from repro.storage.backend import CheckpointInfo, StorageBackend, StorageError
 
 if TYPE_CHECKING:
     from repro.dispatch.dispatcher import Dispatcher
+    from repro.dispatch.sharded import ShardedDispatcher
     from repro.miner.crowdminer import CrowdMiner
 
 #: Version stamp of the checkpoint payload layout.
@@ -50,7 +51,7 @@ CHECKPOINT_FORMAT = 1
 
 
 def capture_session(
-    miner: "CrowdMiner", dispatcher: "Dispatcher | None" = None
+    miner: "CrowdMiner", dispatcher: "Dispatcher | ShardedDispatcher | None" = None
 ) -> bytes:
     """Serialize one session (miner plus optional dispatcher) to bytes.
 
@@ -70,7 +71,7 @@ def capture_session(
 
 def restore_session(
     payload: bytes, storage: StorageBackend | None = None
-) -> "tuple[CrowdMiner, Dispatcher | None]":
+) -> "tuple[CrowdMiner, Dispatcher | ShardedDispatcher | None]":
     """Rebuild a live session from a checkpoint payload.
 
     Attaches ``storage`` to the restored miner and re-points the
@@ -103,7 +104,7 @@ def restore_session(
 
 def load_session(
     storage: StorageBackend,
-) -> "tuple[CrowdMiner, Dispatcher | None, CheckpointInfo]":
+) -> "tuple[CrowdMiner, Dispatcher | ShardedDispatcher | None, CheckpointInfo]":
     """Resume from the backend's latest checkpoint.
 
     Rolls the write-ahead answer log back to the checkpoint boundary
@@ -132,15 +133,31 @@ def load_session(
 # -- the dispatcher snapshot ---------------------------------------------------
 
 
-def _snapshot_dispatcher(dispatcher: "Dispatcher") -> dict[str, Any]:
-    """The dispatcher as plain data (its event closures cannot travel).
+_COUNTERS = (
+    "issued",
+    "completed",
+    "timeouts",
+    "retries",
+    "stale",
+    "late",
+    "dropped",
+    "malformed",
+    "rejected",
+    "crashed",
+    "duplicates",
+)
+
+
+def _dispatch_state(dispatcher: "Dispatcher") -> dict[str, Any]:
+    """One dispatcher's travelling state as plain data.
 
     Each in-flight entry records the *instants and schedule sequence
     numbers* of its pending arrival/timeout events; the actions are
     recreated on restore. Within the in-flight book events are always
     live (a cancelled event means the entry already left the book), so
     ``None`` only ever means "never scheduled" (a lost answer, an
-    infinite timeout).
+    infinite timeout). Shared per-shard-or-single fields only — the
+    config, stall flag and timeline live with whoever owns them.
     """
     in_flight = []
     for member_id, entry in dispatcher._in_flight.items():
@@ -165,51 +182,33 @@ def _snapshot_dispatcher(dispatcher: "Dispatcher") -> dict[str, Any]:
             }
         )
     return {
-        "config": dispatcher.config,
         "rng": dispatcher._rng,
         "clock_now": dispatcher.clock.now,
         "clock_seq": dispatcher.clock._seq,
         "in_flight": in_flight,
-        "counters": {
-            "issued": dispatcher._issued,
-            "completed": dispatcher._completed,
-            "timeouts": dispatcher._timeouts,
-            "retries": dispatcher._retries,
-            "stale": dispatcher._stale,
-            "late": dispatcher._late,
-            "dropped": dispatcher._dropped,
-            "malformed": dispatcher._malformed,
-            "rejected": dispatcher._rejected,
-            "crashed": dispatcher._crashed,
-            "duplicates": dispatcher._duplicates,
-        },
+        "counters": {name: getattr(dispatcher, f"_{name}") for name in _COUNTERS},
         "seen_tokens": set(dispatcher._seen_tokens),
-        "stalled": dispatcher._stalled,
-        "timeline": list(dispatcher.timeline),
     }
 
 
-def _restore_dispatcher(snapshot: dict[str, Any], miner: "CrowdMiner") -> "Dispatcher":
-    """A live dispatcher equivalent to the snapshotted one.
+def _apply_dispatch_state(dispatcher: "Dispatcher", state: dict[str, Any]) -> None:
+    """Re-arm one dispatcher's travelling state onto its (fresh) clock.
 
-    Pending events are re-armed on the fresh clock in their *original
-    schedule order* (sorted by saved sequence number): the re-armed
-    events take new sequence numbers ``0..k-1`` preserving their
-    relative order, and the clock's counter is then advanced to its
-    saved value, so events scheduled after resume sort behind every
-    re-armed one at the same instant — exactly as they would have in
-    the uninterrupted run.
+    The clock must already stand at the snapshot instant. Pending
+    events are re-armed in their *original schedule order* (sorted by
+    saved sequence number): the re-armed events take new sequence
+    numbers ``0..k-1`` preserving their relative order, and the clock's
+    counter is then advanced to its saved value, so events scheduled
+    after resume sort behind every re-armed one at the same instant —
+    exactly as they would have in the uninterrupted run.
     """
-    from repro.dispatch.clock import EventClock
-    from repro.dispatch.dispatcher import Dispatcher, _InFlight
+    from repro.dispatch.dispatcher import _InFlight
 
-    clock = EventClock()
-    clock._now = snapshot["clock_now"]
-    dispatcher = Dispatcher(miner, snapshot["config"], clock)
-    dispatcher._rng = snapshot["rng"]
+    clock = dispatcher.clock
+    dispatcher._rng = state["rng"]
     entries: dict[str, _InFlight] = {}
     pending: list[tuple[int, float, str, str]] = []
-    for item in snapshot["in_flight"]:
+    for item in state["in_flight"]:
         entries[item["member"]] = _InFlight(
             proposal=item["proposal"],
             answer=item["answer"],
@@ -231,21 +230,91 @@ def _restore_dispatcher(snapshot: dict[str, Any], miner: "CrowdMiner") -> "Dispa
             entry.timeout_event = clock.schedule_at(
                 at, lambda m=member_id: dispatcher._timeout(m)
             )
-    clock._seq = snapshot["clock_seq"]
+    clock._seq = state["clock_seq"]
     dispatcher._in_flight = entries
-    counters = snapshot["counters"]
-    dispatcher._issued = counters["issued"]
-    dispatcher._completed = counters["completed"]
-    dispatcher._timeouts = counters["timeouts"]
-    dispatcher._retries = counters["retries"]
-    dispatcher._stale = counters["stale"]
-    dispatcher._late = counters["late"]
-    dispatcher._dropped = counters["dropped"]
-    dispatcher._malformed = counters["malformed"]
-    dispatcher._rejected = counters["rejected"]
-    dispatcher._crashed = counters["crashed"]
-    dispatcher._duplicates = counters["duplicates"]
-    dispatcher._seen_tokens = set(snapshot["seen_tokens"])
+    for name in _COUNTERS:
+        setattr(dispatcher, f"_{name}", state["counters"][name])
+    dispatcher._seen_tokens = set(state["seen_tokens"])
+
+
+def _snapshot_dispatcher(
+    dispatcher: "Dispatcher | ShardedDispatcher",
+) -> dict[str, Any]:
+    """Either dispatcher flavour as plain data, discriminated by kind.
+
+    A sharded snapshot is a list of per-shard states plus the shared
+    pieces stored once: the merged timeline, the global stall flag, the
+    parent-tracked in-flight high water, each shard's batch stream and
+    partition round-robin cursor (partitions are rebuilt from the
+    restored crowd on load; only their cursors need to travel).
+    """
+    from repro.dispatch.sharded import ShardedDispatcher
+
+    if isinstance(dispatcher, ShardedDispatcher):
+        return {
+            "kind": "sharded",
+            "config": dispatcher.config,
+            "n_shards": dispatcher.n_shards,
+            "shards": [_dispatch_state(shard) for shard in dispatcher.shards],
+            "batch_rngs": [shard._batch_rng for shard in dispatcher.shards],
+            "cursors": [shard.scheduler._rr_cursor for shard in dispatcher.shards],
+            "stalled": dispatcher._stall_flag,
+            "high_water": dispatcher._high_water,
+            "timeline": list(dispatcher.timeline),
+        }
+    state = _dispatch_state(dispatcher)
+    state["kind"] = "single"
+    state["config"] = dispatcher.config
+    state["stalled"] = dispatcher._stalled
+    state["timeline"] = list(dispatcher.timeline)
+    return state
+
+
+def _restore_dispatcher(
+    snapshot: dict[str, Any], miner: "CrowdMiner"
+) -> "Dispatcher | ShardedDispatcher":
+    """A live dispatcher equivalent to the snapshotted one."""
+    from repro.dispatch.clock import EventClock
+    from repro.dispatch.dispatcher import Dispatcher
+
+    # Pre-"kind" snapshots are all single-dispatcher sessions.
+    if snapshot.get("kind", "single") == "sharded":
+        return _restore_sharded(snapshot, miner)
+    clock = EventClock()
+    clock._now = snapshot["clock_now"]
+    dispatcher = Dispatcher(miner, snapshot["config"], clock)
+    _apply_dispatch_state(dispatcher, snapshot)
     dispatcher._stalled = snapshot["stalled"]
     dispatcher.timeline = list(snapshot["timeline"])
     return dispatcher
+
+
+def _restore_sharded(
+    snapshot: dict[str, Any], miner: "CrowdMiner"
+) -> "ShardedDispatcher":
+    """A live sharded dispatcher equivalent to the snapshotted one.
+
+    Construction rebuilds the shard skeleton (partitions over the
+    restored crowd, per-shard clocks); each shard then gets its
+    snapshotted travelling state applied on top. The construction-time
+    seed derivation is discarded wholesale — every restored stream
+    (latency, batch) comes from the snapshot, so the resumed run
+    continues the original one's randomness, not a fresh replay's.
+    """
+    from repro.dispatch.sharded import ShardedDispatcher
+
+    parent = ShardedDispatcher(
+        miner, snapshot["config"], shards=snapshot["n_shards"]
+    )
+    for shard, state, batch_rng, cursor in zip(
+        parent.shards, snapshot["shards"], snapshot["batch_rngs"], snapshot["cursors"]
+    ):
+        shard.clock._now = state["clock_now"]
+        _apply_dispatch_state(shard, state)
+        shard._batch_rng = batch_rng
+        shard.scheduler._rr_cursor = cursor
+    parent._stall_flag = snapshot["stalled"]
+    parent._high_water = snapshot["high_water"]
+    # Mutated in place: the list object is shared with every shard.
+    parent.timeline[:] = snapshot["timeline"]
+    return parent

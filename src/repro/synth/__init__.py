@@ -22,6 +22,7 @@ from repro.synth.domains import (
     travel_domain,
     travel_model,
 )
+from repro.synth.array_population import ArrayPopulation
 from repro.synth.factories import random_domain, random_habit_model
 from repro.synth.latent import HabitPattern, LatentHabitModel, UserHabit, UserProfile
 from repro.synth.population import (
@@ -33,6 +34,7 @@ from repro.synth.population import (
 from repro.synth.quest import QuestConfig, QuestGenerator
 
 __all__ = [
+    "ArrayPopulation",
     "DatasetFormatError",
     "HabitPattern",
     "LatentHabitModel",

@@ -1,0 +1,516 @@
+"""Vectorized populations: member state as columns of shared arrays.
+
+:class:`~repro.synth.population.Population` materializes every member
+as a Python object holding a personal :class:`TransactionDB` — perfect
+for paper-scale crowds, hopeless at a million members. An
+:class:`ArrayPopulation` stores the same latent state *columnar*:
+habit membership, per-member antecedent/conditional rates, and trust
+priors are columns of shared numpy arrays, generated lazily in fixed
+blocks, and individual :class:`Member` facades (with a genuinely
+materialized database) are built on demand for the call sites that
+need an object.
+
+Determinism contract (see ``docs/scaling.md``): every random stream is
+keyed by ``(root_entropy, kind, index...)`` — profile blocks by
+``(root, 0, block)`` on a seeded generator, habit occasion draws by
+``(root, 1, member, 2·pattern[+1])`` and background item draws by
+``(root, 2, member, item)`` on counter-based splitmix64 streams — so
+any member's state is a pure function of the root entropy, independent
+of access order, crowd size paging, or shard layout. Pickling stores
+only the recipe ``(model, n, transactions, entropy)``; state is
+regenerated on demand after a restore.
+
+The layout is *not* stream-compatible with
+:func:`~repro.synth.population.build_population` (which interleaves
+data-dependent draws on one generator); equivalence tests therefore
+compare the array path against the object path run on
+:meth:`ArrayPopulation.materialize`, which shares these columns
+exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.core.items import ItemDomain
+from repro.core.measures import RuleStats
+from repro.core.rule import Rule
+from repro.core.transactions import TransactionDB
+from repro.errors import ConfigurationError
+from repro.synth.latent import LatentHabitModel, UserHabit, UserProfile
+from repro.synth.population import Member, Population
+
+#: Members per lazily-generated profile block.
+BLOCK_SIZE = 4096
+
+#: Default number of member facades / item matrices kept alive.
+FACADE_CACHE = 1024
+
+_MASK64 = (1 << 64) - 1
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MIX1 = 0xBF58476D1CE4E5B9
+_SM_MIX2 = 0x94D049BB133111EB
+
+
+def _absorb(h: int, value: int) -> int:
+    """Fold ``value`` into hash state ``h`` (splitmix64 finalizer)."""
+    h = (h + value + _SM_GAMMA) & _MASK64
+    h ^= h >> 30
+    h = (h * _SM_MIX1) & _MASK64
+    h ^= h >> 27
+    h = (h * _SM_MIX2) & _MASK64
+    return h ^ (h >> 31)
+
+
+def _stream_key(entropy: int, kind: int, a: int, b: int) -> int:
+    """64-bit key for the occasion stream ``(entropy, kind, a, b)``."""
+    return _absorb(_absorb(_absorb(entropy & _MASK64, kind), a), b)
+
+
+_U64_GAMMA = np.uint64(_SM_GAMMA)
+_U64_MIX1 = np.uint64(_SM_MIX1)
+_U64_MIX2 = np.uint64(_SM_MIX2)
+_U64_30 = np.uint64(30)
+_U64_27 = np.uint64(27)
+_U64_31 = np.uint64(31)
+_U64_11 = np.uint64(11)
+
+
+def _bernoulli_streams(
+    keys: list[int], idx: np.ndarray, rates: list[float]
+) -> np.ndarray:
+    """Deterministic Bernoulli columns, one row per ``(key, rate)`` pair.
+
+    Counter-based splitmix64 streams: element ``(r, i)`` is a pure
+    function of ``(keys[r], idx[i])``, so columns never depend on
+    access order and need no generator objects — per-call
+    ``default_rng`` seed hashing was the dominant cost of
+    materializing occasion columns at the 100k-member scale. All of a
+    question's streams hash in one 2-d pass to amortize ufunc
+    dispatch.
+    """
+    x = np.asarray(keys, dtype=np.uint64)[:, None] + idx[None, :] * _U64_GAMMA
+    x ^= x >> _U64_30
+    x *= _U64_MIX1
+    x ^= x >> _U64_27
+    x *= _U64_MIX2
+    x ^= x >> _U64_31
+    # Top 53 bits against rate * 2**53: P(true) = rate to within 2⁻⁵³.
+    thresholds = np.array([int(r * (1 << 53)) for r in rates], dtype=np.uint64)
+    return (x >> _U64_11) < thresholds[:, None]
+
+
+def _bernoulli_stream(key: int, idx: np.ndarray, rate: float) -> np.ndarray:
+    """Single-stream convenience wrapper over :func:`_bernoulli_streams`."""
+    return _bernoulli_streams([key], idx, [rate])[0]
+
+
+class ArrayPopulation:
+    """A crowd of ``n_members`` sampled from ``model``, stored columnar.
+
+    Parameters
+    ----------
+    model:
+        The latent habit model to sample from.
+    n_members:
+        Crowd size; member ids are ``u0000``-style, same scheme as
+        :func:`~repro.synth.population.build_population`.
+    transactions_per_member:
+        Personal database size (equal for everyone, keeping the
+        ground-truth oracle exact).
+    seed:
+        Root entropy. An int is used directly; a generator contributes
+        one draw; ``None`` samples fresh OS entropy.
+    """
+
+    def __init__(
+        self,
+        model: LatentHabitModel,
+        n_members: int,
+        transactions_per_member: int = 200,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_positive(n_members, "n_members")
+        check_positive(transactions_per_member, "transactions_per_member")
+        self.model = model
+        self.n_members = int(n_members)
+        self.transactions_per_member = int(transactions_per_member)
+        if isinstance(seed, np.random.Generator):
+            self.entropy = int(seed.integers(2**63))
+        elif seed is None:
+            self.entropy = int(np.random.SeedSequence().entropy)
+        else:
+            self.entropy = int(seed)
+        self._init_layout()
+
+    def _init_layout(self) -> None:
+        model = self.model
+        self.domain: ItemDomain = model.domain
+        self._items: tuple[str, ...] = tuple(model.domain.items)
+        self._item_index = {item: j for j, item in enumerate(self._items)}
+        patterns = model.patterns
+        self._n_patterns = len(patterns)
+        self._prevalence = np.array([p.prevalence for p in patterns])
+        self._ant_mean = np.array([p.antecedent_rate for p in patterns])
+        self._cond_mean = np.array([p.conditional_rate for p in patterns])
+        self._rate_std = np.array([p.rate_std for p in patterns])
+        self._is_itemset = [p.rule.is_itemset_rule for p in patterns]
+        self._ant_items = [tuple(p.rule.antecedent) for p in patterns]
+        self._cons_items = [tuple(p.rule.consequent) for p in patterns]
+        self._body_items = [tuple(p.rule.body) for p in patterns]
+        # item -> patterns whose occasion draws can place the item.
+        touches: dict[str, list[int]] = {}
+        for p, pattern in enumerate(patterns):
+            for item in pattern.rule.body:
+                touches.setdefault(item, []).append(p)
+        self._item_patterns = touches
+        # Counter axis shared by every occasion stream (1-based so a
+        # zero key never meets a zero counter).
+        self._stream_idx = np.arange(
+            1, self.transactions_per_member + 1, dtype=np.uint64
+        )
+        # Lazy caches (never pickled).
+        self._profile_blocks: dict[int, tuple] = {}
+        self._facades: OrderedDict[int, Member] = OrderedDict()
+        self._matrices: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    # -- identity -------------------------------------------------------------
+
+    def member_id_at(self, index: int) -> str:
+        """The id of the member at ``index`` (``u``-prefixed, zero-padded)."""
+        return f"u{index:04d}"
+
+    def index_of(self, member_id: str) -> int:
+        """O(1) inverse of :meth:`member_id_at`; raises ``KeyError``."""
+        try:
+            index = int(member_id[1:])
+        except (ValueError, IndexError):
+            raise KeyError(member_id) from None
+        if (
+            not member_id.startswith("u")
+            or not 0 <= index < self.n_members
+            or self.member_id_at(index) != member_id
+        ):
+            raise KeyError(member_id)
+        return index
+
+    def __len__(self) -> int:
+        return self.n_members
+
+    def __iter__(self) -> Iterator[Member]:
+        for k in range(self.n_members):
+            yield self.member_at(k)
+
+    def member(self, member_id: str) -> Member:
+        """Facade lookup by id (lazy materialization)."""
+        return self.member_at(self.index_of(member_id))
+
+    @property
+    def members(self) -> list[Member]:
+        """Every member facade, in index order.
+
+        Materializes one facade per member — small scales only (the
+        exact-scoring oracle walks this; at array scale exact scoring
+        is skipped instead).
+        """
+        return [self.member_at(k) for k in range(self.n_members)]
+
+    # -- columnar state -------------------------------------------------------
+
+    def _block(self, b: int) -> tuple:
+        """Profile columns for member block ``b`` (lazily generated).
+
+        Returns ``(has, ant, cond, trust)``: habit membership (bool,
+        block × patterns), per-member antecedent/conditional rates
+        (float32 columns sharing the habit axis), and a per-member
+        trust prior column (Beta(8, 2) — the latent-ability layer's
+        optimistic starting point).
+        """
+        cached = self._profile_blocks.get(b)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng([self.entropy, 0, b])
+        start = b * BLOCK_SIZE
+        size = min(BLOCK_SIZE, self.n_members - start)
+        shape = (size, self._n_patterns)
+        has = rng.random(shape) < self._prevalence
+        # Standard normals are always drawn (fixed stream layout); a
+        # zero rate_std collapses to the exact pattern mean.
+        ant = np.clip(
+            self._ant_mean + self._rate_std * rng.standard_normal(shape), 0.0, 1.0
+        ).astype(np.float32)
+        cond = np.clip(
+            self._cond_mean + self._rate_std * rng.standard_normal(shape), 0.0, 1.0
+        ).astype(np.float32)
+        trust = rng.beta(8.0, 2.0, size=size).astype(np.float32)
+        block = (has, ant, cond, trust)
+        self._profile_blocks[b] = block
+        return block
+
+    def _profile_row(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        has, ant, cond, _ = self._block(k // BLOCK_SIZE)
+        r = k % BLOCK_SIZE
+        return has[r], ant[r], cond[r]
+
+    def trust_prior_at(self, index: int) -> float:
+        """The member's latent trust prior (a shared Beta(8,2) column)."""
+        _, _, _, trust = self._block(index // BLOCK_SIZE)
+        return float(trust[index % BLOCK_SIZE])
+
+    def profile_at(self, index: int) -> UserProfile:
+        """The member's latent profile, built from the shared columns."""
+        has, ant, cond = self._profile_row(index)
+        habits = tuple(
+            UserHabit(
+                pattern=self.model.patterns[p],
+                antecedent_rate=float(ant[p]),
+                conditional_rate=float(cond[p]),
+            )
+            for p in range(self._n_patterns)
+            if has[p]
+        )
+        return UserProfile(habits)
+
+    # -- occasion draws -------------------------------------------------------
+
+    def _habit_fires(self, k: int, p: int, ant_rate: float, cond_rate: float):
+        """Occasion vectors for held habit ``p`` of member ``k``.
+
+        Returns ``(ant_fire, body_fire)`` boolean vectors over the
+        member's transactions: occasions where the antecedent items
+        appear, and occasions where the full body appears.
+        """
+        idx = self._stream_idx
+        if self._is_itemset[p]:
+            key = _stream_key(self.entropy, 1, k, 2 * p)
+            fire = _bernoulli_stream(key, idx, ant_rate * cond_rate)
+            return fire, fire
+        ant_fire = _bernoulli_stream(_stream_key(self.entropy, 1, k, 2 * p), idx, ant_rate)
+        cond_fire = _bernoulli_stream(
+            _stream_key(self.entropy, 1, k, 2 * p + 1), idx, cond_rate
+        )
+        return ant_fire, ant_fire & cond_fire
+
+    def _background_column(self, k: int, j: int) -> np.ndarray:
+        rate = self.model.background_rate
+        if rate <= 0.0:
+            return np.zeros(self.transactions_per_member, dtype=bool)
+        key = _stream_key(self.entropy, 2, k, j)
+        return _bernoulli_stream(key, self._stream_idx, rate)
+
+    def _columns_for(self, k: int, items: tuple[str, ...]) -> dict[str, np.ndarray]:
+        """Presence columns of ``items`` in member ``k``'s database.
+
+        Only the requested items are generated — a closed question
+        touches two to four columns, never the full item matrix — and
+        all their occasion streams hash in one batched pass (the keys
+        match :meth:`_background_column` / :meth:`_habit_fires` stream
+        for stream).
+        """
+        has, ant, cond = self._profile_row(k)
+        t = self.transactions_per_member
+        bg_rate = self.model.background_rate
+        entropy = self.entropy
+        # Plan every stream the requested items need, then hash once.
+        keys: list[int] = []
+        rates: list[float] = []
+        pattern_rows: dict[int, tuple[int, int]] = {}
+        plan: list[tuple[str, int | None, tuple[int, ...]]] = []
+        for item in items:
+            j = self._item_index.get(item)
+            if j is None:
+                plan.append((item, None, ()))
+                continue
+            bg_row: int | None = None
+            if bg_rate > 0.0:
+                bg_row = len(keys)
+                keys.append(_stream_key(entropy, 2, k, j))
+                rates.append(bg_rate)
+            held = tuple(p for p in self._item_patterns.get(item, ()) if has[p])
+            for p in held:
+                if p in pattern_rows:
+                    continue
+                row = len(keys)
+                if self._is_itemset[p]:
+                    keys.append(_stream_key(entropy, 1, k, 2 * p))
+                    rates.append(float(ant[p]) * float(cond[p]))
+                    pattern_rows[p] = (row, row)
+                else:
+                    keys.append(_stream_key(entropy, 1, k, 2 * p))
+                    rates.append(float(ant[p]))
+                    keys.append(_stream_key(entropy, 1, k, 2 * p + 1))
+                    rates.append(float(cond[p]))
+                    pattern_rows[p] = (row, row + 1)
+            plan.append((item, bg_row, held))
+        streams = _bernoulli_streams(keys, self._stream_idx, rates) if keys else None
+        body_fires: dict[int, np.ndarray] = {}
+        columns: dict[str, np.ndarray] = {}
+        for item, bg_row, held in plan:
+            if bg_row is None and not held:
+                columns[item] = np.zeros(t, dtype=bool)
+                continue
+            col = streams[bg_row].copy() if bg_row is not None else np.zeros(t, dtype=bool)
+            for p in held:
+                ant_row, cond_row = pattern_rows[p]
+                if item in self._ant_items[p] and not self._is_itemset[p]:
+                    col |= streams[ant_row]
+                    continue
+                body = body_fires.get(p)
+                if body is None:
+                    if self._is_itemset[p]:
+                        body = streams[ant_row]
+                    else:
+                        body = streams[ant_row] & streams[cond_row]
+                    body_fires[p] = body
+                col |= body
+            columns[item] = col
+        return columns
+
+    def item_matrix(self, index: int) -> np.ndarray:
+        """Member ``index``'s full boolean (transactions × items) matrix."""
+        cached = self._matrices.get(index)
+        if cached is not None:
+            self._matrices.move_to_end(index)
+            return cached
+        columns = self._columns_for(index, self._items)
+        matrix = np.column_stack([columns[item] for item in self._items])
+        self._matrices[index] = matrix
+        while len(self._matrices) > FACADE_CACHE:
+            self._matrices.popitem(last=False)
+        return matrix
+
+    # -- per-member queries ---------------------------------------------------
+
+    def rule_stats_at(self, index: int, rule: Rule) -> RuleStats:
+        """Exact ``(support, confidence)`` of ``rule`` for one member.
+
+        Matches ``self.db_at(index).rule_stats(rule)`` bit for bit:
+        both divide the same integer occasion counts.
+        """
+        t = self.transactions_per_member
+        columns = self._columns_for(index, tuple(rule.body))
+        body = np.ones(t, dtype=bool)
+        for item in rule.body:
+            body &= columns[item]
+        body_count = int(body.sum())
+        support = body_count / t
+        if rule.is_itemset_rule:
+            return RuleStats(support, support)
+        ant = np.ones(t, dtype=bool)
+        for item in rule.antecedent:
+            ant &= columns[item]
+        ant_count = int(ant.sum())
+        confidence = 0.0 if ant_count == 0 else body_count / ant_count
+        return RuleStats(support, confidence)
+
+    def db_at(self, index: int) -> TransactionDB:
+        """Member ``index``'s materialized personal database."""
+        return self.member_at(index).db
+
+    def member_at(self, index: int) -> Member:
+        """The lazily-built object facade of member ``index``.
+
+        Facades live in a bounded LRU cache; the same index always
+        rebuilds an identical facade (same columns, same matrix), so
+        eviction is invisible apart from object identity.
+        """
+        if not 0 <= index < self.n_members:
+            raise IndexError(index)
+        cached = self._facades.get(index)
+        if cached is not None:
+            self._facades.move_to_end(index)
+            return cached
+        matrix = self.item_matrix(index)
+        items = self._items
+        rows = (
+            frozenset(items[j] for j in np.flatnonzero(matrix[t]))
+            for t in range(self.transactions_per_member)
+        )
+        member = Member(
+            member_id=self.member_id_at(index),
+            db=TransactionDB(rows),
+            profile=self.profile_at(index),
+        )
+        self._facades[index] = member
+        while len(self._facades) > FACADE_CACHE:
+            self._facades.popitem(last=False)
+        return member
+
+    # -- population-level API (oracle primitives) ----------------------------
+
+    def materialize(self) -> Population:
+        """The equivalent object-backed :class:`Population`.
+
+        Small-scale only (it builds every facade); the equivalence
+        tests run the object pipeline on this and compare byte-for-byte
+        against the array pipeline.
+        """
+        if self.n_members > 100_000:
+            raise ConfigurationError(
+                f"refusing to materialize {self.n_members} members as objects"
+            )
+        return Population(
+            domain=self.domain,
+            members=tuple(self.member_at(k) for k in range(self.n_members)),
+        )
+
+    def mean_rule_stats(self, rule: Rule) -> tuple[float, float]:
+        """Exact crowd-mean ``(support, confidence)`` of ``rule``."""
+        supports = np.empty(self.n_members)
+        confidences = np.empty(self.n_members)
+        for k in range(self.n_members):
+            stats = self.rule_stats_at(k, rule)
+            supports[k] = stats.support
+            confidences[k] = stats.confidence
+        return (float(supports.mean()), float(confidences.mean()))
+
+    def mean_itemset_support(self, itemset) -> float:
+        """Exact crowd-mean support of an itemset."""
+        t = self.transactions_per_member
+        items = tuple(itemset)
+        total = 0
+        for k in range(self.n_members):
+            columns = self._columns_for(k, items)
+            row = np.ones(t, dtype=bool)
+            for item in items:
+                row &= columns[item]
+            total += int(row.sum())
+        return total / (self.n_members * t)
+
+    def union_db(self) -> TransactionDB:
+        """All members' transactions in one database (small-scale only)."""
+        return TransactionDB.concatenate(
+            [self.member_at(k).db for k in range(self.n_members)]
+        )
+
+    @property
+    def equal_sized(self) -> bool:
+        """Always true: every member draws the same number of occasions."""
+        return True
+
+    # -- pickling: recipe only ------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "model": self.model,
+            "n_members": self.n_members,
+            "transactions_per_member": self.transactions_per_member,
+            "entropy": self.entropy,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.model = state["model"]
+        self.n_members = state["n_members"]
+        self.transactions_per_member = state["transactions_per_member"]
+        self.entropy = state["entropy"]
+        self._init_layout()
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayPopulation({self.n_members} members, "
+            f"{self._n_patterns} patterns, {len(self.domain)} items)"
+        )

@@ -20,7 +20,7 @@ Two builders are provided, mirroring the paper's two synthetic setups:
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,13 +51,17 @@ class Population:
 
     domain: ItemDomain
     members: tuple[Member, ...]
+    _id_index: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if not self.members:
             raise ConfigurationError("a population needs at least one member")
-        ids = [m.member_id for m in self.members]
-        if len(set(ids)) != len(ids):
+        index = {m.member_id: i for i, m in enumerate(self.members)}
+        if len(index) != len(self.members):
             raise ConfigurationError("member ids must be unique")
+        object.__setattr__(self, "_id_index", index)
 
     def __len__(self) -> int:
         return len(self.members)
@@ -67,10 +71,7 @@ class Population:
 
     def member(self, member_id: str) -> Member:
         """Look up a member by id (raises ``KeyError`` when absent)."""
-        for m in self.members:
-            if m.member_id == member_id:
-                return m
-        raise KeyError(member_id)
+        return self.members[self._id_index[member_id]]
 
     # -- exact crowd-level measures (the oracle's primitives) -----------------
 

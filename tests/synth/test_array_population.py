@@ -1,0 +1,162 @@
+"""ArrayPopulation: columnar state, lazy facades, bounded pickles.
+
+The contract under test (``docs/scaling.md``):
+
+- array queries and object facades are two views of the same data —
+  ``rule_stats_at`` divides the same integer counts as the facade's
+  ``TransactionDB``, bit for bit;
+- member state is a pure function of the root entropy: access order,
+  cache eviction and fresh instances never change a member;
+- pickles carry the recipe, not the state — size stays flat however
+  large the crowd, and a restored population regenerates identically.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Rule
+from repro.errors import ConfigurationError
+from repro.synth import ArrayPopulation, folk_remedies_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return folk_remedies_model(seed=1)
+
+
+@pytest.fixture(scope="module")
+def population(model):
+    return ArrayPopulation(model, n_members=60, transactions_per_member=80, seed=7)
+
+
+def random_rules(model, count, seed):
+    rng = np.random.default_rng(seed)
+    items = tuple(model.domain.items)
+    rules = set()
+    while len(rules) < count:
+        size = int(rng.integers(2, 5))
+        chosen = [items[k] for k in rng.choice(len(items), size=size, replace=False)]
+        cut = int(rng.integers(1, size))
+        rules.add(Rule(chosen[:cut], chosen[cut:]))
+    return sorted(rules, key=str)
+
+
+class TestFacadeEquality:
+    def test_rule_stats_match_facade_db_bit_for_bit(self, model, population):
+        for rule in random_rules(model, 25, seed=11):
+            for index in (0, 7, 31, 59):
+                array_stats = population.rule_stats_at(index, rule)
+                db_stats = population.db_at(index).rule_stats(rule)
+                assert array_stats == db_stats, (rule, index)
+
+    def test_facade_db_matches_item_matrix(self, population):
+        index = 13
+        matrix = population.item_matrix(index)
+        db = population.db_at(index)
+        items = tuple(population.domain.items)
+        for t, transaction in enumerate(db):
+            assert transaction == frozenset(
+                items[j] for j in np.flatnonzero(matrix[t])
+            )
+
+    def test_profile_habits_subset_of_model_patterns(self, model, population):
+        patterns = {p.rule for p in model.patterns}
+        profile = population.profile_at(21)
+        assert {habit.pattern.rule for habit in profile.habits} <= patterns
+
+
+class TestDeterminism:
+    def test_same_entropy_same_members(self, model, population):
+        twin = ArrayPopulation(
+            model, n_members=60, transactions_per_member=80, seed=7
+        )
+        for index in (0, 29, 59):
+            assert np.array_equal(
+                population.item_matrix(index), twin.item_matrix(index)
+            )
+            assert population.trust_prior_at(index) == twin.trust_prior_at(index)
+
+    def test_access_order_does_not_matter(self, model):
+        forward = ArrayPopulation(
+            model, n_members=40, transactions_per_member=60, seed=3
+        )
+        backward = ArrayPopulation(
+            model, n_members=40, transactions_per_member=60, seed=3
+        )
+        first = [forward.item_matrix(k).copy() for k in range(40)]
+        second = [backward.item_matrix(k) for k in reversed(range(40))][::-1]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_facade_cache_eviction_is_invisible(self, model):
+        population = ArrayPopulation(
+            model, n_members=10, transactions_per_member=50, seed=5
+        )
+        before = population.db_at(3)
+        population._facades.clear()
+        population._matrices.clear()
+        after = population.db_at(3)
+        assert list(before) == list(after)
+
+
+class TestIdentity:
+    def test_id_index_roundtrip(self, population):
+        for index in (0, 5, 59):
+            assert population.index_of(population.member_id_at(index)) == index
+
+    def test_unknown_ids_raise(self, population):
+        for bad in ("u9999", "x0001", "", "u-1", "u01"):
+            with pytest.raises(KeyError):
+                population.index_of(bad)
+
+    def test_len_and_iteration_agree(self, model):
+        population = ArrayPopulation(
+            model, n_members=12, transactions_per_member=30, seed=9
+        )
+        members = list(population)
+        assert len(population) == len(members) == 12
+        assert [m.member_id for m in members] == [
+            population.member_id_at(k) for k in range(12)
+        ]
+
+
+class TestMaterialize:
+    def test_materialized_members_share_columns(self, population):
+        materialized = population.materialize()
+        assert len(materialized.members) == len(population)
+        for index in (0, 17, 59):
+            assert list(materialized.members[index].db) == list(
+                population.db_at(index)
+            )
+
+    def test_refuses_to_materialize_huge_crowds(self, model):
+        huge = ArrayPopulation(
+            model, n_members=200_000, transactions_per_member=50, seed=9
+        )
+        with pytest.raises(ConfigurationError):
+            huge.materialize()
+
+
+class TestPickling:
+    def test_pickle_size_flat_in_member_count(self, model):
+        small = ArrayPopulation(model, n_members=100, transactions_per_member=50, seed=4)
+        large = ArrayPopulation(
+            model, n_members=1_000_000, transactions_per_member=50, seed=4
+        )
+        # Touch state so lazy caches exist, then check they are excluded.
+        small.db_at(3)
+        large.db_at(3)
+        small_pickle = pickle.dumps(small)
+        large_pickle = pickle.dumps(large)
+        assert len(large_pickle) <= len(small_pickle) + 64
+
+    def test_restored_population_regenerates_identically(self, model):
+        population = ArrayPopulation(
+            model, n_members=30, transactions_per_member=40, seed=8
+        )
+        expected = population.item_matrix(11).copy()
+        restored = pickle.loads(pickle.dumps(population))
+        assert np.array_equal(restored.item_matrix(11), expected)
+        assert restored.member_id_at(11) == population.member_id_at(11)
