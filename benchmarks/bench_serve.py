@@ -1,0 +1,215 @@
+"""Serve — concurrent-session load benchmark (the serve-smoke floor).
+
+Load test for the asyncio serving surface (``docs/serving.md``): one
+:class:`~repro.serve.app.MinerServer` on an ephemeral port, ``N``
+concurrent sessions, each driven by its own simulated client over real
+HTTP. Clients pause between questions on a lognormal think-time clock —
+the shape crowd latency actually has — so the server sees overlapping,
+irregular request arrivals rather than a tight loop.
+
+Three things are measured and asserted:
+
+- aggregate throughput (questions answered per second of wall time)
+  against a CI floor set far below measured performance — it guards
+  against an accidental per-request O(sessions) or O(KB) regression in
+  the routing/ingest path, not the constant;
+- client-side p99 turnaround for one fetch-then-answer exchange (the
+  latency a worker's browser would feel), bounded loosely;
+- byte-identical fingerprints: every session, run under full
+  concurrent load, must still reproduce its own synchronous reference
+  transcript — the differential guarantee does not erode when the
+  server is busy.
+
+``REPRO_BENCH_SCALE=smoke`` runs 8 sessions in a few seconds (the CI
+serve-smoke job); ``full`` widens to 16 sessions at larger budgets.
+"""
+
+import asyncio
+import math
+import random
+import time
+
+from repro.eval import format_rows
+from repro.serve import (
+    JsonClient,
+    MinerServer,
+    Scenario,
+    SessionManager,
+    SimulatedWorkerPool,
+    run_sync,
+)
+
+from conftest import run_once
+
+SETTINGS = {
+    "full": dict(
+        sessions=16,
+        n_members=10,
+        transactions_per_member=60,
+        budget=100,
+        think_median=0.002,
+        think_sigma=1.0,
+        floor_qps=60.0,
+        p99_ceiling=1.0,
+    ),
+    "smoke": dict(
+        sessions=8,
+        n_members=6,
+        transactions_per_member=30,
+        budget=40,
+        think_median=0.001,
+        think_sigma=1.0,
+        floor_qps=40.0,
+        p99_ceiling=1.0,
+    ),
+}
+
+
+def _scenarios(cfg):
+    """One independently-seeded world per concurrent session."""
+    return [
+        Scenario(
+            n_members=cfg["n_members"],
+            transactions_per_member=cfg["transactions_per_member"],
+            budget=cfg["budget"],
+            model_seed=100 + i,
+            crowd_seed=200 + i,
+            miner_seed=300 + i,
+        )
+        for i in range(cfg["sessions"])
+    ]
+
+
+async def _drive_client(port, session_id, scenario, cfg, seed):
+    """One simulated worker crowd answering its session over HTTP.
+
+    Returns (questions answered, per-exchange turnaround latencies).
+    The think-time sleep sits *outside* the timed window: the latency
+    recorded is the server's fetch+ingest round trip, the part a
+    regression would move.
+    """
+    rng = random.Random(seed)
+    mu = math.log(cfg["think_median"])
+    pool = SimulatedWorkerPool(scenario.build_crowd())
+    client = JsonClient("127.0.0.1", port)
+    latencies = []
+    try:
+        _status, created = await client.request(
+            "POST",
+            "/v1/sessions",
+            scenario.session_spec(pool.crowd.member_ids, id=session_id),
+        )
+        assert created.get("session") == session_id, created
+        while True:
+            await asyncio.sleep(rng.lognormvariate(mu, cfg["think_sigma"]))
+            started = time.perf_counter()
+            _status, doc = await client.request(
+                "POST", f"/v1/sessions/{session_id}/question"
+            )
+            if doc["status"] == "done":
+                break
+            if doc["status"] in ("wait", "draining"):
+                continue
+            question = doc["question"]
+            await client.request(
+                "POST",
+                f"/v1/sessions/{session_id}/answer",
+                {
+                    "question_id": question["question_id"],
+                    "answer": pool.answer(question),
+                },
+            )
+            latencies.append(time.perf_counter() - started)
+        _status, result = await client.request(
+            "GET", f"/v1/sessions/{session_id}/result"
+        )
+    finally:
+        await client.aclose()
+    return result, latencies
+
+
+async def _run_load(cfg):
+    scenarios = _scenarios(cfg)
+    manager = SessionManager()
+    server = MinerServer(manager, "127.0.0.1", 0)
+    await server.start()
+    run_task = asyncio.create_task(server.run(install_signals=False))
+    started = time.perf_counter()
+    try:
+        outcomes = await asyncio.gather(
+            *(
+                _drive_client(server.port, f"load-{i}", scenario, cfg, 400 + i)
+                for i, scenario in enumerate(scenarios)
+            )
+        )
+    finally:
+        server.request_shutdown()
+        await run_task
+    elapsed = time.perf_counter() - started
+    return scenarios, outcomes, elapsed
+
+
+def _percentile(samples, q):
+    ranked = sorted(samples)
+    return ranked[min(len(ranked) - 1, int(q * len(ranked)))]
+
+
+def test_serve_concurrent_load(benchmark, scale):
+    cfg = SETTINGS[scale]
+
+    def run():
+        return asyncio.run(_run_load(cfg))
+
+    scenarios, outcomes, elapsed = run_once(benchmark, run)
+
+    all_latencies = []
+    rows = []
+    total_questions = 0
+    for i, (scenario, (result, latencies)) in enumerate(
+        zip(scenarios, outcomes)
+    ):
+        sync = run_sync(scenario)
+        assert result["fingerprint"] == sync.fingerprint(), (
+            f"session load-{i} diverged from its sync reference under load"
+        )
+        total_questions += result["questions_asked"]
+        all_latencies.extend(latencies)
+        rows.append(
+            (
+                f"load-{i}",
+                result["questions_asked"],
+                result["significant_rules"],
+                f"{1_000 * _percentile(latencies, 0.50):.1f}",
+                f"{1_000 * _percentile(latencies, 0.99):.1f}",
+            )
+        )
+
+    qps = total_questions / elapsed
+    p50 = _percentile(all_latencies, 0.50)
+    p99 = _percentile(all_latencies, 0.99)
+    print()
+    print(
+        f"=== serve: {cfg['sessions']} concurrent sessions, lognormal "
+        f"think-time median {1_000 * cfg['think_median']:.0f}ms ({scale}) ==="
+    )
+    print(
+        format_rows(
+            ("session", "questions", "significant", "p50 ms", "p99 ms"),
+            rows,
+        )
+    )
+    print(
+        f"aggregate: {total_questions} questions in {elapsed:.2f}s — "
+        f"{qps:.0f} q/s, turnaround p50 {1_000 * p50:.1f}ms / "
+        f"p99 {1_000 * p99:.1f}ms"
+    )
+
+    assert len(outcomes) == cfg["sessions"]
+    assert qps >= cfg["floor_qps"], (
+        f"aggregate throughput {qps:.0f} q/s fell below the "
+        f"{cfg['floor_qps']:.0f} q/s floor with {cfg['sessions']} "
+        f"concurrent sessions"
+    )
+    assert p99 <= cfg["p99_ceiling"], (
+        f"p99 turnaround {p99:.3f}s exceeds the {cfg['p99_ceiling']}s ceiling"
+    )

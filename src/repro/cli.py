@@ -20,7 +20,10 @@ Three commands covering the library's three hats:
 - ``experiment`` — run one of the canonical experiments (e1, e2, e3,
   e4, e5, e8, e8r, e9) at smoke or full scale and print its figure;
 - ``classic`` — classic association-rule mining over a Quest-generated
-  database (the library as a plain itemset miner).
+  database (the library as a plain itemset miner);
+- ``serve`` — run the real-time HTTP serving surface: live sessions
+  over a JSON API, durable under ``--data-dir`` and resumable with
+  ``--resume`` (``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -56,6 +59,17 @@ def _resume_mine(args: argparse.Namespace) -> int:
         miner, dispatcher, info = load_session(storage)
     except StorageError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.serve.session import ServeSnapshot
+
+    if isinstance(dispatcher, ServeSnapshot):
+        storage.close()
+        print(
+            f"error: {args.checkpoint} holds a serve session with "
+            "outstanding questions; resume it with "
+            "`repro serve --data-dir DIR --resume` instead",
+            file=sys.stderr,
+        )
         return 2
     print(
         f"resumed {storage.describe()} at question {info.questions} "
@@ -211,10 +225,13 @@ def _cmd_kb(args: argparse.Namespace) -> int:
     from repro.storage import StorageError, load_session, open_backend
 
     try:
+        # Read-only inspection: a WAL-mode reader sees a consistent
+        # snapshot even while a live `repro serve` process writes, and
+        # rollback=False leaves the dangling answer log untouched.
         storage = open_backend(
-            args.path, _detect_backend_kind(args.path), resume=True
+            args.path, _detect_backend_kind(args.path), readonly=True
         )
-        miner, dispatcher, info = load_session(storage)
+        miner, dispatcher, info = load_session(storage, rollback=False)
     except StorageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -227,7 +244,10 @@ def _cmd_kb(args: argparse.Namespace) -> int:
         f"logged, {storage.bytes_on_disk()} bytes on disk"
     )
     if dispatcher is not None:
-        print("dispatched session (in-flight questions resume with it)")
+        if getattr(dispatcher, "kind", None) == "serve":
+            print("serve session (resume with `repro serve --resume`)")
+        else:
+            print("dispatched session (in-flight questions resume with it)")
     counts = Counter(knowledge.decision for knowledge in state.rules())
     inferred = sum(1 for knowledge in state.rules() if knowledge.inferred)
     by_decision = ", ".join(
@@ -325,6 +345,39 @@ def _cmd_classic(args: argparse.Namespace) -> int:
     )
     for rule, stats in sorted(rules.items(), key=lambda kv: -kv[1].support)[:args.top]:
         print(f"  {rule}  {stats}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve import ServeError, serve_forever
+
+    data_dir = Path(args.data_dir) if args.data_dir else None
+    if args.resume and data_dir is None:
+        print("error: --resume requires --data-dir DIR", file=sys.stderr)
+        return 2
+
+    def ready(server) -> None:
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+
+    try:
+        drained = asyncio.run(
+            serve_forever(
+                args.host,
+                args.port,
+                data_dir=data_dir,
+                resume=args.resume,
+                ready=ready,
+            )
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+    print(f"drained {drained} session(s)")
     return 0
 
 
@@ -463,6 +516,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write CSV/JSON result files into DIR",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve", help="run the real-time HTTP serving surface"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port to bind (0 picks a free one; the bound address "
+        "is printed once the server accepts connections)",
+    )
+    serve.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="make sessions durable: one SQLite store per session in "
+        "DIR, checkpointed live and drained on shutdown",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="reload every session found in --data-dir before "
+        "accepting traffic; outstanding questions are re-offered",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     classic = sub.add_parser("classic", help="classic mining on Quest data")
     classic.add_argument("--items", type=int, default=100)

@@ -11,7 +11,7 @@ questions in flight with timeout, retry-with-backoff and reassignment
 semantics and the determinism guarantee.
 """
 
-from repro.dispatch.clock import EventClock, ScheduledEvent
+from repro.dispatch.clock import EventClock, ScheduledEvent, SchedulerClock
 from repro.dispatch.dispatcher import DispatchConfig, Dispatcher, DispatchStats
 from repro.dispatch.sharded import ShardedDispatcher
 from repro.dispatch.latency import (
@@ -39,6 +39,7 @@ __all__ = [
     "MixtureLatency",
     "ParetoLatency",
     "ScheduledEvent",
+    "SchedulerClock",
     "ShardedDispatcher",
     "heavy_tail_latency",
     "parse_latency",

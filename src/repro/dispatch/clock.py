@@ -24,6 +24,7 @@ import heapq
 import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 
 @dataclass(slots=True)
@@ -38,6 +39,46 @@ class ScheduledEvent:
     def cancel(self) -> None:
         """Disarm the event; it will be skipped when its turn comes."""
         self.cancelled = True
+
+
+@runtime_checkable
+class SchedulerClock(Protocol):
+    """The scheduling contract shared by every clock implementation.
+
+    :class:`EventClock` satisfies it over simulated time (callers
+    advance time explicitly with ``pop``/``run_until``);
+    :class:`repro.serve.clock.RealTimeClock` satisfies it over asyncio
+    monotonic wall time (an event-loop task fires due events). The
+    contract, pinned by ``tests/serve/test_clock_contract.py`` against
+    both implementations:
+
+    - ``now`` is monotonically non-decreasing, starting at 0.0;
+    - ``schedule(delay, action)`` arms ``action`` at ``now + delay``;
+      negative, NaN or infinite delays raise :class:`ValueError`;
+    - ``schedule_at(time, action)`` arms at an absolute instant;
+      times in the past, NaN or infinity raise :class:`ValueError`;
+    - events fire in ``(time, seq)`` order — same-instant ties break
+      by schedule order, the only (and deterministic) tie-break;
+    - ``cancel()`` on the returned handle disarms the event: it never
+      fires, and ``len(clock)`` / ``peek_time()`` stop counting it;
+    - the clock can be re-armed after draining: scheduling after the
+      queue emptied works exactly like scheduling into a fresh clock.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def __len__(self) -> int: ...
+
+    def schedule(
+        self, delay: float, action: Callable[[], None]
+    ) -> ScheduledEvent: ...
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None]
+    ) -> ScheduledEvent: ...
+
+    def peek_time(self) -> float | None: ...
 
 
 class EventClock:

@@ -399,6 +399,12 @@ def resume_session(
         )
     miner, dispatcher, _ = load_session(storage)
     if dispatcher is not None:
+        if getattr(dispatcher, "kind", None) == "serve":
+            raise StorageError(
+                "this checkpoint carries live serve-session state; resume "
+                "it with `repro serve --data-dir DIR --resume`, not the "
+                "E-series harness"
+            )
         raise StorageError(
             "this checkpoint carries dispatcher state; resume it with the "
             "dispatcher (repro.storage.load_session), not the E-series harness"

@@ -543,9 +543,22 @@ class CrowdMiner:
             return self.crowd.ask_closed(proposal.member_id, proposal.rule)
         return self.crowd.ask_open(
             proposal.member_id,
-            exclude=self.state.known_rule_set(),
+            exclude=self.open_question_exclude(),
             context=proposal.context,
         )
+
+    def open_question_exclude(self) -> set[Rule]:
+        """The rules an open question should exclude, as of right now.
+
+        The knowledge the question form shows the member ("tell us
+        something we *don't* already know") — snapshotted at pose time
+        by the synchronous path, at issue time by the dispatcher and
+        the serving surface (:mod:`repro.serve.wire` sends it over the
+        wire so a remote client answers from the same information).
+        Treat the returned set as read-only: it is the state's live
+        view.
+        """
+        return self.state.known_rule_set()
 
     def pose_async(
         self,
@@ -573,7 +586,7 @@ class CrowdMiner:
             latency=latency,
             rng=rng,
             now=now,
-            exclude=self.state.known_rule_set(),
+            exclude=self.open_question_exclude(),
             context=proposal.context,
         )
 

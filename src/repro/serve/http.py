@@ -1,0 +1,229 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams — stdlib only.
+
+Just enough protocol for a JSON task-queue API: request-line + headers
+parsing with size limits, ``Content-Length`` bodies (chunked uploads
+are refused with 411), keep-alive by default, and a matching
+:class:`JsonClient` for tests, benchmarks and the differential
+harness. Deliberately not a web framework — the routing table lives in
+:mod:`repro.serve.app` and fits in one function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+#: Limits keeping one bad client from holding the process hostage.
+MAX_LINE = 8 * 1024
+MAX_HEADERS = 64
+MAX_BODY = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+    def query_int(self, name: str) -> int | None:
+        """An integer query parameter, or ``None`` when absent."""
+        values = self.query.get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError as exc:
+            raise HttpError(400, f"query parameter {name} must be an integer") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers") from None
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS or len(line) > MAX_LINE:
+            raise HttpError(400, "too many or too large headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise HttpError(411, "chunked requests are not supported; send a length")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed content-length") from None
+        if length < 0 or length > MAX_BODY:
+            raise HttpError(413, f"body too large (limit {MAX_BODY} bytes)")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated body") from None
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(
+    status: int, doc: Any, *, keep_alive: bool = True
+) -> bytes:
+    """One JSON response, wire-encoded."""
+    body = b"" if doc is None else (json.dumps(doc) + "\n").encode()
+    reason = REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+# -- the client ----------------------------------------------------------------
+
+
+class JsonClient:
+    """A tiny keep-alive JSON client for the serving API.
+
+    One connection, reused across requests; a send on a connection the
+    server closed (drain, crash) reconnects once and replays the
+    request — safe here because every endpoint is idempotent at the
+    protocol level (answer posts are deduplicated by question id).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, doc: Any = None
+    ) -> tuple[int, Any]:
+        """Send one request; returns ``(status, parsed_body)``."""
+        try:
+            return await self._roundtrip(method, path, doc)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.aclose()
+            return await self._roundtrip(method, path, doc)
+
+    async def _roundtrip(
+        self, method: str, path: str, doc: Any
+    ) -> tuple[int, Any]:
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if doc is None else json.dumps(doc).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2:
+            raise ConnectionError("malformed status line")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, (json.loads(payload) if payload else None)

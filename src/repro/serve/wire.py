@@ -1,0 +1,179 @@
+"""The serving API's JSON wire format: question and answer documents.
+
+Rules travel as the canonical text key of
+:func:`repro.storage.records.rule_key` — the same unicode-safe,
+round-trippable encoding the answer log and the SQL rules table use —
+so every persistence surface and the wire agree on what a rule *is*.
+Stats travel as plain floats; Python's ``repr``-based JSON float
+encoding round-trips exactly, which is what lets a fingerprint
+computed from answers that crossed the wire match one computed
+entirely in-process, byte for byte.
+
+Question documents (server → client)::
+
+    {"question_id": "q7", "member": "w3", "kind": "closed",
+     "rule": "[[\\"tea\\"],[\\"honey\\"]]"}
+    {"question_id": "q8", "member": "w0", "kind": "open",
+     "context": ["headache"] | null,
+     "exclude": ["<rule key>", ...]}
+
+An open question carries the rules the knowledge base already knows
+(``exclude``) and the optional specialization context, because the
+member's answer depends on both — exactly the information a rendered
+question form would show a human ("tell us something we don't already
+know about situations involving X").
+
+Answer documents (client → server)::
+
+    {"support": 0.4, "confidence": 0.7}                  # closed
+    {"empty": true}                                      # open, nothing new
+    {"rule": "<rule key>", "support": .., "confidence": ..}  # open, volunteered
+    {"malformed": {"text": "...", "error": "..."}}       # reply never parsed
+    {"gone": true}                                       # member left instead
+    ... any of the above plus "leaving": true            # last answer, then gone
+
+Anything that does not validate — missing fields, out-of-range or
+inconsistent stats, an unparseable rule key — is folded into a
+:class:`~repro.crowd.questions.MalformedAnswer` rather than an HTTP
+error: a garbage reply is crowd behaviour, not a protocol violation,
+and the miner's validation gate already knows how to count and drop
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.itemset import Itemset
+from repro.core.measures import RuleStats
+from repro.crowd.questions import (
+    AnyAnswer,
+    ClosedAnswer,
+    ClosedQuestion,
+    MalformedAnswer,
+    OpenAnswer,
+    OpenQuestion,
+)
+from repro.errors import ReproError
+from repro.io import PersistenceError
+from repro.miner.crowdminer import QuestionProposal
+from repro.miner.result import QuestionKind
+from repro.storage.records import rule_from_key, rule_key
+
+
+def question_to_doc(
+    question_id: str,
+    proposal: QuestionProposal,
+    exclude: set | None = None,
+) -> dict[str, Any]:
+    """Render one proposal as its wire document.
+
+    ``exclude`` is the knowledge base's known-rule set at issue time
+    (open questions only) — snapshotted here exactly as
+    :meth:`~repro.miner.crowdminer.CrowdMiner.pose_async` snapshots it,
+    so a client-side oracle answers from the same information a posed
+    form would have shown.
+    """
+    doc: dict[str, Any] = {
+        "question_id": question_id,
+        "member": proposal.member_id,
+        "kind": proposal.kind.value,
+    }
+    if proposal.kind is QuestionKind.CLOSED:
+        assert proposal.rule is not None
+        doc["rule"] = rule_key(proposal.rule)
+    else:
+        doc["context"] = (
+            None if proposal.context is None else list(proposal.context.items)
+        )
+        doc["exclude"] = sorted(rule_key(rule) for rule in (exclude or ()))
+    return doc
+
+
+def answer_to_doc(answer: AnyAnswer) -> dict[str, Any]:
+    """Render a member's in-process answer as its wire document."""
+    if isinstance(answer, MalformedAnswer):
+        return {"malformed": {"text": answer.raw_text, "error": answer.error}}
+    if isinstance(answer, ClosedAnswer):
+        return {
+            "support": answer.stats.support,
+            "confidence": answer.stats.confidence,
+        }
+    assert isinstance(answer, OpenAnswer)
+    if answer.is_empty:
+        return {"empty": True}
+    assert answer.rule is not None and answer.stats is not None
+    return {
+        "rule": rule_key(answer.rule),
+        "support": answer.stats.support,
+        "confidence": answer.stats.confidence,
+    }
+
+
+def _stats_from_doc(doc: dict[str, Any]) -> RuleStats:
+    """Parse and validate the stats pair (raises on anything off)."""
+    support = doc["support"]
+    confidence = doc["confidence"]
+    if isinstance(support, bool) or isinstance(confidence, bool):
+        raise TypeError("support/confidence must be numbers")
+    return RuleStats(float(support), float(confidence))
+
+
+def answer_from_doc(
+    proposal: QuestionProposal, doc: dict[str, Any]
+) -> AnyAnswer:
+    """Parse one answer document against its proposal.
+
+    Returns the typed answer, or a
+    :class:`~repro.crowd.questions.MalformedAnswer` when the document
+    does not validate — same contract as a human front-end's reply
+    parser, so the miner's gate handles wire garbage and simulated
+    garbage identically.
+    """
+    member_id = proposal.member_id
+    if proposal.kind is QuestionKind.CLOSED:
+        assert proposal.rule is not None
+        question: ClosedQuestion | OpenQuestion = ClosedQuestion(proposal.rule)
+    else:
+        question = OpenQuestion(proposal.context or Itemset.empty())
+
+    def malformed(error: str) -> MalformedAnswer:
+        return MalformedAnswer(
+            member_id=member_id,
+            question=question,
+            raw_text=repr(doc),
+            error=error,
+        )
+
+    if not isinstance(doc, dict):
+        return malformed("answer must be a JSON object")
+    reported = doc.get("malformed")
+    if reported is not None:
+        detail = reported if isinstance(reported, dict) else {}
+        return MalformedAnswer(
+            member_id=member_id,
+            question=question,
+            raw_text=str(detail.get("text", "")),
+            error=str(detail.get("error", "unparseable reply")),
+        )
+    if proposal.kind is QuestionKind.CLOSED:
+        assert isinstance(question, ClosedQuestion)
+        try:
+            stats = _stats_from_doc(doc)
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            # ReproError covers RuleStats validation (out-of-range or
+            # inconsistent support/confidence) — garbage numbers are
+            # still crowd behaviour, not a server fault.
+            return malformed(f"bad closed answer: {exc}")
+        return ClosedAnswer(member_id=member_id, question=question, stats=stats)
+    assert isinstance(question, OpenQuestion)
+    if doc.get("empty"):
+        return OpenAnswer(
+            member_id=member_id, question=question, rule=None, stats=None
+        )
+    try:
+        rule = rule_from_key(doc["rule"])
+        stats = _stats_from_doc(doc)
+    except (KeyError, TypeError, ValueError, ReproError, PersistenceError) as exc:
+        return malformed(f"bad open answer: {exc}")
+    return OpenAnswer(member_id=member_id, question=question, rule=rule, stats=stats)

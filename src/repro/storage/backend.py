@@ -227,15 +227,19 @@ def open_backend(
     kind: str = "sqlite",
     *,
     resume: bool = False,
+    readonly: bool = False,
 ) -> StorageBackend:
     """Construct the backend a CLI/runner invocation asked for.
 
     ``resume=False`` starts a fresh session store (an existing file at
     ``path`` is replaced); ``resume=True`` opens the existing store and
-    fails loudly when there is none to resume from.
+    fails loudly when there is none to resume from. ``readonly=True``
+    (implies resume semantics) opens the store for inspection only:
+    mutations raise, and — on the SQLite backend — the connection reads
+    a consistent WAL snapshot even while another process writes.
     """
     if kind == "memory":
-        if resume:
+        if resume or readonly:
             if path is None:
                 raise StorageError("resuming a memory backend requires a path")
             return MemoryBackend.open(path)
@@ -245,7 +249,9 @@ def open_backend(
 
         if path is None:
             raise StorageError("the sqlite backend requires a path")
-        if resume and not Path(path).exists():
+        if (resume or readonly) and not Path(path).exists():
             raise StorageError(f"nothing to resume: {path} does not exist")
+        if readonly:
+            return SQLiteBackend(path, readonly=True)
         return SQLiteBackend(path, fresh=not resume)
     raise StorageError(f"unknown storage backend {kind!r}; expected sqlite or memory")

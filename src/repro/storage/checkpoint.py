@@ -104,6 +104,8 @@ def restore_session(
 
 def load_session(
     storage: StorageBackend,
+    *,
+    rollback: bool = True,
 ) -> "tuple[CrowdMiner, Dispatcher | ShardedDispatcher | None, CheckpointInfo]":
     """Resume from the backend's latest checkpoint.
 
@@ -112,16 +114,27 @@ def load_session(
     the resumed run), and accounts the restore on the session's own
     instrumentation (``storage.restores`` / the ``storage.restore``
     timer) — which exists only *inside* the payload, hence the manual
-    timer arithmetic.
+    timer arithmetic. Pass ``rollback=False`` for read-only inspection
+    (``repro kb`` peeking at a store another process is writing): the
+    answer log is left untouched, the backend is *not* attached to the
+    restored miner (so nothing — not even an index rebuild — writes to
+    it), and the knowledge base keeps the in-process Python index.
+
+    For serve-session checkpoints the middle element of the returned
+    tuple is a :class:`repro.serve.session.ServeSnapshot` (plain data,
+    not a live dispatcher) — hand it to
+    :meth:`repro.serve.session.SessionManager.resume_all`, not to
+    ``Dispatcher.run``.
     """
     loaded = storage.latest_checkpoint()
     if loaded is None:
         raise StorageError(f"no checkpoint to resume from in {storage.describe()}")
     info, payload = loaded
     started = time.perf_counter()
-    miner, dispatcher = restore_session(payload, storage)
+    miner, dispatcher = restore_session(payload, storage if rollback else None)
     elapsed = time.perf_counter() - started
-    storage.truncate_answers(info.answers_logged)
+    if rollback:
+        storage.truncate_answers(info.answers_logged)
     obs = miner.obs
     obs.count("storage.restores")
     timer = obs.timer("storage.restore")
@@ -250,6 +263,12 @@ def _snapshot_dispatcher(
     """
     from repro.dispatch.sharded import ShardedDispatcher
 
+    serve_snapshot = getattr(dispatcher, "serve_snapshot", None)
+    if serve_snapshot is not None:
+        # A live ServeSession sits in the miner's dispatcher seat; its
+        # travelling state (the pending-question book) is already plain
+        # data, discriminated by kind="serve".
+        return serve_snapshot()
     if isinstance(dispatcher, ShardedDispatcher):
         return {
             "kind": "sharded",
@@ -278,7 +297,15 @@ def _restore_dispatcher(
     from repro.dispatch.dispatcher import Dispatcher
 
     # Pre-"kind" snapshots are all single-dispatcher sessions.
-    if snapshot.get("kind", "single") == "sharded":
+    kind = snapshot.get("kind", "single")
+    if kind == "serve":
+        # Serve sessions restore as plain data: re-arming the pending
+        # book needs a live event loop and server, so the session
+        # manager (repro.serve) folds this back in, not this module.
+        from repro.serve.session import ServeSnapshot
+
+        return ServeSnapshot.from_doc(snapshot)
+    if kind == "sharded":
         return _restore_sharded(snapshot, miner)
     clock = EventClock()
     clock._now = snapshot["clock_now"]

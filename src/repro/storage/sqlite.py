@@ -168,33 +168,66 @@ class SQLiteBackend:
         Start a new session store: any existing tables at ``path`` are
         dropped first. ``fresh=False`` opens the existing store for
         resume/inspection.
+    readonly:
+        Open over SQLite's ``mode=ro`` URI: no schema writes on open,
+        every mutating method raises :class:`StorageError`, and —
+        because this is a WAL database — reads see a **consistent
+        snapshot** even while another process is mid-write (WAL readers
+        never block on, nor observe, an uncommitted batch). This is the
+        connection ``repro kb`` uses against a live session's store.
     """
 
-    def __init__(self, path: str | os.PathLike, *, fresh: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fresh: bool = False,
+        readonly: bool = False,
+    ) -> None:
+        if fresh and readonly:
+            raise StorageError("a fresh store cannot be opened read-only")
         self.path = str(path)
+        self.readonly = readonly
         self._in_tx = False
         try:
-            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            if readonly:
+                self._conn = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True, isolation_level=None
+                )
+            else:
+                self._conn = sqlite3.connect(self.path, isolation_level=None)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open sqlite database {path}") from exc
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        if fresh:
-            for table in ("meta", "answers", "checkpoints", "index_rules", "rule_items"):
-                self._conn.execute(f"DROP TABLE IF EXISTS {table}")
-        self._conn.executescript(_SCHEMA)
-        self._conn.execute(
-            "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
-            (str(SCHEMA_VERSION),),
-        )
-        (version,) = self._conn.execute(
-            "SELECT value FROM meta WHERE key = 'schema_version'"
-        ).fetchone()
-        if int(version) != SCHEMA_VERSION:
+        if not readonly:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            if fresh:
+                for table in (
+                    "meta", "answers", "checkpoints", "index_rules", "rule_items"
+                ):
+                    self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise StorageError(f"not a session store: {path}") from exc
+        if row is None:
+            raise StorageError(f"not a session store: {path}")
+        if int(row[0]) != SCHEMA_VERSION:
             raise StorageError(
-                f"unsupported schema version {version} in {path} "
+                f"unsupported schema version {row[0]} in {path} "
                 f"(this build writes version {SCHEMA_VERSION})"
             )
+
+    def _writable(self) -> None:
+        if self.readonly:
+            raise StorageError(f"{self.path} is open read-only")
 
     # -- transaction batching ------------------------------------------------
 
@@ -213,15 +246,18 @@ class SQLiteBackend:
     # -- index ---------------------------------------------------------------
 
     def make_index(self) -> SQLiteRuleIndex:
+        self._writable()  # the index's add() inserts rows
         return SQLiteRuleIndex(self._conn)
 
     def reset_index(self) -> None:
+        self._writable()
         self._conn.execute("DELETE FROM index_rules")
         self._conn.execute("DELETE FROM rule_items")
 
     # -- answer log ----------------------------------------------------------
 
     def append_answer(self, record: AnswerRecord) -> None:
+        self._writable()
         self._begin()
         self._conn.execute(
             "INSERT OR REPLACE INTO answers "
@@ -245,6 +281,7 @@ class SQLiteBackend:
         return [AnswerRecord(*row) for row in rows]
 
     def truncate_answers(self, keep: int) -> None:
+        self._writable()
         self._conn.execute("DELETE FROM answers WHERE seq >= ?", (keep,))
         self._commit()
 
@@ -253,6 +290,7 @@ class SQLiteBackend:
     def save_checkpoint(
         self, payload: bytes, *, questions: int, kb_rules: int
     ) -> CheckpointInfo:
+        self._writable()
         (logged,) = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()
         cursor = self._conn.execute(
             "INSERT INTO checkpoints (questions, kb_rules, answers_logged, payload) "
@@ -316,7 +354,8 @@ class SQLiteBackend:
         return total
 
     def describe(self) -> str:
-        return f"sqlite backend ({self.path}, WAL)"
+        mode = ", read-only" if self.readonly else ""
+        return f"sqlite backend ({self.path}, WAL{mode})"
 
     def close(self) -> None:
         self._commit()

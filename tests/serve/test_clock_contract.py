@@ -1,0 +1,231 @@
+"""The scheduling contract, pinned over both clock implementations.
+
+:class:`~repro.dispatch.EventClock` (simulated time) and
+:class:`~repro.serve.RealTimeClock` (wall time) must agree on every
+determinism-relevant behaviour of the
+:class:`~repro.dispatch.SchedulerClock` protocol — ordering,
+tie-breaking, cancellation, re-arming after a drain, input validation —
+because the differential harness swaps one for the other under a live
+session and asserts byte-identical transcripts. Only the time *source*
+may differ.
+
+Property tests drive both clocks through the same randomized schedules
+and compare against the contract directly; wall-time cases use
+millisecond-scale horizons so the suite stays fast.
+"""
+
+import asyncio
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dispatch import EventClock, SchedulerClock
+from repro.serve import RealTimeClock
+
+#: Per-slot spacing: whole seconds on the simulated clock, a couple of
+#: milliseconds of real sleeping on the wall clock.
+SLOT = {"sim": 1.0, "real": 0.002}
+#: Headroom between "now" at scheduling time and the first slot, so a
+#: slow machine cannot make slot 0 land in the past.
+LEAD = {"sim": 1.0, "real": 0.05}
+
+CLOCK_KINDS = ["sim", "real"]
+
+
+def make_clock(kind):
+    return EventClock() if kind == "sim" else RealTimeClock()
+
+
+def fire_all(clock):
+    """Drive either clock until its queue is empty; count events fired."""
+    if isinstance(clock, RealTimeClock):
+        return asyncio.run(clock.drain())
+    fired = 0
+    while clock.pop():
+        fired += 1
+    return fired
+
+
+#: One schedule: (time slot, cancel it afterwards?) per event.
+SCHEDULES = st.lists(
+    st.tuples(st.integers(0, 6), st.booleans()), min_size=1, max_size=12
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    def test_satisfies_scheduler_clock(self, kind):
+        assert isinstance(make_clock(kind), SchedulerClock)
+
+
+class TestOrderingProperties:
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    @RELAXED
+    @given(schedule=SCHEDULES)
+    def test_fires_in_time_then_schedule_order(self, kind, schedule):
+        """Events fire sorted by (instant, schedule order); cancelled
+        events never fire; len/peek_time see exactly the live set."""
+        clock = make_clock(kind)
+        base = clock.now + LEAD[kind]
+        fired = []
+        live = []
+        events = []
+        for index, (slot, cancel) in enumerate(schedule):
+            at = base + slot * SLOT[kind]
+            event = clock.schedule_at(at, lambda index=index: fired.append(index))
+            events.append((event, cancel))
+            if not cancel:
+                live.append((at, index))
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        assert len(clock) == len(live)
+        expected_peek = min((at for at, _ in live), default=None)
+        if expected_peek is None:
+            assert clock.peek_time() is None
+        else:
+            assert clock.peek_time() == pytest.approx(expected_peek)
+        count = fire_all(clock)
+        assert count == len(live)
+        assert fired == [index for _, index in sorted(live)]
+        assert len(clock) == 0
+        assert clock.peek_time() is None
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    @RELAXED
+    @given(slots=st.lists(st.integers(0, 4), min_size=1, max_size=8))
+    def test_relative_schedule_matches_absolute(self, kind, slots):
+        """schedule(delay) is schedule_at(now + delay): same firing order."""
+        clock = make_clock(kind)
+        lead = LEAD[kind]
+        fired = []
+        for index, slot in enumerate(slots):
+            clock.schedule(
+                lead + slot * SLOT[kind], lambda index=index: fired.append(index)
+            )
+        fire_all(clock)
+        # On the wall clock "now" creeps between calls, so equal slots
+        # keep schedule order and distinct slots keep slot order —
+        # exactly the (time, seq) sort.
+        assert fired == sorted(range(len(slots)), key=lambda i: (slots[i], i))
+
+
+class TestRearmAfterDrain:
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    def test_rearm_after_full_drain(self, kind):
+        """An emptied clock accepts and fires a fresh schedule."""
+        clock = make_clock(kind)
+        fired = []
+        clock.schedule(SLOT[kind], lambda: fired.append("first"))
+        assert fire_all(clock) == 1
+        clock.schedule(SLOT[kind], lambda: fired.append("second"))
+        assert fire_all(clock) == 1
+        assert fired == ["first", "second"]
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    def test_actions_may_schedule_transitively(self, kind):
+        """An action scheduling further events keeps the drain going."""
+        clock = make_clock(kind)
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                clock.schedule(SLOT[kind], lambda: chain(n + 1))
+
+        clock.schedule(SLOT[kind], lambda: chain(0))
+        assert fire_all(clock) == 4
+        assert fired == [0, 1, 2, 3]
+
+
+class TestValidationParity:
+    """Both clocks must reject exactly the same inputs."""
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    @pytest.mark.parametrize("delay", [-1.0, -0.001, math.nan])
+    def test_bad_delays_rejected(self, kind, delay):
+        with pytest.raises(ValueError):
+            make_clock(kind).schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    def test_scheduling_in_the_past_rejected(self, kind):
+        clock = make_clock(kind)
+        with pytest.raises(ValueError):
+            clock.schedule_at(clock.now - 1.0, lambda: None)
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    @pytest.mark.parametrize("at", [math.inf, math.nan])
+    def test_non_finite_instants_rejected(self, kind, at):
+        with pytest.raises(ValueError):
+            make_clock(kind).schedule_at(at, lambda: None)
+
+    @pytest.mark.parametrize("kind", CLOCK_KINDS)
+    def test_rejected_schedules_leave_queue_untouched(self, kind):
+        clock = make_clock(kind)
+        clock.schedule(SLOT[kind], lambda: None)
+        for attempt in (
+            lambda: clock.schedule(-1.0, lambda: None),
+            lambda: clock.schedule_at(math.inf, lambda: None),
+        ):
+            with pytest.raises(ValueError):
+                attempt()
+        assert len(clock) == 1
+
+
+class TestRealTimeRunner:
+    """The wall clock's background mode (start/stop), serving-style."""
+
+    def test_runner_fires_without_explicit_draining(self):
+        async def scenario():
+            clock = RealTimeClock()
+            clock.start()
+            fired = asyncio.Event()
+            clock.schedule(0.01, fired.set)
+            await asyncio.wait_for(fired.wait(), timeout=2.0)
+            await clock.stop()
+            assert len(clock) == 0
+
+        asyncio.run(scenario())
+
+    def test_nearer_deadline_interrupts_current_sleep(self):
+        async def scenario():
+            clock = RealTimeClock()
+            clock.start()
+            fired = []
+            done = asyncio.Event()
+            clock.schedule(0.25, lambda: (fired.append("far"), done.set()))
+            clock.schedule(0.01, lambda: fired.append("near"))
+            await asyncio.wait_for(done.wait(), timeout=2.0)
+            await clock.stop()
+            assert fired == ["near", "far"]
+
+        asyncio.run(scenario())
+
+    def test_stop_keeps_pending_events_queued(self):
+        async def scenario():
+            clock = RealTimeClock()
+            clock.start()
+            clock.schedule(30.0, lambda: None)
+            await clock.stop()
+            assert len(clock) == 1
+
+        asyncio.run(scenario())
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            clock = RealTimeClock()
+            clock.start()
+            runner = clock._runner
+            clock.start()
+            assert clock._runner is runner
+            await clock.stop()
+
+        asyncio.run(scenario())

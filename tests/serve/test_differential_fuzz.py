@@ -1,0 +1,88 @@
+"""Randomized differential fuzzing: any seeded world, three transcripts.
+
+Each draw samples a whole scenario — crowd size, budget, patience,
+adversary mix, quarantine, contextual opens — from a seeded RNG and
+asserts the live service reproduces the sync fingerprint byte for
+byte, and that windowed/sharded dispatch over the *same* world keeps
+balanced books. The per-commit tier runs a handful of draws; ``slow``
+widens the sweep (the CI serve-smoke job's territory).
+"""
+
+import random
+
+import pytest
+
+from repro.faults import ADVERSARY_ROLES
+from repro.serve import Scenario, run_dispatch, run_serve, run_sync
+
+
+def draw_scenario(seed: int) -> Scenario:
+    rng = random.Random(seed)
+    mix = ()
+    if rng.random() < 0.5:
+        roles = rng.sample(ADVERSARY_ROLES, k=rng.randint(1, 2))
+        mix = tuple((role, round(rng.uniform(0.1, 0.3), 2)) for role in roles)
+    return Scenario(
+        n_members=rng.randint(6, 16),
+        transactions_per_member=rng.randint(30, 70),
+        budget=rng.randint(60, 140),
+        patience=rng.choice([None, None, rng.randint(4, 12)]),
+        adversary_mix=mix,
+        quarantine=bool(mix) and rng.random() < 0.5,
+        contextual_open_fraction=rng.choice([0.0, 0.0, 0.3]),
+        model_seed=rng.randint(0, 10_000),
+        crowd_seed=rng.randint(0, 10_000),
+        miner_seed=rng.randint(0, 10_000),
+    )
+
+
+def assert_dispatch_books_balance(result):
+    """Every dispatched issue met exactly one fate (the dispatcher's
+    documented ledger)."""
+    stats = result.dispatch
+    assert stats is not None
+    assert stats.issued == (
+        stats.completed
+        + stats.stale_discarded
+        + stats.malformed
+        + stats.rejected
+        + stats.timeouts
+        + stats.crashed
+    ), stats
+
+
+class TestFuzzedDraws:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_serve_matches_sync_on_random_worlds(self, seed):
+        scenario = draw_scenario(seed)
+        sync = run_sync(scenario)
+        served = run_serve(scenario)
+        assert served["fingerprint"] == sync.fingerprint(), scenario
+        assert served["questions_asked"] == sync.questions_asked
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_windowed_and_sharded_dispatch_books_balance(self, seed):
+        rng = random.Random(1000 + seed)
+        scenario = draw_scenario(seed)
+        windowed = run_dispatch(scenario, window=rng.randint(2, 6))
+        assert_dispatch_books_balance(windowed)
+        sharded = run_dispatch(scenario, window=2, shards=rng.randint(2, 3))
+        assert_dispatch_books_balance(sharded)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_window_one_dispatch_still_matches_sync(self, seed):
+        scenario = draw_scenario(seed)
+        sync = run_sync(scenario)
+        dispatched = run_dispatch(scenario, window=1)
+        assert dispatched.fingerprint() == sync.fingerprint(), scenario
+        assert_dispatch_books_balance(dispatched)
+
+
+@pytest.mark.slow
+class TestWideSweep:
+    @pytest.mark.parametrize("seed", range(4, 16))
+    def test_serve_matches_sync_wide(self, seed):
+        scenario = draw_scenario(seed)
+        sync = run_sync(scenario)
+        served = run_serve(scenario)
+        assert served["fingerprint"] == sync.fingerprint(), scenario

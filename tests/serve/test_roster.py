@@ -1,0 +1,149 @@
+"""The roster schedules exactly like the simulated crowd.
+
+The differential harness's byte-identity rests on one scheduling fact:
+a :class:`~repro.serve.WorkerRoster` driven through the same sequence
+of picks, departures and quarantines as a
+:class:`~repro.crowd.SimulatedCrowd` selects the *same member at every
+step* — same cursor arithmetic, same exhausted/None distinction. The
+property test here drives both through randomized op sequences and
+compares every outcome.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd import SimulatedCrowd, standard_answer_model
+from repro.errors import CrowdExhaustedError
+from repro.serve import WorkerRoster
+from repro.synth import build_population, folk_remedies_model
+
+N_MEMBERS = 8
+
+_POPULATION = build_population(
+    folk_remedies_model(seed=1),
+    n_members=N_MEMBERS,
+    transactions_per_member=20,
+    seed=2,
+)
+
+
+def fresh_crowd():
+    return SimulatedCrowd.from_population(
+        _POPULATION, answer_model=standard_answer_model(), seed=3
+    )
+
+
+#: One op: pick with an exclusion mask, or an availability fact about
+#: one member index. ("pick", frozenset) | ("depart"|"quarantine", idx)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("pick"),
+            st.frozensets(st.integers(0, N_MEMBERS - 1), max_size=N_MEMBERS),
+        ),
+        st.tuples(st.just("depart"), st.integers(0, N_MEMBERS - 1)),
+        st.tuples(st.just("quarantine"), st.integers(0, N_MEMBERS - 1)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSchedulingEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_same_ops_pick_the_same_members(self, ops):
+        crowd = fresh_crowd()
+        ids = crowd.member_ids
+        roster = WorkerRoster(ids)
+        assert roster.member_ids == ids
+        for op, arg in ops:
+            if op == "pick":
+                exclude = {ids[i] for i in arg}
+                crowd_outcome = _pick(crowd, exclude)
+                roster_outcome = _pick(roster, exclude)
+                assert roster_outcome == crowd_outcome
+            elif op == "depart":
+                crowd.crash(ids[arg])
+                roster.depart(ids[arg])
+            else:
+                crowd.quarantine(ids[arg])
+                roster.quarantine(ids[arg])
+            assert roster.available_count() == crowd.available_count()
+            for mid in ids:
+                assert roster.is_member_available(mid) == crowd.is_member_available(
+                    mid
+                )
+
+
+def _pick(scheduler, exclude):
+    try:
+        return ("picked", scheduler.next_member(exclude=exclude))
+    except CrowdExhaustedError:
+        return ("exhausted", None)
+
+
+class TestRosterSurface:
+    def test_rejects_empty_and_duplicate_ids(self):
+        with pytest.raises(CrowdExhaustedError):
+            WorkerRoster([])
+        with pytest.raises(ValueError):
+            WorkerRoster(["a", "b", "a"])
+
+    def test_unknown_members_raise(self):
+        roster = WorkerRoster(["a", "b"])
+        with pytest.raises(KeyError):
+            roster.depart("ghost")
+        with pytest.raises(KeyError):
+            roster.quarantine("ghost")
+        assert not roster.is_member_available("ghost")
+
+    def test_depart_and_crash_are_idempotent_aliases(self):
+        roster = WorkerRoster(["a", "b"])
+        roster.depart("a")
+        roster.depart("a")
+        roster.crash("a")
+        assert roster.available_members() == ["b"]
+        assert roster.available_count() == 1
+
+    def test_quarantine_tracks_and_reports(self):
+        roster = WorkerRoster(["a", "b", "c"])
+        roster.quarantine("b")
+        assert roster.is_quarantined("b")
+        assert roster.quarantined_members == {"b"}
+        assert roster.available_members() == ["a", "c"]
+
+    def test_all_excluded_is_none_all_gone_raises(self):
+        roster = WorkerRoster(["a", "b"])
+        assert roster.next_member(exclude={"a", "b"}) is None
+        roster.depart("a")
+        roster.depart("b")
+        with pytest.raises(CrowdExhaustedError):
+            roster.next_member()
+
+    def test_failed_picks_do_not_advance_the_cursor(self):
+        roster = WorkerRoster(["a", "b"])
+        assert roster.next_member() == "a"
+        assert roster.next_member(exclude={"a", "b"}) is None
+        assert roster.next_member() == "b"
+
+    def test_asking_a_roster_is_a_type_error(self):
+        roster = WorkerRoster(["a"])
+        with pytest.raises(TypeError):
+            roster.ask_closed("a", None)
+        with pytest.raises(TypeError):
+            roster.ask_open("a")
+
+    def test_pickle_round_trip_preserves_rotation(self):
+        roster = WorkerRoster(["a", "b", "c"])
+        roster.next_member()
+        roster.depart("b")
+        clone = pickle.loads(pickle.dumps(roster))
+        assert clone.member_ids == roster.member_ids
+        assert clone.available_members() == roster.available_members()
+        # Both rotations continue from the same cursor position.
+        for _ in range(5):
+            assert clone.next_member() == roster.next_member()

@@ -1,0 +1,131 @@
+"""Graceful-shutdown durability: SIGTERM the serve process mid-flight.
+
+The server-path extension of ``tests/storage/test_kill_resume.py``: a
+real ``repro serve`` process (separate interpreter) is terminated with
+questions outstanding — fetched over HTTP but unanswered — and a
+second process resumes the data directory. The outstanding question
+must be re-offered verbatim, the client's memoized answers replay, and
+the finished session's fingerprint must equal an uninterrupted sync
+run's, byte for byte. This is the flow the CI serve-smoke job drives.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JsonClient, Scenario, SimulatedWorkerPool, drive_session, run_sync
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SCENARIO = Scenario(n_members=8, transactions_per_member=50, budget=60)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_server(tmp_path, *extra):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--port", "0", "--data-dir", str(tmp_path), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on http://"), (line, proc.stderr.read())
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+@pytest.mark.slow
+class TestSigtermDrain:
+    def test_drain_checkpoint_resumes_byte_identically(self, tmp_path):
+        sync_fp = run_sync(SCENARIO).fingerprint()
+        crowd = SCENARIO.build_crowd()
+        pool = SimulatedWorkerPool(crowd)
+
+        proc, port = _spawn_server(tmp_path)
+
+        async def phase_one():
+            client = JsonClient("127.0.0.1", port)
+            status, created = await client.request(
+                "POST",
+                "/v1/sessions",
+                SCENARIO.session_spec(
+                    crowd.member_ids, id="soak", checkpoint_every=7
+                ),
+            )
+            assert status == 201, created
+            for _ in range(20):
+                _, doc = await client.request("POST", "/v1/sessions/soak/question")
+                assert doc["status"] == "ok", doc
+                question = doc["question"]
+                await client.request(
+                    "POST",
+                    "/v1/sessions/soak/answer",
+                    {
+                        "question_id": question["question_id"],
+                        "answer": pool.answer(question),
+                    },
+                )
+            # Leave one question fetched but unanswered: the drain
+            # checkpoint must carry it as a re-offer.
+            _, doc = await client.request("POST", "/v1/sessions/soak/question")
+            assert doc["status"] == "ok", doc
+            await client.aclose()
+            return doc["question"]
+
+        outstanding = asyncio.run(phase_one())
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, (out, err)
+        assert "drained 1 session(s)" in out
+        assert (tmp_path / "soak.db").exists()
+
+        proc2, port2 = _spawn_server(tmp_path, "--resume")
+
+        async def phase_two():
+            client = JsonClient("127.0.0.1", port2)
+            # The first fetch after resume re-offers the outstanding
+            # question verbatim: same id, same member, same payload.
+            _, doc = await client.request("POST", "/v1/sessions/soak/question")
+            assert doc["status"] == "ok", doc
+            assert doc["question"] == outstanding
+            await client.request(
+                "POST",
+                "/v1/sessions/soak/answer",
+                {
+                    "question_id": doc["question"]["question_id"],
+                    "answer": pool.answer(doc["question"]),
+                },
+            )
+            await drive_session(client, "soak", pool)
+            _, result = await client.request("GET", "/v1/sessions/soak/result")
+            await client.request("POST", "/v1/shutdown")
+            await client.aclose()
+            return result
+
+        result = asyncio.run(phase_two())
+        out2, err2 = proc2.communicate(timeout=30)
+        assert proc2.returncode == 0, (out2, err2)
+        assert result["fingerprint"] == sync_fp
+        assert result["serve"]["issued"] >= 21
+
+    def test_sigterm_with_no_sessions_exits_clean(self, tmp_path):
+        proc, _port = _spawn_server(tmp_path)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, (out, err)
+        assert "drained 0 session(s)" in out

@@ -1,0 +1,172 @@
+"""The wire codec: documents round-trip, garbage folds to malformed.
+
+Float stats must survive JSON encoding *exactly* (repr-based float
+serialization round-trips), because the differential harness compares
+fingerprints computed from answers that crossed the wire against ones
+computed entirely in-process.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Itemset, Rule
+from repro.crowd.questions import ClosedAnswer, ClosedQuestion, MalformedAnswer, OpenAnswer, OpenQuestion
+from repro.core.measures import RuleStats
+from repro.miner.crowdminer import QuestionProposal
+from repro.miner.result import QuestionKind
+from repro.serve import answer_from_doc, answer_to_doc, question_to_doc
+from repro.storage.records import rule_key
+
+RULE = Rule(["cough"], ["tea"])
+OTHER = Rule(["headache"], ["honey"])
+
+
+def closed_proposal(member="w1", rule=RULE):
+    return QuestionProposal(
+        member_id=member, kind=QuestionKind.CLOSED, rule=rule, context=None,
+        kb_version=0,
+    )
+
+
+def open_proposal(member="w1", context=None):
+    return QuestionProposal(
+        member_id=member, kind=QuestionKind.OPEN, rule=None, context=context,
+        kb_version=0,
+    )
+
+
+class TestQuestionDocs:
+    def test_closed_question_carries_the_rule_key(self):
+        doc = question_to_doc("q1", closed_proposal())
+        assert doc == {
+            "question_id": "q1",
+            "member": "w1",
+            "kind": "closed",
+            "rule": rule_key(RULE),
+        }
+
+    def test_open_question_carries_context_and_sorted_exclude(self):
+        doc = question_to_doc(
+            "q2",
+            open_proposal(context=Itemset(["cough"])),
+            exclude={RULE, OTHER},
+        )
+        assert doc["kind"] == "open"
+        assert doc["context"] == ["cough"]
+        assert doc["exclude"] == sorted([rule_key(RULE), rule_key(OTHER)])
+
+    def test_blind_open_question_has_null_context(self):
+        doc = question_to_doc("q3", open_proposal())
+        assert doc["context"] is None
+        assert doc["exclude"] == []
+
+    def test_question_docs_are_json_serializable(self):
+        doc = question_to_doc("q4", closed_proposal())
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestAnswerRoundTrips:
+    @given(
+        pair=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)).map(sorted)
+    )
+    def test_closed_answer_round_trips_exactly(self, pair):
+        support, confidence = pair  # RuleStats requires support ≤ confidence
+        answer = ClosedAnswer(
+            member_id="w1",
+            question=ClosedQuestion(RULE),
+            stats=RuleStats(support, confidence),
+        )
+        doc = json.loads(json.dumps(answer_to_doc(answer)))
+        parsed = answer_from_doc(closed_proposal(), doc)
+        assert isinstance(parsed, ClosedAnswer)
+        assert parsed.member_id == "w1"
+        assert parsed.rule == RULE
+        # Bit-exact: the fingerprint depends on it.
+        assert parsed.stats == answer.stats
+
+    def test_open_volunteered_round_trips(self):
+        answer = OpenAnswer(
+            member_id="w2",
+            question=OpenQuestion(),
+            rule=OTHER,
+            stats=RuleStats(0.25, 0.75),
+        )
+        doc = json.loads(json.dumps(answer_to_doc(answer)))
+        parsed = answer_from_doc(open_proposal(member="w2"), doc)
+        assert isinstance(parsed, OpenAnswer)
+        assert parsed.rule == OTHER
+        assert parsed.stats == answer.stats
+
+    def test_open_empty_round_trips(self):
+        answer = OpenAnswer(
+            member_id="w2", question=OpenQuestion(), rule=None, stats=None
+        )
+        doc = answer_to_doc(answer)
+        assert doc == {"empty": True}
+        parsed = answer_from_doc(open_proposal(member="w2"), doc)
+        assert isinstance(parsed, OpenAnswer) and parsed.is_empty
+
+    def test_open_answer_question_rebuilds_the_context(self):
+        context = Itemset(["cough"])
+        parsed = answer_from_doc(
+            open_proposal(context=context), {"empty": True}
+        )
+        assert isinstance(parsed, OpenAnswer)
+        assert parsed.question.context == context
+
+    def test_malformed_report_round_trips(self):
+        answer = MalformedAnswer(
+            member_id="w3",
+            question=ClosedQuestion(RULE),
+            raw_text="lots, definitely",
+            error="not a number",
+        )
+        doc = answer_to_doc(answer)
+        parsed = answer_from_doc(closed_proposal(member="w3"), doc)
+        assert isinstance(parsed, MalformedAnswer)
+        assert parsed.raw_text == "lots, definitely"
+        assert parsed.error == "not a number"
+
+
+class TestGarbageFoldsToMalformed:
+    """Wire garbage is crowd behaviour, not a protocol error."""
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {},                                        # nothing at all
+            {"support": 0.5},                          # half the pair
+            {"support": "plenty", "confidence": 0.5},  # non-numeric
+            {"support": True, "confidence": 0.5},      # bool masquerading
+            {"support": 1.5, "confidence": 0.5},       # out of range
+            {"support": 0.2, "confidence": float("nan")},
+            "just a string",                           # not an object
+            None,
+        ],
+    )
+    def test_bad_closed_docs(self, doc):
+        parsed = answer_from_doc(closed_proposal(), doc)
+        assert isinstance(parsed, MalformedAnswer)
+        assert parsed.member_id == "w1"
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {"rule": "not json", "support": 0.5, "confidence": 0.5},
+            {"rule": "[[],[]]", "support": 0.5, "confidence": 0.5},  # empty rule
+            {"rule": rule_key(RULE)},                  # stats missing
+            {"rule": rule_key(RULE), "support": 2.0, "confidence": 0.5},
+        ],
+    )
+    def test_bad_open_docs(self, doc):
+        parsed = answer_from_doc(open_proposal(), doc)
+        assert isinstance(parsed, MalformedAnswer)
+
+    def test_malformed_preserves_the_offending_payload(self):
+        doc = {"support": "plenty", "confidence": 0.5}
+        parsed = answer_from_doc(closed_proposal(), doc)
+        assert isinstance(parsed, MalformedAnswer)
+        assert "plenty" in parsed.raw_text
