@@ -29,13 +29,16 @@ import math
 import random
 import time
 
+from repro.chaos import ChaosClient, TransportFaultPlan
 from repro.eval import format_rows
 from repro.serve import (
     JsonClient,
     MinerServer,
+    RetryingClient,
     Scenario,
     SessionManager,
     SimulatedWorkerPool,
+    drive_session,
     run_sync,
 )
 
@@ -212,4 +215,118 @@ def test_serve_concurrent_load(benchmark, scale):
     )
     assert p99 <= cfg["p99_ceiling"], (
         f"p99 turnaround {p99:.3f}s exceeds the {cfg['p99_ceiling']}s ceiling"
+    )
+
+
+# ~10% of faultable requests hit *something*: drops on both legs plus
+# duplicate deliveries, the mix docs/robustness.md calls the "lossy
+# office wifi" profile. Throughput under this plan must stay within 2x
+# of the clean floor — retries cost round trips, not correctness.
+FAULTED_DEGRADATION = 0.5
+
+
+def _fault_plan(seed):
+    return TransportFaultPlan(
+        seed=seed, drop_request=0.04, drop_response=0.03, duplicate=0.03
+    )
+
+
+async def _drive_faulted_client(port, session_id, scenario, seed):
+    """One session driven through a flaky transport with retries.
+
+    The chaos proxy injects the faults; the retrying wrapper absorbs
+    them with idempotency keys armed, so every lost or duplicated
+    request resolves to exactly-once effects on the server.
+    """
+    pool = SimulatedWorkerPool(scenario.build_crowd())
+    chaos = ChaosClient(JsonClient("127.0.0.1", port), _fault_plan(seed))
+    client = RetryingClient(chaos, seed=seed + 1, max_attempts=12)
+    try:
+        _status, created = await client.request(
+            "POST",
+            "/v1/sessions",
+            scenario.session_spec(pool.crowd.member_ids, id=session_id),
+        )
+        assert created.get("session") == session_id, created
+        await drive_session(
+            client, session_id, pool, poll_delay=0.001, key_prefix="b-"
+        )
+        _status, result = await client.request(
+            "GET", f"/v1/sessions/{session_id}/result"
+        )
+    finally:
+        await client.aclose()
+    return result, chaos.counts, client.retries
+
+
+async def _run_faulted_load(cfg):
+    scenarios = _scenarios(cfg)
+    manager = SessionManager()
+    server = MinerServer(manager, "127.0.0.1", 0)
+    await server.start()
+    run_task = asyncio.create_task(server.run(install_signals=False))
+    started = time.perf_counter()
+    try:
+        outcomes = await asyncio.gather(
+            *(
+                _drive_faulted_client(
+                    server.port, f"flaky-{i}", scenario, 500 + i
+                )
+                for i, scenario in enumerate(scenarios)
+            )
+        )
+    finally:
+        server.request_shutdown()
+        await run_task
+    elapsed = time.perf_counter() - started
+    return scenarios, outcomes, elapsed
+
+
+def test_serve_faulted_load(benchmark, scale):
+    """The clean load test rerun through a 10% flaky transport.
+
+    Same fingerprint-equality bar as the clean variant — faults never
+    reach the transcript — with the throughput floor halved: the chaos
+    tax is bounded round trips, not a collapse.
+    """
+    cfg = SETTINGS[scale]
+
+    def run():
+        return asyncio.run(_run_faulted_load(cfg))
+
+    scenarios, outcomes, elapsed = run_once(benchmark, run)
+
+    total_questions = 0
+    total_faults = 0
+    total_retries = 0
+    for i, (scenario, (result, counts, retries)) in enumerate(
+        zip(scenarios, outcomes)
+    ):
+        sync = run_sync(scenario)
+        assert result["fingerprint"] == sync.fingerprint(), (
+            f"session flaky-{i} diverged from its sync reference "
+            f"under transport faults"
+        )
+        total_questions += result["questions_asked"]
+        total_faults += sum(counts.values())
+        total_retries += retries
+
+    qps = total_questions / elapsed
+    floor = cfg["floor_qps"] * FAULTED_DEGRADATION
+    print()
+    print(
+        f"=== serve: {cfg['sessions']} sessions through a flaky "
+        f"transport ({scale}) ==="
+    )
+    print(
+        f"aggregate: {total_questions} questions in {elapsed:.2f}s — "
+        f"{qps:.0f} q/s with {total_faults} faults injected, "
+        f"{total_retries} client retries (clean floor "
+        f"{cfg['floor_qps']:.0f}, faulted floor {floor:.0f})"
+    )
+
+    assert total_faults > 0, "the fault plan injected nothing; raise the rates"
+    assert qps >= floor, (
+        f"faulted throughput {qps:.0f} q/s fell below {floor:.0f} q/s — "
+        f"the retry path is costing more than the bounded-round-trip tax"
     )

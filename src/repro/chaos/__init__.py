@@ -1,0 +1,48 @@
+"""Chaos engineering for the mining stack: injected faults, proven recovery.
+
+The package has four moving parts, composable but separately usable:
+
+- :mod:`repro.chaos.plan` — seeded, replayable fault plans
+  (:class:`StorageFaultPlan`, :class:`TransportFaultPlan`);
+- :mod:`repro.chaos.storage` — :class:`FaultyBackend`, a storage
+  wrapper that tears, bit-flips, loses and ENOSPC-fails writes on
+  plan-chosen ordinals;
+- :mod:`repro.chaos.transport` — :class:`ChaosClient`, a client proxy
+  that drops, duplicates, delays and reorders requests;
+- :mod:`repro.chaos.kill` — :class:`KillSwitch`, seeded SIGKILL at
+  named points in the request/commit/checkpoint path;
+- :mod:`repro.chaos.harness` — the matrix runner proving every
+  (storage × transport × crash) cell converges to the fault-free
+  fingerprint with balanced books.
+
+See ``docs/robustness.md`` for the failure-modes table this package
+exercises.
+"""
+
+from repro.chaos.harness import (
+    BOOK_FATES,
+    CellOutcome,
+    ChaosCell,
+    default_matrix,
+    fuzz_cell,
+    run_cell,
+)
+from repro.chaos.kill import KILL_PHASES, KillSwitch
+from repro.chaos.plan import StorageFaultPlan, TransportFaultPlan
+from repro.chaos.storage import FaultyBackend
+from repro.chaos.transport import ChaosClient
+
+__all__ = [
+    "BOOK_FATES",
+    "KILL_PHASES",
+    "CellOutcome",
+    "ChaosCell",
+    "ChaosClient",
+    "FaultyBackend",
+    "KillSwitch",
+    "StorageFaultPlan",
+    "TransportFaultPlan",
+    "default_matrix",
+    "fuzz_cell",
+    "run_cell",
+]

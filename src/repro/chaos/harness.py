@@ -1,0 +1,319 @@
+"""The chaos matrix: every cell must converge on the clean fingerprint.
+
+A :class:`ChaosCell` is one coordinate of (storage fault plan ×
+transport fault plan × crash schedule). :func:`run_cell` drives one
+seeded :class:`~repro.serve.differential.Scenario` through a *real*
+HTTP server under that cell's abuse:
+
+1. create the session over the wire, storage wrapped in a
+   :class:`~repro.chaos.storage.FaultyBackend`, the client wrapped in
+   :class:`~repro.chaos.transport.ChaosClient` +
+   :class:`~repro.serve.http.RetryingClient`;
+2. at each crash point, ``abort()`` the server — connections cut,
+   uncommitted batches discarded, no drain: the in-process SIGKILL —
+   then resume from disk with ``repair=True`` (scrub-on-open, fall
+   back past checkpoints the fault plan damaged);
+3. when nothing durable survives at all (every checkpoint torn, or
+   death before the first save), recovery degrades to a clean restart
+   of the session — still deterministic, so still convergent;
+4. drive to completion and fetch the result over the wire.
+
+Convergence means: the final KB fingerprint is **byte-identical** to
+the fault-free ``run_sync`` reference, and the serve books balance
+(``issued == answered + stale + malformed + rejected + gone +
+timeouts + outstanding``). The memoized
+:class:`~repro.serve.differential.SimulatedWorkerPool` is what makes
+the claim sharp — every member RNG draw happens exactly once per
+question id, so any double-count, lost answer, or divergent replay
+the chaos layer smuggles past the defenses lands in the fingerprint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.chaos.plan import StorageFaultPlan, TransportFaultPlan
+from repro.chaos.storage import FaultyBackend
+from repro.chaos.transport import ChaosClient
+from repro.serve.app import MinerServer
+from repro.serve.differential import (
+    Scenario,
+    SimulatedWorkerPool,
+    drive_session,
+    run_sync,
+)
+from repro.serve.http import JsonClient, RetryingClient
+from repro.serve.session import SessionManager
+from repro.storage import StorageError
+
+#: Fates every issued question can meet (the serve books invariant).
+BOOK_FATES = (
+    "answered",
+    "stale",
+    "malformed",
+    "rejected",
+    "gone",
+    "timeouts",
+    "outstanding",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosCell:
+    """One coordinate of the chaos matrix."""
+
+    storage: StorageFaultPlan = StorageFaultPlan()
+    transport: TransportFaultPlan = TransportFaultPlan()
+    #: Client-progress points (fresh answers computed) at which the
+    #: server is crashed; empty = the server lives to the end.
+    crashes: tuple[int, ...] = ()
+    label: str = ""
+
+    def describe(self) -> str:
+        bits = [self.label] if self.label else []
+        if not self.storage.is_clean:
+            bits.append("storage-faults")
+        if not self.transport.is_clean:
+            bits.append("transport-faults")
+        bits.append(f"crashes={list(self.crashes)}")
+        return " ".join(bits)
+
+
+@dataclass(slots=True)
+class CellOutcome:
+    """What one cell run produced, ready for assertions."""
+
+    cell: ChaosCell
+    fingerprint: str
+    reference: str
+    serve: dict[str, int]
+    obs_counters: dict[str, int]
+    transport_counts: dict[str, int] = field(default_factory=dict)
+    storage_counts: dict[str, int] = field(default_factory=dict)
+    #: Corrupt checkpoints dropped by repair across all resumes.
+    repaired: int = 0
+    #: Times recovery had to fall back to a from-scratch restart
+    #: (nothing durable survived).
+    restarted: int = 0
+    #: Client-side transport retries + overload backoffs.
+    client_retries: int = 0
+
+    @property
+    def converged(self) -> bool:
+        return self.fingerprint == self.reference and self.balanced
+
+    @property
+    def balanced(self) -> bool:
+        return self.serve["issued"] == sum(self.serve[f] for f in BOOK_FATES)
+
+
+def fuzz_cell(rng: random.Random) -> ChaosCell:
+    """One random matrix coordinate (plans and crash schedule)."""
+    crashes: tuple[int, ...] = ()
+    if rng.random() < 0.75:
+        first = rng.randint(3, 10)
+        crashes = (first,) if rng.random() < 0.6 else (first, first + rng.randint(3, 8))
+    return ChaosCell(
+        storage=StorageFaultPlan.fuzz(rng) if rng.random() < 0.8 else StorageFaultPlan(),
+        transport=(
+            TransportFaultPlan.fuzz(rng) if rng.random() < 0.8 else TransportFaultPlan()
+        ),
+        crashes=crashes,
+        label=f"fuzz-{rng.randrange(10**6)}",
+    )
+
+
+def default_matrix() -> list[ChaosCell]:
+    """The CI chaos matrix: 3 storage × 3 transport × 3 crash cells."""
+    storage_plans = [
+        StorageFaultPlan(seed=101, torn_checkpoints=(2,)),
+        StorageFaultPlan(seed=102, bitflip_checkpoints=(1,), lost_checkpoints=(3,)),
+        StorageFaultPlan(
+            seed=103, disk_full_appends=(4, 5), disk_full_checkpoints=(2,)
+        ),
+    ]
+    transport_plans = [
+        TransportFaultPlan(seed=201, drop_request=0.12, drop_response=0.08),
+        TransportFaultPlan(seed=202, duplicate=0.12, replay=0.08),
+        TransportFaultPlan(
+            seed=203,
+            drop_response=0.06,
+            duplicate=0.06,
+            delay=0.2,
+            max_delay=0.002,
+        ),
+    ]
+    crash_schedules: list[tuple[int, ...]] = [(), (7,), (5, 13)]
+    return [
+        ChaosCell(
+            storage=storage,
+            transport=transport,
+            crashes=crashes,
+            label=f"s{si + 1}t{ti + 1}c{ci + 1}",
+        )
+        for si, storage in enumerate(storage_plans)
+        for ti, transport in enumerate(transport_plans)
+        for ci, crashes in enumerate(crash_schedules)
+    ]
+
+
+async def _run_cell_async(
+    scenario: Scenario,
+    cell: ChaosCell,
+    data_dir: Path,
+    *,
+    reference: str,
+    checkpoint_every: int,
+    max_outstanding: int,
+) -> CellOutcome:
+    crowd = scenario.build_crowd()
+    pool = SimulatedWorkerPool(crowd)
+    session_id = "chaos"
+    transport_counts: dict[str, int] = {}
+    storage_counts: dict[str, int] = {}
+    restarted = 0
+    client_retries = 0
+    result_doc: dict[str, Any] | None = None
+    final_obs: dict[str, int] = {}
+    faulty: list[FaultyBackend] = []
+
+    def wrap(backend):
+        wrapped = FaultyBackend(backend, cell.storage)
+        faulty.append(wrapped)
+        return wrapped
+
+    targets: list[int | None] = list(cell.crashes) + [None]
+    phase = 0
+    while phase < len(targets):
+        target = targets[phase]
+        needs_create = phase == 0
+        # Storage faults fire on the first life only: the plan's
+        # ordinals address that life's writes, and recovery from them
+        # is precisely what the later phases are proving.
+        manager = SessionManager(
+            data_dir=data_dir, storage_wrapper=wrap if needs_create else None
+        )
+        if not needs_create:
+            try:
+                manager.resume_all(repair=True)
+            except StorageError:
+                # Nothing durable survived (every checkpoint damaged,
+                # or the crash predated the first save): recovery
+                # degrades to a clean restart. Deterministic seeds +
+                # the memoized pool keep even this path convergent.
+                for stale in sorted(data_dir.glob("*.db")):
+                    stale.unlink()
+                restarted += 1
+                needs_create = True
+                manager = SessionManager(data_dir=data_dir)
+        server = MinerServer(manager, "127.0.0.1", 0)
+        await server.start()
+        run_task = asyncio.create_task(server.run(install_signals=False))
+        base = JsonClient("127.0.0.1", server.port)
+        chaos = ChaosClient(base, cell.transport)
+        client = RetryingClient(
+            chaos, seed=cell.transport.seed + 7919 * (phase + 1), max_attempts=12
+        )
+        try:
+            if needs_create:
+                spec = scenario.session_spec(
+                    crowd.member_ids,
+                    id=session_id,
+                    checkpoint_every=checkpoint_every,
+                    max_outstanding=max_outstanding,
+                )
+                status, created = await client.request("POST", "/v1/sessions", spec)
+                if status != 201:
+                    raise RuntimeError(f"session create failed: {created!r}")
+            outcome = await drive_session(
+                client,
+                session_id,
+                pool,
+                key_prefix=f"p{phase}-",
+                stop_after=target,
+            )
+            session = manager.sessions[session_id]
+            final_obs = dict(session.miner.obs.snapshot().counters)
+            if outcome.get("status") != "crashed":
+                # Done early (or this was the final phase): fetch the
+                # verdict over the wire and stop crashing a finished
+                # session.
+                _status, result_doc = await client.request(
+                    "GET", f"/v1/sessions/{session_id}/result"
+                )
+                phase = len(targets)
+            else:
+                phase += 1
+        finally:
+            for name, value in chaos.counts.items():
+                transport_counts[name] = transport_counts.get(name, 0) + value
+            client_retries += client.retries + client.backoffs
+            await client.aclose()
+            if result_doc is not None:
+                server.request_shutdown()
+                await run_task
+            else:
+                await server.abort()
+                await run_task
+    for wrapped in faulty:
+        for name, value in wrapped.counts.items():
+            storage_counts[name] = storage_counts.get(name, 0) + value
+    assert result_doc is not None
+    return CellOutcome(
+        cell=cell,
+        fingerprint=result_doc["fingerprint"],
+        reference=reference,
+        serve=dict(result_doc["serve"]),
+        obs_counters=final_obs,
+        transport_counts=transport_counts,
+        storage_counts=storage_counts,
+        repaired=final_obs.get("storage.repaired", 0),
+        restarted=restarted,
+        client_retries=client_retries,
+    )
+
+
+def run_cell(
+    scenario: Scenario,
+    cell: ChaosCell,
+    data_dir: str | Path,
+    *,
+    reference: str | None = None,
+    checkpoint_every: int = 3,
+    max_outstanding: int = 4,
+) -> CellOutcome:
+    """Run one chaos cell to completion; returns its outcome.
+
+    ``reference`` is the fault-free sync fingerprint (computed fresh
+    when not supplied — pass it in when sweeping a matrix so the
+    reference run happens once). ``checkpoint_every`` is kept small so
+    crash points land between checkpoints, not only on them.
+    """
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    if reference is None:
+        reference = run_sync(scenario).fingerprint()
+    return asyncio.run(
+        _run_cell_async(
+            scenario,
+            cell,
+            data_dir,
+            reference=reference,
+            checkpoint_every=checkpoint_every,
+            max_outstanding=max_outstanding,
+        )
+    )
+
+
+__all__ = [
+    "BOOK_FATES",
+    "CellOutcome",
+    "ChaosCell",
+    "default_matrix",
+    "fuzz_cell",
+    "run_cell",
+]

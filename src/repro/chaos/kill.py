@@ -1,0 +1,66 @@
+"""Seeded kill-points: SIGKILL the process at a named operation.
+
+The crash-schedule runner's sharpest tool. A :class:`KillSwitch` is
+armed with a phase and a count — ``append:12`` dies on the twelfth
+write-ahead log append, ``commit:2`` between the second transaction's
+WAL append and its COMMIT (via
+:attr:`repro.storage.sqlite.SQLiteBackend.pre_commit_hook`),
+``checkpoint:3`` as the third checkpoint payload is being saved,
+``request:40`` while the server is parsing its fortieth HTTP request.
+The kill is a real ``SIGKILL`` to our own pid: no atexit handlers, no
+flushes, no mercy — exactly what the durability story must survive.
+
+Wiring: :class:`~repro.chaos.storage.FaultyBackend` ticks the storage
+phases, :class:`~repro.serve.app.MinerServer`'s ``request_hook`` ticks
+the request phase, and ``repro serve --chaos-kill PHASE:COUNT`` arms
+both from the command line so a *separate* process can drive the
+server into the wall and then prove ``--resume --repair`` recovers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+
+#: The operations a kill switch can target.
+KILL_PHASES = ("append", "commit", "checkpoint", "request")
+
+
+@dataclass
+class KillSwitch:
+    """Die (SIGKILL self) on the ``count``-th tick of ``phase``."""
+
+    phase: str
+    count: int
+    #: Ticks seen per phase (diagnostics; survives nothing, of course).
+    seen: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in KILL_PHASES:
+            raise ValueError(
+                f"unknown kill phase {self.phase!r} (one of {KILL_PHASES})"
+            )
+        if self.count < 1:
+            raise ValueError(f"kill count must be >= 1, got {self.count}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "KillSwitch":
+        """Parse a ``PHASE:COUNT`` spec (e.g. ``append:12``)."""
+        phase, sep, count = spec.partition(":")
+        if not sep:
+            raise ValueError(f"kill spec must be PHASE:COUNT, got {spec!r}")
+        try:
+            n = int(count)
+        except ValueError:
+            raise ValueError(f"kill count must be an integer, got {count!r}") from None
+        return cls(phase=phase, count=n)
+
+    def tick(self, phase: str) -> None:
+        """Record one occurrence of ``phase``; die when armed and due."""
+        self.seen[phase] = self.seen.get(phase, 0) + 1
+        if phase == self.phase and self.seen[phase] >= self.count:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+__all__ = ["KILL_PHASES", "KillSwitch"]

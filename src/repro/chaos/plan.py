@@ -1,0 +1,137 @@
+"""Seeded fault plans — every chaos run is a replayable coordinate.
+
+A chaos cell is fully described by three values: a
+:class:`StorageFaultPlan` (which checkpoint saves and log appends get
+damaged, and how), a :class:`TransportFaultPlan` (per-request
+probabilities of dropping, duplicating, delaying or replaying
+traffic), and a crash schedule (client-progress points at which the
+server dies, owned by :mod:`repro.chaos.harness`). All randomness
+inside a plan derives from its ``seed``, so a failing cell reproduces
+from its repr alone — the same discipline
+:class:`repro.faults.FaultPlan` established for in-sim faults, pushed
+down to the storage and transport layers.
+
+Storage fault ordinals are **1-based**: ``torn_checkpoints=(2,)``
+damages the second ``save_checkpoint`` call the backend sees,
+``disk_full_appends=(5, 6)`` fails the fifth and sixth log appends.
+Ordinal addressing (rather than probabilities) keeps the storage leg's
+recovery assertions exact: a test knows precisely which checkpoint
+must be scrubbed and which must survive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class StorageFaultPlan:
+    """Which storage operations get damaged, and how.
+
+    ``torn_checkpoints`` truncate the payload at a seeded byte before
+    it reaches disk (a torn write); ``bitflip_checkpoints`` flip one
+    seeded bit (bit rot); ``lost_checkpoints`` report success without
+    writing anything (a lost fsync tail — the uncommitted answer batch
+    vanishes with it); ``disk_full_appends`` / ``disk_full_checkpoints``
+    raise :class:`~repro.storage.backend.StorageError` from the named
+    operations (a full disk the session must survive degraded).
+    """
+
+    seed: int = 0
+    torn_checkpoints: tuple[int, ...] = ()
+    bitflip_checkpoints: tuple[int, ...] = ()
+    lost_checkpoints: tuple[int, ...] = ()
+    disk_full_appends: tuple[int, ...] = ()
+    disk_full_checkpoints: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            if field.name == "seed":
+                continue
+            ordinals = getattr(self, field.name)
+            if any(ordinal < 1 for ordinal in ordinals):
+                raise ValueError(
+                    f"{field.name} ordinals are 1-based, got {ordinals!r}"
+                )
+
+    @property
+    def is_clean(self) -> bool:
+        return not (
+            self.torn_checkpoints
+            or self.bitflip_checkpoints
+            or self.lost_checkpoints
+            or self.disk_full_appends
+            or self.disk_full_checkpoints
+        )
+
+    @classmethod
+    def fuzz(cls, rng: random.Random) -> "StorageFaultPlan":
+        """One random plan: a couple of faults in the early session."""
+        kinds = [
+            "torn_checkpoints",
+            "bitflip_checkpoints",
+            "lost_checkpoints",
+            "disk_full_appends",
+            "disk_full_checkpoints",
+        ]
+        picked: dict[str, tuple[int, ...]] = {}
+        for kind in rng.sample(kinds, rng.randint(1, 2)):
+            ceiling = 30 if kind == "disk_full_appends" else 4
+            picked[kind] = tuple(
+                sorted({rng.randint(1, ceiling) for _ in range(rng.randint(1, 2))})
+            )
+        return cls(seed=rng.randrange(2**31), **picked)
+
+
+@dataclass(frozen=True, slots=True)
+class TransportFaultPlan:
+    """Per-request fault probabilities for the chaos proxy.
+
+    ``drop_request`` loses the request before it is sent;
+    ``drop_response`` completes the server round-trip but loses the
+    response on the way back (the dangerous half: the server already
+    acted); ``duplicate`` delivers the request twice back-to-back;
+    ``replay`` re-delivers it once more *later*, after newer requests
+    (an out-of-order stale duplicate); ``delay`` sleeps a seeded
+    interval up to ``max_delay`` seconds before sending.
+    """
+
+    seed: int = 0
+    drop_request: float = 0.0
+    drop_response: float = 0.0
+    duplicate: float = 0.0
+    replay: float = 0.0
+    delay: float = 0.0
+    max_delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("drop_request", "drop_response", "duplicate", "replay", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay!r}")
+
+    @property
+    def is_clean(self) -> bool:
+        return not (
+            self.drop_request
+            or self.drop_response
+            or self.duplicate
+            or self.replay
+            or self.delay
+        )
+
+    @classmethod
+    def fuzz(cls, rng: random.Random) -> "TransportFaultPlan":
+        """One random plan mixing two or three fault kinds, ≤15% each."""
+        kinds = ["drop_request", "drop_response", "duplicate", "replay", "delay"]
+        picked = {
+            kind: round(rng.uniform(0.03, 0.15), 3)
+            for kind in rng.sample(kinds, rng.randint(2, 3))
+        }
+        return cls(seed=rng.randrange(2**31), **picked)
+
+
+__all__ = ["StorageFaultPlan", "TransportFaultPlan"]

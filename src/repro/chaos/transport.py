@@ -1,0 +1,106 @@
+"""A chaos proxy between the JSON client and the wire.
+
+:class:`ChaosClient` wraps any client with a ``request()`` coroutine
+and executes a :class:`~repro.chaos.plan.TransportFaultPlan` against
+the traffic: requests get dropped before sending, responses get
+dropped after the server already acted, requests get delivered twice
+back-to-back or replayed late and out of order, and seeded delays jam
+themselves into the schedule. Faults target only the hot task-queue
+paths (question fetch, answer post) — session setup and result
+inspection stay reliable so a chaos run's *verdict* is trustworthy
+even when its traffic is not.
+
+The proxy is deliberately client-side: every fault it injects is
+indistinguishable, from the server's point of view, from a flaky
+network. Layer :class:`~repro.serve.http.RetryingClient` on top and
+the recovery machinery under test is exactly what production runs:
+idempotency keys, dedup table, capped backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import re
+from typing import Any
+
+from repro.chaos.plan import TransportFaultPlan
+
+#: The endpoints chaos is allowed to touch.
+_FAULTABLE = re.compile(r"^/v1/sessions/[^/]+/(question|answer)$")
+
+
+class ChaosClient:
+    """Execute a seeded transport-fault plan around a JSON client.
+
+    Raises :class:`ConnectionError` for both drop kinds — from the
+    caller's seat a lost request and a lost response look identical;
+    only the server-side dedup table can (and must) tell them apart.
+    """
+
+    def __init__(self, client: Any, plan: TransportFaultPlan) -> None:
+        self.client = client
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: Injected-fault tallies (``chaos.transport.*`` counter names).
+        self.counts: dict[str, int] = {}
+        self._replay_stash: tuple[str, str, Any] | None = None
+
+    @property
+    def last_headers(self) -> dict[str, str]:
+        return getattr(self.client, "last_headers", {})
+
+    async def aclose(self) -> None:
+        await self.client.aclose()
+
+    def _count(self, fault: str) -> None:
+        name = f"chaos.transport.{fault}"
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    async def request(
+        self, method: str, path: str, doc: Any = None
+    ) -> tuple[int, Any]:
+        if not _FAULTABLE.match(path):
+            return await self.client.request(method, path, doc)
+        plan, rng = self.plan, self._rng
+        if self._replay_stash is not None:
+            # A stale duplicate of an older request arrives *now*,
+            # ahead of the current one: reordering, as the server
+            # experiences it. Its response belongs to nobody.
+            stale_method, stale_path, stale_doc = self._replay_stash
+            self._replay_stash = None
+            self._count("replayed")
+            try:
+                await self.client.request(stale_method, stale_path, stale_doc)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                pass
+        if plan.delay and rng.random() < plan.delay:
+            self._count("delayed")
+            await asyncio.sleep(rng.uniform(0.0, plan.max_delay))
+        if plan.drop_request and rng.random() < plan.drop_request:
+            # Lost before it ever hit the socket: the server saw
+            # nothing, the caller sees a dead connection.
+            self._count("dropped_requests")
+            raise ConnectionError(f"chaos: request dropped ({method} {path})")
+        status, body = await self.client.request(method, path, doc)
+        if plan.duplicate and rng.random() < plan.duplicate:
+            # The network delivered it twice; the second delivery's
+            # response is consumed and discarded to keep the
+            # connection in sync.
+            self._count("duplicated")
+            try:
+                await self.client.request(method, path, doc)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                pass
+        if plan.replay and rng.random() < plan.replay:
+            self._replay_stash = (method, path, doc)
+        if plan.drop_response and rng.random() < plan.drop_response:
+            # The dangerous half: the server fully processed the
+            # request, only the response died. Without idempotency
+            # keys a retry here double-counts.
+            self._count("dropped_responses")
+            raise ConnectionError(f"chaos: response dropped ({method} {path})")
+        return status, body
+
+
+__all__ = ["ChaosClient"]

@@ -50,16 +50,27 @@ def _detect_backend_kind(path: str) -> str:
 
 def _resume_mine(args: argparse.Namespace) -> int:
     """The ``mine --resume`` path: reload the session and finish it."""
-    from repro.storage import StorageError, load_session, open_backend
+    from repro.storage import CorruptStoreError, StorageError, load_session, open_backend
 
     try:
         storage = open_backend(
             args.checkpoint, _detect_backend_kind(args.checkpoint), resume=True
         )
-        miner, dispatcher, info = load_session(storage)
+        miner, dispatcher, info = load_session(storage, repair=args.repair)
+    except CorruptStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if not args.repair:
+            print(
+                "hint: --repair falls back to the last verified checkpoint",
+                file=sys.stderr,
+            )
+        return 2
     except StorageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    dropped = miner.obs.snapshot().counters.get("storage.repaired", 0)
+    if dropped:
+        print(f"repair: dropped {dropped} corrupt checkpoint(s)")
     from repro.serve.session import ServeSnapshot
 
     if isinstance(dispatcher, ServeSnapshot):
@@ -222,7 +233,13 @@ def _cmd_kb(args: argparse.Namespace) -> int:
     from collections import Counter
 
     from repro.estimation.significance import Decision
-    from repro.storage import StorageError, load_session, open_backend
+    from repro.storage import (
+        CorruptStoreError,
+        StorageError,
+        load_session,
+        open_backend,
+        scrub_store,
+    )
 
     try:
         # Read-only inspection: a WAL-mode reader sees a consistent
@@ -231,7 +248,23 @@ def _cmd_kb(args: argparse.Namespace) -> int:
         storage = open_backend(
             args.path, _detect_backend_kind(args.path), readonly=True
         )
-        miner, dispatcher, info = load_session(storage, rollback=False)
+        verified, corrupt = scrub_store(storage)
+        if corrupt:
+            ids = sorted(info.checkpoint_id for info in corrupt)
+            print(
+                f"integrity: {len(corrupt)} corrupt checkpoint(s) {ids}, "
+                f"{len(verified)} verified "
+                "(resume with --repair to fall back past them)",
+            )
+        miner, dispatcher, info = load_session(storage, rollback=False, repair=True)
+    except CorruptStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: every checkpoint failed verification; the store is "
+            "beyond repair",
+            file=sys.stderr,
+        )
+        return 2
     except StorageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -358,6 +391,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and data_dir is None:
         print("error: --resume requires --data-dir DIR", file=sys.stderr)
         return 2
+    storage_wrapper = None
+    request_hook = None
+    if args.chaos_kill:
+        # The cross-process half of the chaos matrix: this very server
+        # SIGKILLs itself at the named point, and the harness (or an
+        # operator) resumes what is on disk.
+        from repro.chaos import FaultyBackend, KillSwitch
+
+        try:
+            kill = KillSwitch.parse(args.chaos_kill)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if kill.phase == "request":
+            request_hook = lambda request: kill.tick("request")  # noqa: E731
+        else:
+            storage_wrapper = lambda backend: FaultyBackend(  # noqa: E731
+                backend, kill=kill
+            )
 
     def ready(server) -> None:
         print(f"serving on http://{server.host}:{server.port}", flush=True)
@@ -369,7 +421,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.port,
                 data_dir=data_dir,
                 resume=args.resume,
+                repair=args.repair,
                 ready=ready,
+                storage_wrapper=storage_wrapper,
+                request_hook=request_hook,
             )
         )
     except ServeError as exc:
@@ -480,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical to an uninterrupted one",
     )
     mine.add_argument(
+        "--repair", action="store_true",
+        help="with --resume: scrub the store on open, drop corrupt "
+        "checkpoints and fall back to the last verified one "
+        "(docs/robustness.md)",
+    )
+    mine.add_argument(
         "--storage", choices=("sqlite", "memory"), default="sqlite",
         help="storage backend behind --checkpoint (default sqlite; "
         "--resume and `repro kb` auto-detect from the file)",
@@ -535,6 +596,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="reload every session found in --data-dir before "
         "accepting traffic; outstanding questions are re-offered",
+    )
+    serve.add_argument(
+        "--repair", action="store_true",
+        help="with --resume: scrub each store on open and fall back "
+        "past corrupt checkpoints instead of refusing to start",
+    )
+    serve.add_argument(
+        "--chaos-kill", metavar="PHASE:COUNT", default=None,
+        help="chaos testing: SIGKILL this process at the Nth hit of a "
+        "kill-point (append, commit, checkpoint, request) — e.g. "
+        "commit:3; used by the crash-schedule tests, not for "
+        "production",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -313,6 +313,11 @@ class CrowdMiner:
         self.dispatcher = None
         #: Session instrumentation, shared with the knowledge base.
         self.obs = obs or Instrumentation()
+        # An instrumented backend (the chaos layer's FaultyBackend)
+        # reports its fault counters through the session's obs.
+        bind_obs = getattr(storage, "bind_obs", None)
+        if bind_obs is not None:
+            bind_obs(self.obs)
         self.consistency: ConsistencyChecker | None = None
         self.quality: QualityController | None = None
         self.latent: LatentAbilityModel | None = None
@@ -965,22 +970,44 @@ class CrowdMiner:
     # -- persistence -------------------------------------------------------------
 
     def _log_answer(self, event: QuestionEvent) -> None:
-        """Append one finished exchange to the write-ahead answer log."""
-        from repro.storage.backend import AnswerRecord
+        """Append one finished exchange to the write-ahead answer log.
+
+        A failed append (disk full, injected fault) must not kill the
+        mining session or punch a hole in the log's sequence numbers —
+        the record joins an in-memory backlog that is flushed, in seq
+        order, ahead of the next successful append or checkpoint.
+        """
+        from repro.storage.backend import AnswerRecord, StorageError
         from repro.storage.records import rule_key
 
         stats = event.stats
-        self.storage.append_answer(
-            AnswerRecord(
-                seq=event.index,
-                member_id=event.member_id,
-                kind=event.kind.value,
-                rule_key=None if event.rule is None else rule_key(event.rule),
-                support=None if stats is None else stats.support,
-                confidence=None if stats is None else stats.confidence,
-            )
+        record = AnswerRecord(
+            seq=event.index,
+            member_id=event.member_id,
+            kind=event.kind.value,
+            rule_key=None if event.rule is None else rule_key(event.rule),
+            support=None if stats is None else stats.support,
+            confidence=None if stats is None else stats.confidence,
         )
-        self.obs.count("storage.answers_logged")
+        backlog = getattr(self, "_log_backlog", None)
+        if backlog is None:
+            backlog = self._log_backlog = []
+        backlog.append(record)
+        try:
+            while backlog:
+                self.storage.append_answer(backlog[0])
+                backlog.pop(0)
+                self.obs.count("storage.answers_logged")
+        except StorageError:
+            self.obs.count("storage.append_failures")
+
+    def _flush_log_backlog(self) -> None:
+        """Write any backlogged answer records; raises on failure."""
+        backlog = getattr(self, "_log_backlog", None)
+        while backlog:
+            self.storage.append_answer(backlog[0])
+            backlog.pop(0)
+            self.obs.count("storage.answers_logged")
 
     def checkpoint(self):
         """Capture the whole session into the attached storage backend.
@@ -993,13 +1020,22 @@ class CrowdMiner:
         """
         if self.storage is None:
             return None
+        from repro.storage.backend import StorageError
         from repro.storage.checkpoint import capture_session
 
-        with self.obs.timer("storage.checkpoint"):
-            payload = capture_session(self, self.dispatcher)
-            info = self.storage.save_checkpoint(
-                payload, questions=self._questions, kb_rules=len(self.state)
-            )
+        try:
+            with self.obs.timer("storage.checkpoint"):
+                # A checkpoint's answers_logged count promises that the
+                # first N log records are durable — flush any append
+                # backlog first, or skip this checkpoint entirely.
+                self._flush_log_backlog()
+                payload = capture_session(self, self.dispatcher)
+                info = self.storage.save_checkpoint(
+                    payload, questions=self._questions, kb_rules=len(self.state)
+                )
+        except StorageError:
+            self.obs.count("storage.checkpoint_failures")
+            return None
         self.obs.count("storage.checkpoints")
         self.obs.count("storage.bytes_written", info.payload_bytes)
         self.obs.gauge("storage.bytes_on_disk", self.storage.bytes_on_disk())

@@ -200,6 +200,42 @@ class MiningResult:
                         f"({restore.calls} calls)"
                     )
                 lines.append(timing)
+        if self.obs is not None:
+            counters = self.obs.counters
+            degraded = {
+                "append failures": counters.get("storage.append_failures", 0),
+                "checkpoint failures": counters.get(
+                    "storage.checkpoint_failures", 0
+                ),
+                "repaired checkpoints": counters.get("storage.repaired", 0),
+            }
+            if any(degraded.values()):
+                lines.append(
+                    "storage degraded: "
+                    + ", ".join(f"{n} {what}" for what, n in degraded.items() if n)
+                )
+            serve = {
+                "retries": counters.get("serve.retries", 0),
+                "dedup hits": counters.get("serve.dedup_hits", 0),
+                "backpressure rejections": counters.get(
+                    "serve.backpressure_rejections", 0
+                ),
+            }
+            if any(serve.values()):
+                lines.append(
+                    "serve: "
+                    + ", ".join(f"{n} {what}" for what, n in serve.items() if n)
+                )
+            chaos = {
+                name.removeprefix("chaos."): n
+                for name, n in sorted(counters.items())
+                if name.startswith("chaos.") and n
+            }
+            if chaos:
+                lines.append(
+                    "chaos faults injected: "
+                    + ", ".join(f"{n} {what}" for what, n in chaos.items())
+                )
         if self.obs is not None and (self.obs.counters or self.obs.timers):
             lines.append("session instrumentation:")
             lines.append(self.obs.format())

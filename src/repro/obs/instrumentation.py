@@ -50,7 +50,29 @@ The persistence layer (``repro.storage``, see ``docs/persistence.md``)
 adds counters ``storage.checkpoints``, ``storage.bytes_written``,
 ``storage.answers_logged`` and ``storage.restores``, timers
 ``storage.checkpoint`` and ``storage.restore``, and the gauge
-``storage.bytes_on_disk``.
+``storage.bytes_on_disk``. Its degradation-and-repair surface (the
+chaos PR, see ``docs/robustness.md``) adds ``storage.append_failures``
+(log appends refused by the backend, backlogged in memory),
+``storage.checkpoint_failures`` (saves that raised — the session
+continues degraded) and ``storage.repaired`` (corrupt checkpoints
+dropped by ``--repair`` on resume).
+
+The serving surface (``repro.serve``, see ``docs/serving.md``) adds
+``serve.retries`` (timed-out questions reissued), ``serve.gone``
+(members who left instead of answering), ``serve.dedup_hits``
+(requests folded into a previous delivery by their idempotency key)
+and ``serve.backpressure_rejections`` (fetches shed with 429 at the
+``max_outstanding`` bound).
+
+The chaos layer (``repro.chaos``, injected faults — these count what
+was *done to* the system, not what it did) adds
+``chaos.storage.torn``, ``chaos.storage.bitflip``,
+``chaos.storage.lost`` and ``chaos.storage.disk_full`` via the faulty
+backend wrapper, and the chaos client tallies
+``chaos.transport.dropped_requests``,
+``chaos.transport.dropped_responses``, ``chaos.transport.duplicated``,
+``chaos.transport.replayed`` and ``chaos.transport.delayed`` on its
+own ``counts`` dict (client-side, outside any session).
 """
 
 from __future__ import annotations

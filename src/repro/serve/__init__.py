@@ -13,7 +13,7 @@ knowledge-base fingerprints, across a real network boundary and a wall
 clock. See ``docs/serving.md``.
 """
 
-from repro.serve.app import MinerServer, serve_forever
+from repro.serve.app import MinerServer, ServerLimits, serve_forever
 from repro.serve.clock import RealTimeClock
 from repro.serve.differential import (
     Scenario,
@@ -25,7 +25,7 @@ from repro.serve.differential import (
     run_session_inprocess,
     run_sync,
 )
-from repro.serve.http import HttpError, JsonClient
+from repro.serve.http import HttpError, JsonClient, RetryingClient
 from repro.serve.roster import WorkerRoster
 from repro.serve.session import (
     ServeConfig,
@@ -41,8 +41,10 @@ __all__ = [
     "JsonClient",
     "MinerServer",
     "RealTimeClock",
+    "RetryingClient",
     "Scenario",
     "ServeConfig",
+    "ServerLimits",
     "ServeError",
     "ServeSession",
     "ServeSnapshot",

@@ -37,10 +37,29 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+from dataclasses import dataclass
 from typing import Any
 
 from repro.serve.http import HttpError, encode_response, read_request
 from repro.serve.session import ServeError, SessionManager
+
+
+@dataclass(frozen=True, slots=True)
+class ServerLimits:
+    """Overload bounds protecting the process, not one session.
+
+    ``max_connections`` caps concurrently-open sockets: the excess get
+    an immediate 503 + ``Retry-After`` and a close, instead of growing
+    an unbounded task set. ``retry_after`` is the back-off hint (wall
+    seconds) stamped on every 429/503 this server emits.
+    """
+
+    max_connections: int = 256
+    retry_after: float = 0.05
+
+    @property
+    def retry_after_header(self) -> dict[str, str]:
+        return {"Retry-After": f"{self.retry_after:g}"}
 
 
 class MinerServer:
@@ -51,12 +70,19 @@ class MinerServer:
         manager: SessionManager,
         host: str = "127.0.0.1",
         port: int = 8765,
+        limits: ServerLimits | None = None,
+        request_hook: Any = None,
     ) -> None:
         self.manager = manager
         self.host = host
+        self.limits = limits or ServerLimits()
+        #: Chaos seam: called with each parsed request before routing
+        #: (the kill-schedule runner SIGKILLs mid-request here).
+        self.request_hook = request_hook
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
         self._shutdown = asyncio.Event()
+        self._aborted = False
         self._connections: set[asyncio.Task] = set()
 
     @property
@@ -102,10 +128,34 @@ class MinerServer:
             if ready is not None:
                 ready(self)
             await self._shutdown.wait()
+            if self._aborted:
+                return 0  # crashed by the chaos harness: no drain
             return await self._graceful_stop()
         finally:
             for sig in installed:
                 loop.remove_signal_handler(sig)
+
+    async def abort(self) -> None:
+        """Crash the server: no drain, no final checkpoint, no mercy.
+
+        The in-process stand-in for ``kill -9`` in the chaos harness:
+        the listening socket closes, every connection is cut
+        mid-whatever, and each session's storage discards its
+        uncommitted batch — leaving exactly the on-disk state a real
+        SIGKILL would. The cross-process kill tests pin that this
+        equivalence actually holds.
+        """
+        self._aborted = True
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.manager.abort_all()
+        await self.manager.clock.stop()
 
     async def _graceful_stop(self) -> int:
         """Stop accepting, finish in-flight requests, drain sessions."""
@@ -133,6 +183,23 @@ class MinerServer:
     ) -> None:
         task = asyncio.current_task()
         assert task is not None
+        if len(self._connections) >= self.limits.max_connections:
+            # Accept-time backpressure: shed the connection before it
+            # can queue work, with a hint when to come back.
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(
+                    encode_response(
+                        503,
+                        {"error": "server at connection limit"},
+                        keep_alive=False,
+                        headers=self.limits.retry_after_header,
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            return
         self._connections.add(task)
         try:
             while not self._shutdown.is_set():
@@ -148,9 +215,11 @@ class MinerServer:
                     return
                 if request is None:
                     return
-                status, doc = self._dispatch(request)
+                status, doc, headers = self._dispatch(request)
                 keep = request.keep_alive and not self._shutdown.is_set()
-                writer.write(encode_response(status, doc, keep_alive=keep))
+                writer.write(
+                    encode_response(status, doc, keep_alive=keep, headers=headers)
+                )
                 await writer.drain()
                 if not keep:
                     return
@@ -164,17 +233,23 @@ class MinerServer:
 
     # -- routing ---------------------------------------------------------------
 
-    def _dispatch(self, request) -> tuple[int, Any]:
+    def _dispatch(self, request) -> tuple[int, Any, dict[str, str] | None]:
         try:
-            return self._route(request)
+            if self.request_hook is not None:
+                self.request_hook(request)
+            outcome = self._route(request)
         except HttpError as exc:
-            return exc.status, {"error": exc.message}
+            return exc.status, {"error": exc.message}, None
         except ServeError as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, None
         except KeyError as exc:
-            return 404, {"error": f"no such session: {exc.args[0]!r}"}
+            return 404, {"error": f"no such session: {exc.args[0]!r}"}, None
         except Exception as exc:  # one broken request must not kill the server
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+        if len(outcome) == 2:
+            status, doc = outcome
+            return status, doc, None
+        return outcome
 
     def _route(self, request) -> tuple[int, Any]:
         method, path = request.method, request.path.rstrip("/") or "/"
@@ -202,13 +277,27 @@ class MinerServer:
                     return 200, {"status": "deleted", "session": session_id}
                 return 405, {"error": f"{method} not allowed on {path}"}
             if action == "question" and method == "POST":
-                return 200, session.next_question()
+                doc = request.json()
+                key = doc.get("idempotency_key") if isinstance(doc, dict) else None
+                if session.overloaded and not session.knows_key(key):
+                    session.count_backpressure()
+                    return (
+                        429,
+                        {
+                            "status": "overloaded",
+                            "outstanding": session.outstanding,
+                        },
+                        self.limits.retry_after_header,
+                    )
+                return 200, session.next_question(idempotency_key=key)
             if action == "answer" and method == "POST":
                 doc = request.json()
                 if not isinstance(doc, dict) or "question_id" not in doc:
                     raise HttpError(400, "post {question_id, answer}")
                 return 200, session.post_answer(
-                    str(doc["question_id"]), doc.get("answer")
+                    str(doc["question_id"]),
+                    doc.get("answer"),
+                    idempotency_key=doc.get("idempotency_key"),
                 )
             if action == "kb" and method == "GET":
                 return 200, session.kb_doc(top=request.query_int("top"))
@@ -242,16 +331,23 @@ async def serve_forever(
     data_dir=None,
     resume: bool = False,
     ready=None,
+    repair: bool = False,
+    limits: ServerLimits | None = None,
+    storage_wrapper=None,
+    request_hook=None,
 ) -> int:
     """Build manager + server, run until a signal; returns sessions drained.
 
     ``ready`` is an optional callback receiving the bound server once
     it is accepting connections (the CLI prints the address; tests grab
-    the ephemeral port).
+    the ephemeral port). ``repair`` scrubs each store on resume and
+    falls back past corrupt checkpoints; ``storage_wrapper`` and
+    ``request_hook`` are the chaos seams (fault-injecting backend
+    wrapper, per-request kill switch).
     """
-    manager = SessionManager(data_dir=data_dir)
+    manager = SessionManager(data_dir=data_dir, storage_wrapper=storage_wrapper)
     if resume:
-        manager.resume_all()
-    server = MinerServer(manager, host, port)
+        manager.resume_all(repair=repair)
+    server = MinerServer(manager, host, port, limits=limits, request_hook=request_hook)
     await server.start()
     return await server.run(ready=ready)

@@ -204,13 +204,46 @@ async def drive_session(
     *,
     poll_delay: float = 0.02,
     max_polls: int = 500,
+    key_prefix: str | None = None,
+    stop_after: int | None = None,
 ) -> dict[str, Any]:
-    """Fetch/answer until the session reports done; returns final status."""
+    """Fetch/answer until the session reports done; returns final status.
+
+    ``stop_after`` stops driving once the pool has computed that many
+    fresh answers (``{"status": "crashed"}`` is returned) — the chaos
+    harness's crash schedules are expressed in client progress.
+
+    ``key_prefix`` arms exactly-once idempotency keys on every fetch
+    and answer post (fetch keys ``{prefix}f{n}``, answer keys
+    ``a-{question_id}``) — the client half of the dedup contract in
+    ``docs/serving.md``. It must be unique per drive *phase*: a resumed
+    drive reusing pre-crash fetch keys would replay stale hand-outs
+    out of the rolled-back dedup table. Answer keys are derived from
+    the question id, safe across phases because a re-offered question
+    carries the same id and the same memoized answer.
+    """
     polls = 0
+    fetches = 0
     while True:
-        _status, doc = await client.request(
-            "POST", f"/v1/sessions/{session_id}/question"
+        fetch_doc = None
+        if key_prefix is not None:
+            fetch_doc = {"idempotency_key": f"{key_prefix}f{fetches}"}
+            fetches += 1
+        status, doc = await client.request(
+            "POST", f"/v1/sessions/{session_id}/question", fetch_doc
         )
+        if status in (429, 503):
+            # Backpressure from a plain (non-retrying) client's view:
+            # honor the hint and poll again with a fresh key.
+            polls += 1
+            if polls > max_polls:
+                raise TimeoutError(f"session {session_id} shedding load: {doc!r}")
+            try:
+                hinted = float(client.last_headers.get("retry-after", "0"))
+            except (AttributeError, ValueError):
+                hinted = 0.0
+            await asyncio.sleep(max(hinted, poll_delay))
+            continue
         state = doc["status"]
         if state == "done":
             return doc.get("state", doc)
@@ -224,14 +257,17 @@ async def drive_session(
             continue
         polls = 0
         question = doc["question"]
+        answer_doc = {
+            "question_id": question["question_id"],
+            "answer": pool.answer(question),
+        }
+        if key_prefix is not None:
+            answer_doc["idempotency_key"] = f"a-{question['question_id']}"
         await client.request(
-            "POST",
-            f"/v1/sessions/{session_id}/answer",
-            {
-                "question_id": question["question_id"],
-                "answer": pool.answer(question),
-            },
+            "POST", f"/v1/sessions/{session_id}/answer", answer_doc
         )
+        if stop_after is not None and pool.answered >= stop_after:
+            return {"status": "crashed"}
 
 
 async def _serve_once(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from dataclasses import dataclass
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -31,6 +32,7 @@ REASONS = {
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -95,7 +97,11 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, "malformed request line")
     method, target, _version = parts
-    split = urlsplit(target)
+    try:
+        split = urlsplit(target)
+    except ValueError:
+        # e.g. ``//[bad`` — urlsplit rejects unbalanced IPv6 brackets.
+        raise HttpError(400, "malformed request target") from None
     headers: dict[str, str] = {}
     while True:
         try:
@@ -135,17 +141,29 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 
 
 def encode_response(
-    status: int, doc: Any, *, keep_alive: bool = True
+    status: int,
+    doc: Any,
+    *,
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
-    """One JSON response, wire-encoded."""
+    """One JSON response, wire-encoded.
+
+    ``headers`` adds extra response headers (e.g. ``Retry-After`` on a
+    backpressure 429) after the standard set.
+    """
     body = b"" if doc is None else (json.dumps(doc) + "\n").encode()
     reason = REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         f"\r\n"
     )
     return head.encode("latin-1") + body
@@ -157,10 +175,14 @@ def encode_response(
 class JsonClient:
     """A tiny keep-alive JSON client for the serving API.
 
-    One connection, reused across requests; a send on a connection the
-    server closed (drain, crash) reconnects once and replays the
-    request — safe here because every endpoint is idempotent at the
-    protocol level (answer posts are deduplicated by question id).
+    One connection, reused across requests. A failure on a *reused*
+    connection — the server closed its end between requests (idle
+    timeout, drain) and the stale socket only surfaces it on the next
+    use — reconnects once and replays the request transparently. A
+    failure on a *fresh* connection is a real fault (server down,
+    request eaten mid-flight) and surfaces to the caller: blind
+    replay belongs in :class:`RetryingClient`, whose backoff and
+    idempotency keys make it safe.
     """
 
     def __init__(self, host: str, port: int) -> None:
@@ -168,6 +190,9 @@ class JsonClient:
         self.port = port
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: Response headers of the last completed roundtrip
+        #: (lower-cased names) — ``Retry-After`` for the retry layer.
+        self.last_headers: dict[str, str] = {}
 
     async def _connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
@@ -187,10 +212,16 @@ class JsonClient:
         self, method: str, path: str, doc: Any = None
     ) -> tuple[int, Any]:
         """Send one request; returns ``(status, parsed_body)``."""
+        reused = self._writer is not None
         try:
             return await self._roundtrip(method, path, doc)
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             await self.aclose()
+            if not reused:
+                raise
+            # Stale keep-alive socket: the server hung up between
+            # requests. One reconnect, one replay — the request never
+            # reached the new connection, so nothing can double-count.
             return await self._roundtrip(method, path, doc)
 
     async def _roundtrip(
@@ -224,6 +255,79 @@ class JsonClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         payload = await self._reader.readexactly(length) if length else b""
+        self.last_headers = headers
         if headers.get("connection", "").lower() == "close":
             await self.aclose()
         return status, (json.loads(payload) if payload else None)
+
+
+class RetryingClient:
+    """Seeded capped-exponential-backoff retries over any JSON client.
+
+    The client-side half of the exactly-once story: transport faults
+    (connection resets, dropped responses) and overload rejections
+    (429/503, ``Retry-After`` honored) are retried with the *same*
+    request body — callers put an idempotency key in the body, so the
+    server folds every replay into the first delivery. Backoff delays
+    come from a seeded RNG: chaos tests stay reproducible.
+    """
+
+    RETRY_STATUSES = frozenset({429, 503})
+
+    def __init__(
+        self,
+        client: Any,
+        *,
+        seed: int = 0,
+        max_attempts: int = 8,
+        base_delay: float = 0.01,
+        max_delay: float = 0.25,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.client = client
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+        #: Transport-level replays (connection faults).
+        self.retries = 0
+        #: Overload rejections honored (429/503 + backoff).
+        self.backoffs = 0
+
+    @property
+    def last_headers(self) -> dict[str, str]:
+        return getattr(self.client, "last_headers", {})
+
+    async def aclose(self) -> None:
+        await self.client.aclose()
+
+    def _delay(self, attempt: int) -> float:
+        ceiling = min(self.max_delay, self.base_delay * (2**attempt))
+        return ceiling * (0.5 + 0.5 * self._rng.random())
+
+    async def request(
+        self, method: str, path: str, doc: Any = None
+    ) -> tuple[int, Any]:
+        last_error: Exception | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                status, body = await self.client.request(method, path, doc)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                last_error = exc
+                self.retries += 1
+                await self.client.aclose()
+                await asyncio.sleep(self._delay(attempt))
+                continue
+            if status in self.RETRY_STATUSES and attempt + 1 < self.max_attempts:
+                self.backoffs += 1
+                try:
+                    hinted = float(self.last_headers.get("retry-after", "0"))
+                except ValueError:
+                    hinted = 0.0
+                await asyncio.sleep(max(hinted, self._delay(attempt)))
+                continue
+            return status, body
+        raise ConnectionError(
+            f"{method} {path} failed after {self.max_attempts} attempts"
+        ) from last_error

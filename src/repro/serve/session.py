@@ -71,6 +71,10 @@ _SESSION_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 #:     issued == answered + stale + malformed + rejected + gone
 #:               + timeouts + outstanding
 #:     timeouts == retried + dropped + retry_queued
+#:
+#: ``dedup_hits`` and ``backpressured`` sit *outside* the books: a
+#: deduplicated replay touched nothing, a backpressure rejection
+#: issued nothing — both count traffic, not question fates.
 _COUNTERS = (
     "issued",
     "answered",
@@ -82,7 +86,15 @@ _COUNTERS = (
     "rejected",
     "gone",
     "unknown",
+    "dedup_hits",
+    "backpressured",
 )
+
+#: FIFO cap on each session's idempotency-key dedup table. Generous —
+#: a session's whole question budget typically fits — but bounded, so
+#: a client inventing endless keys cannot grow the checkpoint pickle
+#: without limit.
+_DEDUP_CAP = 4096
 
 
 @dataclass(slots=True)
@@ -93,10 +105,14 @@ class ServeConfig:
     question is reclaimed and queued for reassignment (``None`` waits
     forever — the deterministic-test default); ``max_retries`` bounds
     reissues of one reclaimed question before it is dropped.
+    ``max_outstanding`` bounds the hand-out queue: fetches beyond it
+    are rejected with 429 + ``Retry-After`` (overload backpressure;
+    ``0`` disables the bound).
     """
 
     timeout: float | None = None
     max_retries: int = 2
+    max_outstanding: int = 0
 
     def __post_init__(self) -> None:
         if self.timeout is not None and not self.timeout > 0:
@@ -106,6 +122,10 @@ class ServeConfig:
         if self.max_retries < 0:
             raise ConfigurationError(
                 f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        if self.max_outstanding < 0:
+            raise ConfigurationError(
+                f"max_outstanding must be non-negative, got {self.max_outstanding!r}"
             )
 
 
@@ -143,6 +163,17 @@ class ServeSnapshot:
     counters: dict[str, int]
     stalled: bool
     dry_attempts: int
+    #: Idempotency-key dedup table (key → stored response document).
+    #: Riding in the checkpoint is what makes it correct: entries for
+    #: answers ingested after the checkpoint roll back *together with*
+    #: those answers, so a replayed post after resume re-ingests
+    #: instead of hitting a dedup entry for evidence that no longer
+    #: exists.
+    dedup: dict[str, dict[str, Any]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dedup is None:
+            self.dedup = {}
 
     @property
     def kind(self) -> str:
@@ -160,6 +191,7 @@ class ServeSnapshot:
             "counters": dict(self.counters),
             "stalled": self.stalled,
             "dry_attempts": self.dry_attempts,
+            "dedup": dict(self.dedup),
         }
 
     @classmethod
@@ -173,6 +205,7 @@ class ServeSnapshot:
             counters=dict(doc["counters"]),
             stalled=doc["stalled"],
             dry_attempts=doc["dry_attempts"],
+            dedup=dict(doc.get("dedup", {})),  # pre-chaos checkpoints lack it
         )
 
 
@@ -208,6 +241,10 @@ class ServeSession:
         self._rejected = 0
         self._gone = 0
         self._unknown = 0
+        self._dedup_hits = 0
+        self._backpressured = 0
+        #: Idempotency-key → stored response (insertion-ordered FIFO).
+        self._dedup: dict[str, dict[str, Any]] = {}
         #: Mirrors the sync loop's end conditions: ``_stalled`` is the
         #: "propose_question returned None" outcome, ``_dry_attempts``
         #: counts consecutive no-evidence exchanges (malformed answers,
@@ -224,6 +261,17 @@ class ServeSession:
     def outstanding(self) -> int:
         """Questions handed out (or held for re-offer) awaiting answers."""
         return len(self._pending) + len(self._reoffer)
+
+    @property
+    def overloaded(self) -> bool:
+        """True when the hand-out queue is at its backpressure bound."""
+        bound = getattr(self.config, "max_outstanding", 0)
+        return bound > 0 and self.outstanding >= bound
+
+    def count_backpressure(self) -> None:
+        """Record one fetch rejected for overload (books untouched)."""
+        self._backpressured += 1
+        self.miner.obs.count("serve.backpressure_rejections")
 
     @property
     def is_done(self) -> bool:
@@ -287,9 +335,38 @@ class ServeSession:
         """The miner's result snapshot (fingerprintable)."""
         return self.miner.result()
 
+    # -- exactly-once ----------------------------------------------------------
+
+    def _dedup_get(self, key: str | None) -> dict[str, Any] | None:
+        """The stored response for ``key``, counting the hit."""
+        if key is None:
+            return None
+        stored = self._dedup.get(key)
+        if stored is not None:
+            self._dedup_hits += 1
+            self.miner.obs.count("serve.dedup_hits")
+        return stored
+
+    def knows_key(self, key: str | None) -> bool:
+        """True when ``key`` already has a stored response.
+
+        The backpressure gate consults this: a replayed fetch whose
+        original already issued must sail through a full queue — its
+        replay costs nothing, and rejecting it would wedge a client
+        that never saw the first response.
+        """
+        return key is not None and key in self._dedup
+
+    def _dedup_put(self, key: str | None, doc: dict[str, Any]) -> None:
+        if key is None:
+            return
+        while len(self._dedup) >= _DEDUP_CAP:
+            self._dedup.pop(next(iter(self._dedup)))
+        self._dedup[key] = doc
+
     # -- fetch -----------------------------------------------------------------
 
-    def next_question(self) -> dict[str, Any]:
+    def next_question(self, idempotency_key: str | None = None) -> dict[str, Any]:
         """Hand out the next question, or report why there is none.
 
         Returns ``{"status": "ok", "question": {...}}`` on a hand-out;
@@ -297,7 +374,19 @@ class ServeSession:
         (all free members busy, budget fully reserved by in-flight
         questions); ``{"status": "done"}`` / ``{"status": "draining"}``
         when the session is over or shutting down.
+
+        ``idempotency_key`` makes the fetch exactly-once across
+        transport retries: a key that already handed out a question
+        returns *that* hand-out verbatim instead of issuing a second
+        one — the client never saw the lost response, and without the
+        replay its question would sit outstanding forever while a
+        duplicate consumed another member slot. Only ``"ok"``
+        hand-outs are stored; ``"wait"``/``"done"`` polls re-evaluate
+        freely.
         """
+        replay = self._dedup_get(idempotency_key)
+        if replay is not None:
+            return replay
         if self.draining:
             return {"status": "draining"}
         if self._reoffer:
@@ -307,7 +396,9 @@ class ServeSession:
             entry = self._reoffer.popleft()
             self._pending[entry.question_id] = entry
             self._arm_timeout(entry)
-            return {"status": "ok", "question": self._question_doc(entry)}
+            doc = {"status": "ok", "question": self._question_doc(entry)}
+            self._dedup_put(idempotency_key, doc)
+            return doc
         if self.is_done:
             return {"status": "done", "state": self.status_doc()}
         if self.miner.budget_left - len(self._pending) <= 0:
@@ -329,9 +420,12 @@ class ServeSession:
         self._issued += 1
         if entry.attempt > 0:
             self._retried += 1
+            self.miner.obs.count("serve.retries")
         self.miner.obs.count("serve.issued")
         self._arm_timeout(entry)
-        return {"status": "ok", "question": self._question_doc(entry)}
+        doc = {"status": "ok", "question": self._question_doc(entry)}
+        self._dedup_put(idempotency_key, doc)
+        return doc
 
     def _next_for_member(self, member_id: str) -> _Issued | None:
         """A reclaimed question for ``member_id``, or a fresh proposal."""
@@ -385,7 +479,12 @@ class ServeSession:
 
     # -- post ------------------------------------------------------------------
 
-    def post_answer(self, question_id: str, doc: dict[str, Any]) -> dict[str, Any]:
+    def post_answer(
+        self,
+        question_id: str,
+        doc: dict[str, Any],
+        idempotency_key: str | None = None,
+    ) -> dict[str, Any]:
         """Ingest one answer document against its handed-out question.
 
         Unknown (or already-settled) question ids are acknowledged and
@@ -394,7 +493,16 @@ class ServeSession:
         book *before* ingest, so a checkpoint fired from inside
         ``_finish_step`` never captures (and later re-offers) a
         question whose answer is already in the knowledge base.
+
+        ``idempotency_key`` upgrades retry-safety from "harmless" to
+        exactly-once: a replayed post returns the original outcome
+        document instead of an ``unknown`` acknowledgement, so the
+        client can distinguish "my answer counted, the response was
+        lost" from "I posted garbage".
         """
+        replay = self._dedup_get(idempotency_key)
+        if replay is not None:
+            return replay
         entry = self._pending.pop(question_id, None)
         if entry is None:
             self._unknown += 1
@@ -412,8 +520,10 @@ class ServeSession:
             self._dry_attempts += 1
             self.miner.obs.count("serve.gone")
             self._depart(proposal.member_id)
+            outcome = {"status": "gone", "state": self.status_doc()}
+            self._dedup_put(idempotency_key, outcome)
             self._maybe_checkpoint()
-            return {"status": "gone", "state": self.status_doc()}
+            return outcome
         answer = answer_from_doc(proposal, doc)
         obs = self.miner.obs
         malformed_before = obs.counter("answers.malformed")
@@ -440,8 +550,12 @@ class ServeSession:
             # (exactly like a simulated member's final ask before their
             # patience flips), but the member leaves the rotation.
             self._depart(proposal.member_id)
+        outcome = {"status": status, "state": self.status_doc()}
+        # Store before the deferred checkpoint fires: the dedup entry
+        # must ride in the same snapshot as the answer it covers.
+        self._dedup_put(idempotency_key, outcome)
         self._maybe_checkpoint()
-        return {"status": status, "state": self.status_doc()}
+        return outcome
 
     def _depart(self, member_id: str) -> None:
         depart = getattr(self.miner.crowd, "depart", None)
@@ -502,6 +616,7 @@ class ServeSession:
             counters={name: getattr(self, f"_{name}") for name in _COUNTERS},
             stalled=self._stalled,
             dry_attempts=self._dry_attempts,
+            dedup=dict(self._dedup),
         ).as_doc()
 
     def restore(self, snapshot: ServeSnapshot) -> None:
@@ -522,6 +637,7 @@ class ServeSession:
             setattr(self, f"_{name}", snapshot.counters.get(name, 0))
         self._stalled = snapshot.stalled
         self._dry_attempts = snapshot.dry_attempts
+        self._dedup = dict(snapshot.dedup)
 
     def drain(self):
         """Stop issuing, cancel timeouts, capture the final checkpoint.
@@ -555,6 +671,7 @@ class SessionManager:
         self,
         data_dir: str | Path | None = None,
         clock: RealTimeClock | None = None,
+        storage_wrapper: Any = None,
     ) -> None:
         self.clock = clock or RealTimeClock()
         self.data_dir = None if data_dir is None else Path(data_dir)
@@ -562,6 +679,18 @@ class SessionManager:
             self.data_dir.mkdir(parents=True, exist_ok=True)
         self.sessions: dict[str, ServeSession] = {}
         self._auto_id = 0
+        #: Chaos seam: a callable wrapping every opened backend (the
+        #: chaos harness injects ``FaultyBackend`` here; ``None`` in
+        #: production).
+        self._storage_wrapper = storage_wrapper
+
+    def _open_storage(self, path: Path, *, resume: bool = False) -> Any:
+        from repro.storage import open_backend
+
+        storage = open_backend(path, "sqlite", resume=resume)
+        if self._storage_wrapper is not None:
+            storage = self._storage_wrapper(storage)
+        return storage
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -629,15 +758,14 @@ class SessionManager:
                     None if doc.get("timeout") is None else float(doc["timeout"])
                 ),
                 max_retries=int(doc.get("max_retries", 2)),
+                max_outstanding=int(doc.get("max_outstanding", 0)),
             )
             roster = WorkerRoster(members)
         except (KeyError, TypeError, ValueError, ReproError) as exc:
             raise ServeError(f"bad session spec: {exc}") from exc
         storage = None
         if self.data_dir is not None:
-            from repro.storage import open_backend
-
-            storage = open_backend(self.data_dir / f"{session_id}.db", "sqlite")
+            storage = self._open_storage(self.data_dir / f"{session_id}.db")
         miner = CrowdMiner(roster, miner_config, storage=storage)
         session = ServeSession(
             session_id, miner, self.clock, config=serve_config
@@ -645,17 +773,23 @@ class SessionManager:
         self.sessions[session_id] = session
         return session
 
-    def resume_all(self) -> list[str]:
-        """Rebuild every checkpointed session under ``data_dir``."""
+    def resume_all(self, repair: bool = False) -> list[str]:
+        """Rebuild every checkpointed session under ``data_dir``.
+
+        ``repair=True`` scrubs each store on open and falls back to
+        its last verified checkpoint (see
+        :func:`repro.storage.checkpoint.load_session`); without it a
+        corrupt latest checkpoint refuses the whole resume.
+        """
         if self.data_dir is None:
             raise ServeError("resume requires a data directory")
-        from repro.storage import StorageError, load_session, open_backend
+        from repro.storage import StorageError, load_session
 
         resumed = []
         for path in sorted(self.data_dir.glob("*.db")):
-            storage = open_backend(path, "sqlite", resume=True)
+            storage = self._open_storage(path, resume=True)
             try:
-                miner, snapshot, _info = load_session(storage)
+                miner, snapshot, _info = load_session(storage, repair=repair)
             except StorageError:
                 storage.close()
                 raise
@@ -694,6 +828,21 @@ class SessionManager:
                 session.miner.storage = None
             drained += 1
         return drained
+
+    def abort_all(self) -> None:
+        """Simulated process death: NO drain, NO final checkpoint.
+
+        Every storage is told to discard its uncommitted batch (the
+        exact state a SIGKILL leaves on disk) and the sessions are
+        forgotten. The chaos harness crashes a live server with this,
+        then proves ``resume_all`` rebuilds an equivalent world.
+        """
+        for session in self.sessions.values():
+            storage = session.miner.storage
+            if storage is not None:
+                getattr(storage, "abort", storage.close)()
+                session.miner.storage = None
+        self.sessions.clear()
 
     def list_doc(self) -> dict[str, Any]:
         return {

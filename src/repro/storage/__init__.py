@@ -28,6 +28,7 @@ the resume semantics.
 from repro.storage.backend import (
     AnswerRecord,
     CheckpointInfo,
+    CorruptStoreError,
     MemoryBackend,
     StorageBackend,
     StorageError,
@@ -38,7 +39,10 @@ from repro.storage.checkpoint import (
     capture_session,
     load_session,
     restore_session,
+    scrub_store,
+    verify_payload,
 )
+from repro.storage.integrity import open_payload, seal_payload
 from repro.storage.records import (
     latent_from_doc,
     latent_to_doc,
@@ -55,6 +59,7 @@ __all__ = [
     "AnswerRecord",
     "CHECKPOINT_FORMAT",
     "CheckpointInfo",
+    "CorruptStoreError",
     "MemoryBackend",
     "SQLiteBackend",
     "SQLiteRuleIndex",
@@ -65,11 +70,15 @@ __all__ = [
     "latent_to_doc",
     "load_session",
     "open_backend",
+    "open_payload",
     "restore_session",
     "rule_from_key",
     "rule_key",
     "samples_from_doc",
+    "scrub_store",
+    "seal_payload",
     "samples_to_doc",
     "summary_from_doc",
     "summary_to_doc",
+    "verify_payload",
 ]

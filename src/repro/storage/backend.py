@@ -21,6 +21,8 @@ atomically via rename), which is all a kill-and-resume run needs.
 
 from __future__ import annotations
 
+import hashlib
+import io as _io
 import os
 import pickle
 from dataclasses import dataclass
@@ -28,6 +30,7 @@ from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from repro.errors import ReproError
+from repro.io import PersistenceError
 from repro.miner.state import RuleIndex
 
 
@@ -35,8 +38,23 @@ class StorageError(ReproError):
     """A storage backend could not satisfy a request."""
 
 
+class CorruptStoreError(StorageError, PersistenceError):
+    """Persisted bytes failed an integrity check (checksum, framing).
+
+    Distinct from a plain :class:`StorageError` because the caller's
+    recovery differs: the store is *present* but damaged — re-running
+    with ``--repair`` discards the unverifiable tail and resumes from
+    the last checkpoint whose checksum holds, instead of unpickling
+    garbage. Also a :class:`~repro.io.PersistenceError`, since every
+    integrity failure is ultimately a document that cannot be read.
+    """
+
+
 #: On-disk format version of the MemoryBackend mirror file.
 MEMORY_FILE_FORMAT = 1
+
+#: Magic tag opening a checksummed MemoryBackend mirror file.
+MEMORY_FILE_MAGIC = b"RPROMEM\x02"
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,6 +120,14 @@ class StorageBackend(Protocol):
         """The most recent checkpoint and its payload, or ``None``."""
         ...
 
+    def load_checkpoint(self, checkpoint_id: int) -> tuple[CheckpointInfo, bytes]:
+        """One specific checkpoint and its payload (scrub/repair walks)."""
+        ...
+
+    def drop_checkpoint(self, checkpoint_id: int) -> None:
+        """Discard one checkpoint (``--repair`` removing corrupt rows)."""
+        ...
+
     def checkpoints(self) -> list[CheckpointInfo]:
         """Bookkeeping of every saved checkpoint, oldest first."""
         ...
@@ -139,12 +165,46 @@ class MemoryBackend:
 
     @classmethod
     def open(cls, path: str | os.PathLike) -> "MemoryBackend":
-        """Load a previously mirrored backend from ``path``."""
+        """Load a previously mirrored backend from ``path``.
+
+        The mirror is verified before a single pickled byte runs:
+        checksummed mirrors (leading :data:`MEMORY_FILE_MAGIC`) must
+        match their SHA-256 digest, legacy bare pickles must decode
+        without leftover bytes. Truncation, bit rot or appended
+        garbage raise :class:`CorruptStoreError` (a
+        :class:`~repro.io.PersistenceError`), never a raw
+        ``UnpicklingError``.
+        """
         backend = cls(path)
         try:
-            doc = pickle.loads(Path(path).read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            data = Path(path).read_bytes()
+        except OSError as exc:
             raise StorageError(f"cannot read memory-backend file {path}") from exc
+        if data[: len(MEMORY_FILE_MAGIC)] == MEMORY_FILE_MAGIC:
+            digest_size = hashlib.sha256().digest_size
+            framed = data[len(MEMORY_FILE_MAGIC) :]
+            digest, payload = framed[:digest_size], framed[digest_size:]
+            if len(digest) < digest_size or hashlib.sha256(payload).digest() != digest:
+                raise CorruptStoreError(
+                    f"memory-backend mirror {path} failed its checksum "
+                    "(truncated or bit-rotted file)"
+                )
+        elif data[:1] == b"\x80":
+            payload = data  # legacy unchecksummed mirror
+        else:
+            raise StorageError(f"not a memory-backend file: {path}")
+        buffer = _io.BytesIO(payload)
+        try:
+            doc = pickle.Unpickler(buffer).load()
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+            raise CorruptStoreError(
+                f"memory-backend mirror {path} does not unpickle cleanly"
+            ) from exc
+        if buffer.tell() != len(payload):
+            raise CorruptStoreError(
+                f"memory-backend mirror {path} carries "
+                f"{len(payload) - buffer.tell()} bytes of trailing garbage"
+            )
         if not isinstance(doc, dict) or doc.get("format") != MEMORY_FILE_FORMAT:
             raise StorageError(f"not a memory-backend file: {path}")
         backend._answers = list(doc["answers"])
@@ -192,6 +252,23 @@ class MemoryBackend:
     def latest_checkpoint(self) -> tuple[CheckpointInfo, bytes] | None:
         return self._checkpoints[-1] if self._checkpoints else None
 
+    def load_checkpoint(self, checkpoint_id: int) -> tuple[CheckpointInfo, bytes]:
+        for info, payload in self._checkpoints:
+            if info.checkpoint_id == checkpoint_id:
+                return info, payload
+        raise StorageError(f"no checkpoint #{checkpoint_id} in {self.describe()}")
+
+    def drop_checkpoint(self, checkpoint_id: int) -> None:
+        kept = [
+            entry for entry in self._checkpoints
+            if entry[0].checkpoint_id != checkpoint_id
+        ]
+        if len(kept) == len(self._checkpoints):
+            raise StorageError(f"no checkpoint #{checkpoint_id} in {self.describe()}")
+        self._checkpoints = kept
+        if self.path is not None:
+            self._write_mirror()
+
     def checkpoints(self) -> list[CheckpointInfo]:
         return [info for info, _ in self._checkpoints]
 
@@ -203,8 +280,10 @@ class MemoryBackend:
             "checkpoints": self._checkpoints,
             "next_id": self._next_id,
         }
+        payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MEMORY_FILE_MAGIC + hashlib.sha256(payload).digest() + payload
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_bytes(pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.write_bytes(blob)
         os.replace(tmp, self.path)
 
     # -- bookkeeping ---------------------------------------------------------

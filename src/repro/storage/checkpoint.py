@@ -39,7 +39,13 @@ import pickle
 import time
 from typing import TYPE_CHECKING, Any
 
-from repro.storage.backend import CheckpointInfo, StorageBackend, StorageError
+from repro.storage.backend import (
+    CheckpointInfo,
+    CorruptStoreError,
+    StorageBackend,
+    StorageError,
+)
+from repro.storage.integrity import open_payload, seal_payload
 
 if TYPE_CHECKING:
     from repro.dispatch.dispatcher import Dispatcher
@@ -60,13 +66,29 @@ def capture_session(
     request to that boundary, see
     :meth:`~repro.dispatch.dispatcher.Dispatcher.request_checkpoint`);
     capturing mid-delivery would snapshot half-updated books.
+
+    The returned bytes are sealed
+    (:func:`repro.storage.integrity.seal_payload`): a SHA-256 frame
+    the restore side verifies before unpickling, so torn writes and
+    bit rot surface as :class:`CorruptStoreError` instead of garbage
+    state.
     """
     doc = {
         "format": CHECKPOINT_FORMAT,
         "miner": miner,
         "dispatch": None if dispatcher is None else _snapshot_dispatcher(dispatcher),
     }
-    return pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+    return seal_payload(pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def verify_payload(payload: bytes) -> bytes:
+    """Checksum-verify one stored checkpoint payload (see scrub/repair).
+
+    Returns the inner pickle bytes; raises :class:`CorruptStoreError`
+    when the seal does not hold. Legacy pre-seal payloads pass through
+    unverified — there is no digest to check.
+    """
+    return open_payload(payload, what="checkpoint")
 
 
 def restore_session(
@@ -79,7 +101,12 @@ def restore_session(
     persisted index state first — it is rebuilt, not trusted, across a
     crash). Returns the miner and, for dispatched sessions, a live
     dispatcher with every pending arrival/timeout re-armed.
+
+    The payload's checksum seal is verified *before* unpickling; a
+    damaged payload raises :class:`CorruptStoreError` (resume with
+    ``--repair`` to fall back to the last verified checkpoint).
     """
+    payload = verify_payload(payload)
     try:
         doc = pickle.loads(payload)
     except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
@@ -96,18 +123,45 @@ def restore_session(
     if storage is not None:
         storage.reset_index()
         miner.state.rebuild_index(storage.make_index())
+        bind_obs = getattr(storage, "bind_obs", None)
+        if bind_obs is not None:
+            bind_obs(miner.obs)
     dispatcher = None
     if doc["dispatch"] is not None:
         dispatcher = _restore_dispatcher(doc["dispatch"], miner)
     return miner, dispatcher
 
 
+def scrub_store(
+    storage: StorageBackend,
+) -> tuple[list[CheckpointInfo], list[CheckpointInfo]]:
+    """Checksum-verify every checkpoint; returns ``(verified, corrupt)``.
+
+    The scrub-on-open pass: one read of every payload, each seal
+    checked, nothing unpickled and nothing modified. ``--repair``
+    builds on this by dropping the corrupt entries; ``repro kb`` prints
+    the report so silent bit rot is noticed before it matters.
+    """
+    verified: list[CheckpointInfo] = []
+    corrupt: list[CheckpointInfo] = []
+    for info in storage.checkpoints():
+        _info, payload = storage.load_checkpoint(info.checkpoint_id)
+        try:
+            verify_payload(payload)
+        except CorruptStoreError:
+            corrupt.append(info)
+        else:
+            verified.append(info)
+    return verified, corrupt
+
+
 def load_session(
     storage: StorageBackend,
     *,
     rollback: bool = True,
+    repair: bool = False,
 ) -> "tuple[CrowdMiner, Dispatcher | ShardedDispatcher | None, CheckpointInfo]":
-    """Resume from the backend's latest checkpoint.
+    """Resume from the backend's latest *verified* checkpoint.
 
     Rolls the write-ahead answer log back to the checkpoint boundary
     (answers logged after it will be re-collected deterministically by
@@ -120,16 +174,56 @@ def load_session(
     restored miner (so nothing — not even an index rebuild — writes to
     it), and the knowledge base keeps the in-process Python index.
 
+    Integrity: the latest checkpoint's checksum is verified before
+    anything is unpickled. When it fails and ``repair=False``, a
+    :class:`CorruptStoreError` names the damage and points at
+    ``--repair``. With ``repair=True`` the full scrub-on-open pass runs
+    first — every corrupt checkpoint is dropped (skipped, when the
+    store is open read-only) — and the session resumes from the newest
+    checkpoint whose seal holds, counting the fallback on
+    ``storage.repaired``.
+
     For serve-session checkpoints the middle element of the returned
     tuple is a :class:`repro.serve.session.ServeSnapshot` (plain data,
     not a live dispatcher) — hand it to
     :meth:`repro.serve.session.SessionManager.resume_all`, not to
     ``Dispatcher.run``.
     """
-    loaded = storage.latest_checkpoint()
-    if loaded is None:
-        raise StorageError(f"no checkpoint to resume from in {storage.describe()}")
-    info, payload = loaded
+    dropped = 0
+    if repair:
+        _verified, corrupt = scrub_store(storage)
+        for bad in corrupt:
+            if rollback:  # a read-only store cannot shed its bad rows
+                storage.drop_checkpoint(bad.checkpoint_id)
+            dropped += 1
+        history = [
+            info
+            for info in storage.checkpoints()
+            if not any(info.checkpoint_id == bad.checkpoint_id for bad in corrupt)
+        ]
+        if not history:
+            if dropped:
+                raise CorruptStoreError(
+                    f"no verified checkpoint survives in {storage.describe()} — "
+                    f"all {dropped} failed their checksum"
+                )
+            raise StorageError(
+                f"no checkpoint to resume from in {storage.describe()}"
+            )
+        info, payload = storage.load_checkpoint(history[-1].checkpoint_id)
+    else:
+        loaded = storage.latest_checkpoint()
+        if loaded is None:
+            raise StorageError(f"no checkpoint to resume from in {storage.describe()}")
+        info, payload = loaded
+        try:
+            verify_payload(payload)
+        except CorruptStoreError as exc:
+            raise CorruptStoreError(
+                f"latest checkpoint #{info.checkpoint_id} in {storage.describe()} "
+                f"is corrupt ({exc}); rerun with --repair to fall back to the "
+                "last verified checkpoint"
+            ) from exc
     started = time.perf_counter()
     miner, dispatcher = restore_session(payload, storage if rollback else None)
     elapsed = time.perf_counter() - started
@@ -137,6 +231,8 @@ def load_session(
         storage.truncate_answers(info.answers_logged)
     obs = miner.obs
     obs.count("storage.restores")
+    if dropped:
+        obs.count("storage.repaired", dropped)
     timer = obs.timer("storage.restore")
     timer.calls += 1
     timer.total_seconds += elapsed

@@ -189,6 +189,11 @@ class SQLiteBackend:
         self.path = str(path)
         self.readonly = readonly
         self._in_tx = False
+        #: Chaos seam: called immediately before COMMIT, i.e. with the
+        #: answer batch and checkpoint row written but not yet durable.
+        #: The kill-schedule runner SIGKILLs the process here to pin
+        #: the "between WAL append and commit" crash cell.
+        self.pre_commit_hook = None
         try:
             if readonly:
                 self._conn = sqlite3.connect(
@@ -240,6 +245,8 @@ class SQLiteBackend:
     def _commit(self) -> None:
         """Commit the pending batch, if any."""
         if self._in_tx:
+            if self.pre_commit_hook is not None:
+                self.pre_commit_hook()
             self._conn.execute("COMMIT")
             self._in_tx = False
 
@@ -323,6 +330,33 @@ class SQLiteBackend:
         )
         return info, bytes(payload)
 
+    def load_checkpoint(self, checkpoint_id: int) -> tuple[CheckpointInfo, bytes]:
+        row = self._conn.execute(
+            "SELECT id, questions, kb_rules, answers_logged, payload "
+            "FROM checkpoints WHERE id = ?",
+            (checkpoint_id,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no checkpoint #{checkpoint_id} in {self.describe()}")
+        cp_id, questions, kb_rules, logged, payload = row
+        info = CheckpointInfo(
+            checkpoint_id=int(cp_id),
+            questions=int(questions),
+            kb_rules=int(kb_rules),
+            answers_logged=int(logged),
+            payload_bytes=len(payload),
+        )
+        return info, bytes(payload)
+
+    def drop_checkpoint(self, checkpoint_id: int) -> None:
+        self._writable()
+        cursor = self._conn.execute(
+            "DELETE FROM checkpoints WHERE id = ?", (checkpoint_id,)
+        )
+        if cursor.rowcount == 0:
+            raise StorageError(f"no checkpoint #{checkpoint_id} in {self.describe()}")
+        self._commit()
+
     def checkpoints(self) -> list[CheckpointInfo]:
         rows = self._conn.execute(
             "SELECT id, questions, kb_rules, answers_logged, LENGTH(payload) "
@@ -359,4 +393,19 @@ class SQLiteBackend:
 
     def close(self) -> None:
         self._commit()
+        self._conn.close()
+
+    def abort(self) -> None:
+        """Simulate process death: discard the uncommitted batch.
+
+        The in-process analogue of a SIGKILL for the chaos harness —
+        everything since the last COMMIT vanishes, exactly what the OS
+        would leave behind, without spawning a process to kill.
+        """
+        if self._in_tx:
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+        self._in_tx = False
         self._conn.close()

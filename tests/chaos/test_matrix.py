@@ -1,0 +1,110 @@
+"""The chaos matrix: (storage × transport × crash) ⇒ byte-identical.
+
+The tentpole acceptance test. Every cell of the default 3×3×3 matrix —
+torn/bit-flipped/lost checkpoints and injected disk-full, dropped/
+duplicated/replayed/delayed traffic, zero/one/two mid-run crashes —
+must end with the serve books balanced and the final KB fingerprint
+byte-identical to a fault-free synchronous run of the same seeded
+world. A seeded fuzz draw walks coordinates the grid does not.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    ChaosCell,
+    StorageFaultPlan,
+    TransportFaultPlan,
+    default_matrix,
+    fuzz_cell,
+    run_cell,
+)
+from repro.serve import Scenario, run_sync
+
+SCENARIO = Scenario(n_members=6, transactions_per_member=40, budget=40)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_sync(SCENARIO).fingerprint()
+
+
+def _fail_message(outcome):
+    return (
+        f"cell {outcome.cell.describe()} diverged: "
+        f"fp_match={outcome.fingerprint == outcome.reference} "
+        f"balanced={outcome.balanced} serve={outcome.serve} "
+        f"storage={outcome.storage_counts} transport={outcome.transport_counts}"
+    )
+
+
+@pytest.mark.slow
+class TestDefaultMatrix:
+    @pytest.mark.parametrize(
+        "cell", default_matrix(), ids=lambda cell: cell.label
+    )
+    def test_cell_converges(self, cell, reference, tmp_path):
+        outcome = run_cell(SCENARIO, cell, tmp_path, reference=reference)
+        assert outcome.converged, _fail_message(outcome)
+
+    def test_matrix_is_three_by_three_by_three(self):
+        cells = default_matrix()
+        assert len(cells) == 27
+        assert sum(1 for c in cells if not c.storage.is_clean) == 27
+        assert sum(1 for c in cells if c.crashes) == 18
+
+
+@pytest.mark.slow
+class TestFuzzDraw:
+    def test_fuzzed_cells_converge(self, reference, tmp_path):
+        rng = random.Random(20260808)
+        for n in range(3):
+            cell = fuzz_cell(rng)
+            outcome = run_cell(
+                SCENARIO, cell, tmp_path / f"cell{n}", reference=reference
+            )
+            assert outcome.converged, _fail_message(outcome)
+
+
+@pytest.mark.slow
+class TestRecoveryPaths:
+    """Pin that the interesting recovery branches actually run."""
+
+    def test_corrupt_latest_checkpoint_is_repaired_on_resume(
+        self, reference, tmp_path
+    ):
+        cell = ChaosCell(
+            storage=StorageFaultPlan(seed=7, bitflip_checkpoints=(2,)),
+            crashes=(7,),
+        )
+        outcome = run_cell(SCENARIO, cell, tmp_path, reference=reference)
+        assert outcome.converged, _fail_message(outcome)
+        assert outcome.repaired >= 1
+        assert outcome.restarted == 0
+
+    def test_nothing_durable_degrades_to_clean_restart(self, reference, tmp_path):
+        cell = ChaosCell(
+            storage=StorageFaultPlan(seed=8, lost_checkpoints=tuple(range(1, 30))),
+            crashes=(7,),
+        )
+        outcome = run_cell(SCENARIO, cell, tmp_path, reference=reference)
+        assert outcome.converged, _fail_message(outcome)
+        assert outcome.restarted == 1
+
+    def test_faulted_cells_really_injected_faults(self, reference, tmp_path):
+        cell = ChaosCell(
+            storage=StorageFaultPlan(seed=9, disk_full_appends=(3, 4)),
+            transport=TransportFaultPlan(
+                seed=10, drop_request=0.15, drop_response=0.1, duplicate=0.1
+            ),
+            crashes=(6,),
+        )
+        outcome = run_cell(SCENARIO, cell, tmp_path, reference=reference)
+        assert outcome.converged, _fail_message(outcome)
+        assert outcome.storage_counts.get("chaos.storage.disk_full", 0) == 2
+        assert sum(outcome.transport_counts.values()) > 0
+        assert outcome.client_retries > 0
+        # Dropped responses + duplicates hit the dedup table, not the books.
+        assert outcome.serve["issued"] == SCENARIO.budget
+        assert outcome.serve["answered"] == SCENARIO.budget

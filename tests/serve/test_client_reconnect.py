@@ -1,0 +1,177 @@
+"""Client-side connection-fault behavior: reconnect once, retry with care.
+
+``JsonClient`` holds one keep-alive connection. A server may close it
+between requests (idle timeout, restart, drain) and the stale socket
+only surfaces on the *next* use — that failure must reconnect and
+replay transparently, because the request never reached the new
+connection. A failure on a fresh connection is a real fault and must
+surface: blind replay is only safe one layer up, in
+``RetryingClient``, where idempotency keys protect it.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import JsonClient, RetryingClient, encode_response, read_request
+
+
+class FlakyServer:
+    """An HTTP server that hangs up after every response."""
+
+    def __init__(self, *, fail_first_requests: int = 0) -> None:
+        self.connections = 0
+        self.requests = 0
+        self._fail_first = fail_first_requests
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            self.requests += 1
+            if self.requests <= self._fail_first:
+                return  # connection cut before any response: a real fault
+            # Claim keep-alive, then hang up anyway: the client's next
+            # request hits a stale socket.
+            writer.write(encode_response(200, {"n": self.requests}))
+            await writer.drain()
+        finally:
+            writer.close()
+
+
+class TestStaleKeepAlive:
+    def test_second_request_reconnects_transparently(self):
+        async def go():
+            server = FlakyServer()
+            port = await server.start()
+            client = JsonClient("127.0.0.1", port)
+            try:
+                status1, doc1 = await client.request("GET", "/a")
+                status2, doc2 = await client.request("GET", "/b")
+            finally:
+                await client.aclose()
+                await server.stop()
+            return server, (status1, doc1), (status2, doc2)
+
+        server, first, second = asyncio.run(go())
+        assert first == (200, {"n": 1})
+        assert second == (200, {"n": 2})
+        assert server.connections == 2  # one silent reconnect, no error
+
+    def test_fresh_connection_failure_surfaces(self):
+        async def go():
+            server = FlakyServer(fail_first_requests=10)
+            port = await server.start()
+            client = JsonClient("127.0.0.1", port)
+            try:
+                with pytest.raises((ConnectionError, asyncio.IncompleteReadError)):
+                    await client.request("GET", "/a")
+            finally:
+                await client.aclose()
+                await server.stop()
+            return server
+
+        server = asyncio.run(go())
+        # Exactly one connection: a fresh-socket failure is not replayed.
+        assert server.connections == 1
+
+    def test_server_gone_entirely_raises(self):
+        async def go():
+            server = FlakyServer()
+            port = await server.start()
+            await server.stop()
+            client = JsonClient("127.0.0.1", port)
+            with pytest.raises(OSError):
+                await client.request("GET", "/a")
+
+        asyncio.run(go())
+
+
+class TestRetryingClient:
+    def test_retries_through_cut_connections(self):
+        async def go():
+            server = FlakyServer(fail_first_requests=3)
+            port = await server.start()
+            client = RetryingClient(
+                JsonClient("127.0.0.1", port), seed=1, base_delay=0.001
+            )
+            try:
+                status, doc = await client.request("GET", "/a")
+            finally:
+                await client.aclose()
+                await server.stop()
+            return client, status, doc
+
+        client, status, doc = asyncio.run(go())
+        assert (status, doc) == (200, {"n": 4})
+        assert client.retries >= 1
+
+    def test_gives_up_after_max_attempts(self):
+        async def go():
+            server = FlakyServer(fail_first_requests=10**6)
+            port = await server.start()
+            client = RetryingClient(
+                JsonClient("127.0.0.1", port),
+                seed=1,
+                max_attempts=3,
+                base_delay=0.001,
+            )
+            try:
+                with pytest.raises(ConnectionError, match="after 3 attempts"):
+                    await client.request("GET", "/a")
+            finally:
+                await client.aclose()
+                await server.stop()
+            return server
+
+        server = asyncio.run(go())
+        assert server.requests == 3
+
+    def test_backoff_delays_are_seeded_and_capped(self):
+        a = RetryingClient(object(), seed=42, base_delay=0.01, max_delay=0.25)
+        b = RetryingClient(object(), seed=42, base_delay=0.01, max_delay=0.25)
+        delays_a = [a._delay(n) for n in range(12)]
+        delays_b = [b._delay(n) for n in range(12)]
+        assert delays_a == delays_b
+        assert all(d <= 0.25 for d in delays_a)
+        assert all(d > 0 for d in delays_a)
+
+    def test_honors_retry_after_on_429(self):
+        class Overloaded:
+            def __init__(self):
+                self.calls = 0
+                self.last_headers = {}
+
+            async def request(self, method, path, doc=None):
+                self.calls += 1
+                if self.calls < 3:
+                    self.last_headers = {"retry-after": "0.001"}
+                    return 429, {"status": "overloaded"}
+                self.last_headers = {}
+                return 200, {"ok": True}
+
+            async def aclose(self):
+                pass
+
+        async def go():
+            inner = Overloaded()
+            client = RetryingClient(inner, seed=1, base_delay=0.001)
+            status, doc = await client.request("POST", "/x")
+            return inner, client, status, doc
+
+        inner, client, status, doc = asyncio.run(go())
+        assert (status, doc) == (200, {"ok": True})
+        assert inner.calls == 3
+        assert client.backoffs == 2

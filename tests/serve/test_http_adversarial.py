@@ -1,0 +1,146 @@
+"""Adversarial TCP framing against ``read_request``.
+
+The server's parsing contract is total: whatever bytes arrive on the
+socket, ``read_request`` returns a :class:`Request`, returns ``None``
+(clean EOF between requests), or raises :class:`HttpError` — it never
+lets ``UnicodeDecodeError``, ``ValueError``, ``IndexError`` or any
+other surprise escape into the connection handler, where it would
+kill the task and silently drop the connection's remaining pipeline.
+Hypothesis drives the byte-level garbage; the named regression cases
+pin specific framings found the hard way.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.http import MAX_BODY, MAX_LINE, HttpError, read_request
+
+
+def parse(*chunks: bytes, eof: bool = True, limit: int = 2**16):
+    """Feed chunks into a fresh stream and parse one request."""
+
+    async def go():
+        reader = asyncio.StreamReader(limit=limit)
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        if eof:
+            reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def outcome(*chunks: bytes, **kwargs):
+    """The parse outcome as data: a Request, None, or the HttpError."""
+    try:
+        return parse(*chunks, **kwargs)
+    except HttpError as exc:
+        return exc
+
+
+class TestContract:
+    @settings(
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.binary(max_size=2048))
+    def test_arbitrary_bytes_never_raise_through(self, blob):
+        result = outcome(blob)
+        assert result is None or isinstance(result, (HttpError, object))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=512), st.integers(min_value=1, max_value=511))
+    def test_split_reads_parse_like_one_read(self, blob, cut):
+        cut = min(cut, len(blob))
+        whole = outcome(blob)
+        split = outcome(blob[:cut], blob[cut:])
+        assert type(whole) is type(split)
+        if isinstance(whole, HttpError):
+            assert whole.status == split.status
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet=st.characters(codec="latin-1"), max_size=200))
+    def test_arbitrary_request_targets_never_raise_through(self, target):
+        line = f"GET {target} HTTP/1.1\r\n\r\n".encode("latin-1")
+        result = outcome(line)
+        assert result is None or isinstance(result, (HttpError, object))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_truncated_valid_requests_fail_with_400(self, body, cut):
+        full = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            + b"Content-Length: %d\r\n\r\n" % len(body)
+            + body
+        )
+        keep = len(full) - 1 - cut
+        result = outcome(full[:keep])
+        if keep == 0:
+            assert result is None
+        else:
+            assert isinstance(result, HttpError)
+            assert result.status == 400
+
+
+class TestRegressions:
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_unbalanced_ipv6_target_is_400_not_valueerror(self):
+        # urlsplit raises ValueError on ``//[bad`` — must become a 400.
+        result = outcome(b"GET //[bad HTTP/1.1\r\n\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 400
+
+    def test_oversized_request_line_is_400(self):
+        result = outcome(b"GET /" + b"a" * (2 * MAX_LINE) + b" HTTP/1.1\r\n\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 400
+
+    def test_too_many_headers_is_400(self):
+        headers = b"".join(b"x-h%d: v\r\n" % n for n in range(100))
+        result = outcome(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 400
+
+    def test_giant_declared_body_is_413(self):
+        result = outcome(
+            b"POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n" % (MAX_BODY + 1)
+        )
+        assert isinstance(result, HttpError)
+        assert result.status == 413
+
+    def test_negative_content_length_is_413(self):
+        result = outcome(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 413
+
+    def test_chunked_upload_is_411(self):
+        result = outcome(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+        )
+        assert isinstance(result, HttpError)
+        assert result.status == 411
+
+    def test_pipelined_garbage_after_valid_request_parses_first(self):
+        valid = b"GET /healthz HTTP/1.1\r\n\r\n"
+        request = parse(valid + b"\x00\xff garbage \r\n\r\n" * 3, eof=False)
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+
+    def test_header_without_colon_is_400(self):
+        result = outcome(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 400
+
+    def test_non_http_protocol_line_is_400(self):
+        result = outcome(b"SSH-2.0-OpenSSH_9.6\r\n\r\n")
+        assert isinstance(result, HttpError)
+        assert result.status == 400

@@ -1,0 +1,122 @@
+"""Integrity of the memory backend's pickle mirror.
+
+Unpickling attacker- or bitrot-shaped bytes is the most dangerous
+line in the storage layer, so the mirror is verified *before* a single
+pickled byte runs: a checksummed envelope (magic + SHA-256 + payload)
+on every write, digest checked on open, trailing garbage refused, and
+every corruption shape surfacing as :class:`CorruptStoreError` — which
+is both a :class:`StorageError` and a :class:`PersistenceError`, never
+a raw ``UnpicklingError``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.io import PersistenceError
+from repro.storage import (
+    AnswerRecord,
+    CorruptStoreError,
+    MemoryBackend,
+    StorageError,
+)
+from repro.storage.backend import MEMORY_FILE_MAGIC
+
+
+def record(seq):
+    return AnswerRecord(
+        seq=seq, member_id=f"u{seq}", kind="closed",
+        rule_key=None, support=0.25, confidence=0.5,
+    )
+
+
+@pytest.fixture
+def mirror(tmp_path):
+    path = tmp_path / "session.pkl"
+    store = MemoryBackend(path)
+    for seq in range(3):
+        store.append_answer(record(seq))
+    store.save_checkpoint(b"payload" * 100, questions=3, kb_rules=1)
+    store.close()
+    return path
+
+
+class TestEnvelope:
+    def test_mirror_carries_magic_and_checksum(self, mirror):
+        blob = mirror.read_bytes()
+        assert blob.startswith(MEMORY_FILE_MAGIC)
+
+    def test_clean_roundtrip(self, mirror):
+        store = MemoryBackend.open(mirror)
+        assert [r.seq for r in store.answers()] == [0, 1, 2]
+        info, payload = store.latest_checkpoint()
+        assert payload == b"payload" * 100
+
+    def test_legacy_bare_pickle_still_opens(self, tmp_path):
+        # Pre-envelope mirrors are plain pickles: still accepted, so
+        # old session files survive the upgrade.
+        from repro.storage.backend import MEMORY_FILE_FORMAT
+
+        doc = {
+            "format": MEMORY_FILE_FORMAT,
+            "answers": [record(0)],
+            "checkpoints": [],
+            "next_id": 1,
+        }
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL))
+        store = MemoryBackend.open(path)
+        assert [r.seq for r in store.answers()] == [0]
+
+
+class TestCorruption:
+    def test_bitflip_fails_checksum(self, mirror):
+        blob = bytearray(mirror.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        mirror.write_bytes(bytes(blob))
+        with pytest.raises(CorruptStoreError, match="checksum"):
+            MemoryBackend.open(mirror)
+
+    def test_truncation_fails_checksum(self, mirror):
+        blob = mirror.read_bytes()
+        mirror.write_bytes(blob[: len(blob) - 7])
+        with pytest.raises(CorruptStoreError, match="checksum"):
+            MemoryBackend.open(mirror)
+
+    def test_trailing_garbage_on_legacy_pickle_is_rejected(self, tmp_path):
+        from repro.storage.backend import MEMORY_FILE_FORMAT
+
+        doc = {
+            "format": MEMORY_FILE_FORMAT,
+            "answers": [],
+            "checkpoints": [],
+            "next_id": 1,
+        }
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(
+            pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL) + b"\x00EXTRA"
+        )
+        with pytest.raises(CorruptStoreError, match="trailing garbage"):
+            MemoryBackend.open(path)
+
+    def test_garbage_pickle_inside_valid_envelope_is_corrupt_not_unpickling(
+        self, tmp_path
+    ):
+        import hashlib
+
+        payload = b"\x80\x04 this is not a pickle stream"
+        blob = MEMORY_FILE_MAGIC + hashlib.sha256(payload).digest() + payload
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(blob)
+        with pytest.raises(CorruptStoreError, match="unpickle"):
+            MemoryBackend.open(path)
+
+    def test_alien_file_is_storage_error(self, tmp_path):
+        path = tmp_path / "alien.bin"
+        path.write_bytes(b"PNG\x00not ours")
+        with pytest.raises(StorageError, match="not a memory-backend file"):
+            MemoryBackend.open(path)
+
+    def test_corrupt_store_error_is_both_hierarchies(self):
+        assert issubclass(CorruptStoreError, StorageError)
+        assert issubclass(CorruptStoreError, PersistenceError)

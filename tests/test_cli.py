@@ -89,3 +89,76 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "crowdminer" in out
         assert "vs questions" in out  # the ascii chart header
+
+
+class TestRepairFlags:
+    """The chaos-hardening surface: --repair, --chaos-kill, kb scrub."""
+
+    def test_serve_parser_takes_repair_and_chaos_kill(self):
+        args = build_parser().parse_args(
+            ["serve", "--resume", "--repair", "--chaos-kill", "commit:3"]
+        )
+        assert args.repair
+        assert args.chaos_kill == "commit:3"
+
+    def test_mine_parser_takes_repair(self):
+        args = build_parser().parse_args(
+            ["mine", "--resume", "--checkpoint", "x.db", "--repair"]
+        )
+        assert args.repair
+
+    def test_bad_chaos_kill_spec_errors(self, capsys):
+        code = main(["serve", "--port", "0", "--chaos-kill", "nonsense"])
+        assert code == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    @pytest.fixture
+    def corrupt_store(self, tmp_path, capsys):
+        """A finished durable session whose newest checkpoint is damaged."""
+        import sqlite3
+
+        path = tmp_path / "s.db"
+        code = main(
+            [
+                "mine", "--members", "6", "--budget", "20", "--seed", "5",
+                "--checkpoint", str(path), "--checkpoint-every", "4",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        conn = sqlite3.connect(path)
+        cid, blob = conn.execute(
+            "SELECT id, payload FROM checkpoints ORDER BY id DESC LIMIT 1"
+        ).fetchone()
+        damaged = bytearray(blob)
+        damaged[len(damaged) // 2] ^= 0x20
+        conn.execute(
+            "UPDATE checkpoints SET payload=? WHERE id=?", (bytes(damaged), cid)
+        )
+        conn.commit()
+        conn.close()
+        return path
+
+    def test_kb_reports_scrub_findings(self, corrupt_store, capsys):
+        code = main(["kb", str(corrupt_store), "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "integrity: 1 corrupt checkpoint(s)" in out
+
+    def test_resume_without_repair_is_loud(self, corrupt_store, capsys):
+        code = main(
+            ["mine", "--resume", "--checkpoint", str(corrupt_store)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupt" in err
+        assert "--repair" in err
+
+    def test_resume_with_repair_recovers(self, corrupt_store, capsys):
+        code = main(
+            ["mine", "--resume", "--repair", "--checkpoint", str(corrupt_store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repair: dropped 1 corrupt checkpoint(s)" in out
+        assert "fingerprint:" in out
